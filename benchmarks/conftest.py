@@ -1,0 +1,58 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one table or
+figure of the paper's evaluation.  Results are printed and also written
+to ``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the reproduced artefacts on disk.
+
+Environment knobs:
+
+``REPRO_SCALE``  workload scale: tiny (default) / small / medium / paper
+``REPRO_RUNS``   experiments per campaign cell (default: per-bench)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignRunner
+from repro.workloads import WORKLOAD_NAMES, build
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_SCALE", "tiny")
+
+
+def runs_setting(default: int) -> int:
+    value = os.environ.get("REPRO_RUNS")
+    return int(value) if value else default
+
+
+_RUNNER_CACHE: dict[tuple[str, str, str | None], CampaignRunner] = {}
+
+
+def runner_for(name: str, scale: str = SCALE,
+               detailed_model: str | None = None) -> CampaignRunner:
+    """Session-cached campaign runner (golden run + checkpoint reused)."""
+    key = (name, scale, detailed_model)
+    if key not in _RUNNER_CACHE:
+        _RUNNER_CACHE[key] = CampaignRunner(
+            build(name, scale), detailed_model=detailed_model)
+    return _RUNNER_CACHE[key]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced table/figure and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                             encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def all_workload_names():
+    return WORKLOAD_NAMES

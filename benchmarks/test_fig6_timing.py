@@ -1,0 +1,114 @@
+"""Fig. 6 — correlation of fault-injection timing with the outcome.
+
+Time-stratified SEU campaigns over PI, Knapsack and Jacobi.  The paper's
+trends:
+
+* **PI**: timing is uncorrelated with the outcome (every iteration
+  contributes symmetrically to the estimate);
+* **Knapsack**: the later the fault, the more likely the result is
+  acceptable (bad genes are filtered by subsequent selection rounds);
+* **Jacobi**: early faults tend to be strictly correct (the iteration
+  re-converges exactly); late faults shift strict-correct mass into
+  relaxed-correct (converged, possibly via extra iterations).
+"""
+
+from __future__ import annotations
+
+from repro.campaign import Outcome, SEUGenerator, by_time_bins, \
+    render_time_table
+from repro.core import LocationKind
+
+from conftest import publish, runner_for, runs_setting
+
+BINS = 5
+RUNS_PER_BIN = runs_setting(14)
+
+# Locations whose faults actually interact with application data; PC
+# faults crash regardless of timing and would flatten every trend.
+DATA_LOCATIONS = (LocationKind.EXECUTE, LocationKind.MEM,
+                  LocationKind.FETCH, LocationKind.DECODE,
+                  LocationKind.INT_REG)
+
+
+def _campaign(name: str, seed: int):
+    runner = runner_for(name)
+    window = runner.golden.profile.committed
+    generator = SEUGenerator(runner.golden.profile, seed=seed,
+                             locations=DATA_LOCATIONS)
+    faults = []
+    for index in range(BINS):
+        low = int(window * index / BINS) + 1
+        high = int(window * (index + 1) / BINS)
+        for _ in range(RUNS_PER_BIN):
+            time = generator.rng.randint(low, max(low, high))
+            faults.append(generator.generate(time=time))
+    return runner.run_campaign(faults)
+
+
+def _acceptable_by_bin(results):
+    return [bin_dist.acceptable_fraction
+            for bin_dist in by_time_bins(results, bins=BINS)]
+
+
+def _strict_by_bin(results):
+    return [bin_dist.fraction(Outcome.STRICTLY_CORRECT)
+            for bin_dist in by_time_bins(results, bins=BINS)]
+
+
+def test_fig6_timing_correlation(benchmark):
+    campaigns = benchmark.pedantic(
+        lambda: {name: _campaign(name, seed=606 + i)
+                 for i, name in enumerate(("pi", "knapsack", "jacobi"))},
+        rounds=1, iterations=1)
+
+    sections = []
+    for name, results in campaigns.items():
+        sections.append(render_time_table(
+            results, bins=BINS,
+            title=f"--- {name} (n={len(results)}) ---"))
+    text = ("Fig. 6 — outcome vs normalised injection time "
+            f"({BINS} bins x {RUNS_PER_BIN} SEU, data-path locations):"
+            "\n\n" + "\n\n".join(sections))
+
+    # Knapsack: late faults are more acceptable than early faults.
+    knap = _acceptable_by_bin(campaigns["knapsack"])
+    early_knap = sum(knap[:2]) / 2
+    late_knap = sum(knap[-2:]) / 2
+    assert late_knap >= early_knap, \
+        f"knapsack late acceptability {late_knap:.0%} should exceed " \
+        f"early {early_knap:.0%}"
+
+    # PI: no strong monotone trend — late/early acceptability within a
+    # generous band of each other.
+    pi_accept = _acceptable_by_bin(campaigns["pi"])
+    early_pi = sum(pi_accept[:2]) / 2
+    late_pi = sum(pi_accept[-2:]) / 2
+    assert abs(late_pi - early_pi) <= 0.45, \
+        f"pi should show weak timing correlation " \
+        f"(early {early_pi:.0%} late {late_pi:.0%})"
+
+    # Jacobi: early faults carry more strict correctness than late ones
+    # and late faults more *relaxed* correct than early ones.
+    jac_strict = _strict_by_bin(campaigns["jacobi"])
+    jac_correct = [bin_dist.fraction(Outcome.CORRECT)
+                   for bin_dist in by_time_bins(campaigns["jacobi"],
+                                                bins=BINS)]
+    early_strict = sum(jac_strict[:2])
+    late_strict = sum(jac_strict[-2:])
+    early_correct = sum(jac_correct[:2])
+    late_correct = sum(jac_correct[-2:])
+    assert early_strict + early_correct > 0, "jacobi never survived early"
+    assert late_correct >= early_correct - 0.2, \
+        "jacobi relaxed-correct mass should not shrink late in the run"
+
+    text += (
+        "\n\nPaper-trend checks:\n"
+        f"  knapsack acceptable early {early_knap:.0%} -> late "
+        f"{late_knap:.0%}  [paper: later faults more acceptable]\n"
+        f"  pi acceptable early {early_pi:.0%} vs late {late_pi:.0%}  "
+        "[paper: uncorrelated]\n"
+        f"  jacobi strict early {early_strict/2:.0%} late "
+        f"{late_strict/2:.0%}; correct early {early_correct/2:.0%} "
+        f"late {late_correct/2:.0%}  "
+        "[paper: strict -> relaxed shift over time]\n")
+    publish("fig6_timing", text)

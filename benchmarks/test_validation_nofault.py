@@ -1,0 +1,59 @@
+"""Section IV.A — validation in the absence of faults.
+
+"The execution of each application was simulated both with our tool and
+the original Gem5 simulator ... For all benchmarks the results were
+identical.  This indicates that GemFI does not corrupt the simulation
+process."
+
+Here: every workload runs once on the plain simulator (no injector — the
+unmodified-gem5 configuration) and once with GemFI attached and activated
+but with an empty fault list.  Application output AND the simulator
+statistics dump must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import compile_source
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator
+from repro.workloads import build
+
+from conftest import SCALE, publish
+
+
+def _run(asm: str, name: str, with_fi: bool):
+    injector = FaultInjector() if with_fi else None
+    sim = Simulator(SimConfig(), injector=injector)
+    sim.load(asm, name)
+    result = sim.run(max_instructions=50_000_000)
+    assert result.status == "completed"
+    process = sim.process(0)
+    assert process.state.value == "exited", process.crash_reason
+    return sim.console_text(), sim.stats_dump()
+
+
+def test_validation_no_faults(benchmark, all_workload_names):
+    rows = ["workload      console_identical  stats_identical"]
+    specs = {name: compile_source(build(name, SCALE).source)
+             for name in all_workload_names}
+
+    def campaign():
+        outcomes = {}
+        for name, asm in specs.items():
+            plain_console, plain_stats = _run(asm, name, with_fi=False)
+            gemfi_console, gemfi_stats = _run(asm, name, with_fi=True)
+            outcomes[name] = (plain_console == gemfi_console,
+                              plain_stats == gemfi_stats)
+        return outcomes
+
+    outcomes = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    for name, (console_ok, stats_ok) in outcomes.items():
+        rows.append(f"{name:12s}  {str(console_ok):17s}  {stats_ok}")
+        assert console_ok, f"{name}: GemFI corrupted application output"
+        assert stats_ok, f"{name}: GemFI perturbed simulator statistics"
+    publish("validation_nofault",
+            "Validation in the absence of faults (paper Section IV.A):\n"
+            "GemFI with an empty fault list vs unmodified simulator.\n\n"
+            + "\n".join(rows)
+            + "\n\nPaper: 'For all benchmarks the results were "
+              "identical.'  Reproduced: identical for all workloads.")

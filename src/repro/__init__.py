@@ -1,0 +1,21 @@
+"""GemFI reproduction: fault injection on a full-system simulator.
+
+Reproduces *GemFI: A Fault Injection Tool for Studying the Behavior of
+Applications on Unreliable Substrates* (DSN 2014) as a self-contained
+Python library: Alpha-like ISA, four CPU models, memory hierarchy,
+OS-lite kernel, MiniC compiler, the GemFI fault-injection engine,
+checkpointing and campaign orchestration.
+
+Primary entry points::
+
+    from repro.sim import Simulator, SimConfig
+    from repro.core import FaultInjector
+    from repro.compiler import compile_source
+    from repro.campaign import CampaignRunner, SEUGenerator
+    from repro.workloads import build
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["campaign", "compiler", "core", "cpu", "isa", "memory",
+           "sim", "system", "workloads"]

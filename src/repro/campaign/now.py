@@ -1,0 +1,192 @@
+"""Campaigns on a Network of Workstations (Section III.E).
+
+Two pieces:
+
+* :class:`SharedDirCampaign` — a faithful implementation of the paper's
+  shared-network-filesystem protocol: experiment configuration files and
+  the checkpoint live on a share; workers atomically claim experiments,
+  run them locally from the checkpointed state and write results back.
+  Workers are real OS processes (``multiprocessing``), so on a multi-core
+  host the campaign genuinely runs in parallel; on this repository's
+  single-core CI it degenerates gracefully to ~1x.
+
+* :func:`simulate_makespan` — a deterministic meta-simulator that replays
+  measured per-experiment serial runtimes over W workstations x S
+  simulation slots using the paper's work-stealing discipline (step 4:
+  "each workstation ... selects one of the remaining experiments"), and
+  reports the campaign makespan.  This reproduces the scheduling
+  arithmetic behind Fig. 8's ~108x NoW speedup without needing 27
+  machines.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass
+
+from ..core.parser import parse_fault_file, render_fault_file
+from .classify import Outcome
+from .runner import CampaignRunner, ExperimentResult
+
+
+@dataclass
+class NoWConfig:
+    """The paper's platform: 27 workstations, 4 experiments each."""
+
+    workstations: int = 27
+    slots_per_workstation: int = 4
+
+    @property
+    def total_slots(self) -> int:
+        return self.workstations * self.slots_per_workstation
+
+
+def simulate_makespan(durations: list[float], config: NoWConfig,
+                      checkpoint_copy_seconds: float = 0.0) -> float:
+    """Deterministic list-scheduling makespan of *durations* over the
+    NoW.  Each workstation first copies the checkpoint locally (step 3),
+    then its slots repeatedly claim the next remaining experiment."""
+    if not durations:
+        return 0.0
+    slot_free_at = [checkpoint_copy_seconds] * config.total_slots
+    for duration in durations:
+        index = min(range(len(slot_free_at)), key=slot_free_at.__getitem__)
+        slot_free_at[index] += duration
+    return max(slot_free_at)
+
+
+def now_speedup(durations: list[float], config: NoWConfig,
+                checkpoint_copy_seconds: float = 0.0) -> float:
+    """Serial-time / NoW-makespan for a measured campaign."""
+    serial = sum(durations)
+    makespan = simulate_makespan(durations, config,
+                                 checkpoint_copy_seconds)
+    return serial / makespan if makespan else 1.0
+
+
+# -- the shared-directory protocol ------------------------------------------------
+
+
+class SharedDirCampaign:
+    """Steps 1-6 of Section III.E over a real directory tree.
+
+    Layout of the share::
+
+        share/
+          checkpoint.bin          the post-init simulator checkpoint
+          workload.json           name/scale so workers rebuild the spec
+          todo/exp_NNNN.txt       per-experiment fault input files
+          claimed/exp_NNNN.txt    moved here atomically when claimed
+          results/exp_NNNN.json   outcome records written by workers
+    """
+
+    def __init__(self, share_dir: str, workload_name: str,
+                 scale: str = "small") -> None:
+        self.share_dir = share_dir
+        self.workload_name = workload_name
+        self.scale = scale
+        for sub in ("todo", "claimed", "results"):
+            os.makedirs(os.path.join(share_dir, sub), exist_ok=True)
+
+    # step 1+2: the coordinator publishes experiments and the checkpoint.
+
+    def publish(self, runner: CampaignRunner,
+                fault_sets: list) -> None:
+        with open(os.path.join(self.share_dir, "workload.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"name": self.workload_name, "scale": self.scale},
+                      handle)
+        if runner.golden.checkpoint is not None:
+            with open(os.path.join(self.share_dir, "checkpoint.bin"),
+                      "wb") as handle:
+                handle.write(runner.golden.checkpoint)
+        with open(os.path.join(self.share_dir, "golden.pkl"),
+                  "wb") as handle:
+            pickle.dump(runner.golden, handle)
+        for index, faults in enumerate(fault_sets):
+            if not isinstance(faults, list):
+                faults = [faults]
+            path = os.path.join(self.share_dir, "todo",
+                                f"exp_{index:04d}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_fault_file(faults))
+
+    # step 4: atomic claim via rename.
+
+    def claim(self, worker_id: str) -> str | None:
+        todo = os.path.join(self.share_dir, "todo")
+        for name in sorted(os.listdir(todo)):
+            source = os.path.join(todo, name)
+            target = os.path.join(self.share_dir, "claimed",
+                                  f"{worker_id}_{name}")
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue  # another workstation won the race
+            return target
+        return None
+
+    # steps 4-5: run locally, move results back to the share.
+
+    def worker_loop(self, worker_id: str,
+                    runner: CampaignRunner) -> int:
+        completed = 0
+        while True:
+            claimed = self.claim(worker_id)
+            if claimed is None:
+                return completed
+            with open(claimed, "r", encoding="utf-8") as handle:
+                faults = parse_fault_file(handle.read())
+            result = runner.run_experiment(faults)
+            experiment = os.path.basename(claimed).split("_", 1)[1]
+            out = os.path.join(self.share_dir, "results",
+                               experiment.replace(".txt", ".json"))
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(result.as_dict(), handle)
+            completed += 1
+
+    def collect(self) -> list[dict]:
+        results_dir = os.path.join(self.share_dir, "results")
+        out = []
+        for name in sorted(os.listdir(results_dir)):
+            with open(os.path.join(results_dir, name), "r",
+                      encoding="utf-8") as handle:
+                out.append(json.load(handle))
+        return out
+
+    # orchestration: spawn worker processes (one per local "workstation").
+
+    def run_local(self, workers: int = 2) -> list[dict]:
+        processes = []
+        for index in range(workers):
+            process = multiprocessing.Process(
+                target=_worker_main,
+                args=(self.share_dir, f"ws{index}", self.workload_name,
+                      self.scale))
+            process.start()
+            processes.append(process)
+        for process in processes:
+            process.join()
+        return self.collect()
+
+
+def _worker_main(share_dir: str, worker_id: str, workload_name: str,
+                 scale: str) -> None:
+    """Entry point of one worker process: rebuild the workload spec and
+    runner (reusing the published checkpoint), then drain the queue."""
+    from ..workloads import build
+    spec = build(workload_name, scale)
+    runner = CampaignRunner(spec)
+    campaign = SharedDirCampaign(share_dir, workload_name, scale)
+    campaign.worker_loop(worker_id, runner)
+
+
+def outcome_counts(result_dicts: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for entry in result_dicts:
+        counts[entry["outcome"]] = counts.get(entry["outcome"], 0) + 1
+    return counts

@@ -1,0 +1,218 @@
+"""Campaign execution: golden run, checkpoint, per-experiment restore.
+
+Implements the methodology of Section IV.B.1:
+
+1. run the application once without faults — this provides the golden
+   outputs, the FI-window profile used for fault-time sampling, and (at
+   the ``fi_read_init_all`` call, i.e. after boot + initialisation) the
+   checkpoint all experiments restore from (Fig. 3);
+2. per experiment: restore, install the experiment's fault configuration,
+   simulate (optionally starting in the detailed O3 model and dropping to
+   atomic once the fault has committed), and classify the outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..compiler import compile_source
+from ..core.fault import Fault
+from ..core.injector import FaultInjector
+from ..sim.checkpoint import dumps_checkpoint, restore_checkpoint
+from ..sim.config import SimConfig
+from ..sim.simulator import Simulator
+from ..workloads.quality import Outputs, extract_outputs
+from ..workloads.spec import WorkloadSpec
+from .classify import Outcome, classify
+from .generator import WindowProfile
+
+
+@dataclass
+class ExperimentResult:
+    """Everything recorded about one fault-injection experiment."""
+
+    fault: Fault
+    outcome: Outcome
+    injected: bool
+    propagated: bool | None
+    crash_reason: str | None
+    instructions: int
+    ticks: int
+    wall_seconds: float
+    console: str
+    time_fraction: float          # fault time / FI-window length
+    injection_pc: int | None = None
+    injection_asm: str = ""
+    injection_detail: str = ""
+    # Pre-corruption value at the injection point (for FETCH faults
+    # this is the original instruction word, used by the Table I
+    # per-field analysis).
+    injection_before: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "fault": self.fault.describe(),
+            "outcome": self.outcome.value,
+            "injected": self.injected,
+            "propagated": self.propagated,
+            "crash_reason": self.crash_reason,
+            "instructions": self.instructions,
+            "ticks": self.ticks,
+            "wall_seconds": self.wall_seconds,
+            "time_fraction": self.time_fraction,
+            "injection_pc": self.injection_pc,
+            "injection_asm": self.injection_asm,
+            "injection_detail": self.injection_detail,
+        }
+
+
+@dataclass
+class GoldenRun:
+    """Artifacts of the fault-free reference run."""
+
+    outputs: Outputs
+    profile: WindowProfile
+    checkpoint: bytes | None
+    instructions: int
+    ticks: int
+    wall_seconds: float
+    boot_instructions: int      # instructions before the checkpoint
+    console: str = ""
+    stats_dump: str = ""
+
+
+class CampaignRunner:
+    """Runs fault-injection experiments for one workload."""
+
+    def __init__(self, spec: WorkloadSpec,
+                 config: SimConfig | None = None,
+                 use_checkpoint: bool = True,
+                 detailed_model: str | None = None,
+                 watchdog_factor: float = 4.0) -> None:
+        self.spec = spec
+        self.config = config or SimConfig()
+        self.use_checkpoint = use_checkpoint
+        # Paper methodology: start experiments in the detailed model and
+        # switch to atomic after the fault commits.  None = keep the
+        # configured model for the whole run.
+        self.detailed_model = detailed_model
+        self.watchdog_factor = watchdog_factor
+        self.asm = compile_source(spec.source)
+        self.golden = self._golden_run()
+        spec.golden_instructions = self.golden.profile.committed
+
+    # -- golden phase ----------------------------------------------------------
+
+    def _golden_run(self) -> GoldenRun:
+        injector = FaultInjector()
+        sim = Simulator(self.config, injector=injector)
+        sim.load(self.asm, self.spec.name)
+        checkpoint: bytes | None = None
+        boot_instructions = 0
+        start = time.perf_counter()
+        if self.use_checkpoint:
+            holder: dict[str, bytes] = {}
+            sim.on_checkpoint = lambda s: holder.__setitem__(
+                "blob", dumps_checkpoint(s))
+            result = sim.run(until_checkpoint=True,
+                             max_instructions=50_000_000)
+            if "blob" not in holder:
+                raise RuntimeError(
+                    f"workload '{self.spec.name}' never called "
+                    "fi_read_init_all(); cannot checkpoint")
+            checkpoint = holder["blob"]
+            boot_instructions = sim.instructions
+            sim.on_checkpoint = None
+        result = sim.run(max_instructions=50_000_000)
+        wall = time.perf_counter() - start
+        if result.status != "completed":
+            raise RuntimeError(
+                f"golden run of '{self.spec.name}' did not complete: "
+                f"{result.status}")
+        process = sim.process(0)
+        if process.crash_reason:
+            raise RuntimeError(
+                f"golden run of '{self.spec.name}' crashed: "
+                f"{process.crash_reason}")
+        if not injector.windows:
+            raise RuntimeError(
+                f"workload '{self.spec.name}' never completed an "
+                "fi_activate window")
+        profile = WindowProfile.from_injector_window(injector.windows[0])
+        outputs = extract_outputs(self.spec, sim, process)
+        return GoldenRun(
+            outputs=outputs, profile=profile, checkpoint=checkpoint,
+            instructions=result.instructions, ticks=result.ticks,
+            wall_seconds=wall, boot_instructions=boot_instructions,
+            console=process.console_text(), stats_dump=sim.stats_dump())
+
+    # -- experiment phase ----------------------------------------------------------
+
+    def run_experiment(self, faults: list[Fault] | Fault
+                       ) -> ExperimentResult:
+        if isinstance(faults, Fault):
+            faults = [faults]
+        start = time.perf_counter()
+        sim = self._fresh_simulator(faults)
+        start_instructions = sim.instructions
+        budget = int(self.golden.instructions * self.watchdog_factor) \
+            + 100_000
+        result = sim.run(max_instructions=start_instructions + budget)
+        wall = time.perf_counter() - start
+        process = sim.process(0)
+        injector = sim.injector
+        outcome = classify(self.spec, self.golden.outputs, sim, process,
+                           injector, result)
+        fault = faults[0]
+        window = max(1, self.golden.profile.count_for(fault.location))
+        first = injector.records[0] if injector.records else None
+        return ExperimentResult(
+            fault=fault,
+            outcome=outcome,
+            injected=bool(injector.records),
+            propagated=(first.propagated if first is not None else None),
+            crash_reason=process.crash_reason,
+            instructions=result.instructions - start_instructions,
+            ticks=result.ticks,
+            wall_seconds=wall,
+            console=process.console_text(),
+            time_fraction=min(1.0, fault.time / window),
+            injection_pc=(first.pc if first is not None else None),
+            injection_asm=(first.asm if first is not None else ""),
+            injection_detail=(first.detail if first is not None else ""),
+            injection_before=(first.before if first is not None
+                              else None),
+        )
+
+    def run_campaign(self, fault_sets, progress=None
+                     ) -> list[ExperimentResult]:
+        results = []
+        for index, faults in enumerate(fault_sets):
+            results.append(self.run_experiment(faults))
+            if progress is not None:
+                progress(index + 1, len(fault_sets))
+        return results
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _fresh_simulator(self, faults: list[Fault]) -> Simulator:
+        if self.use_checkpoint and self.golden.checkpoint is not None:
+            config_override = None
+            if self.detailed_model is not None:
+                config_override = self._detailed_config()
+            sim = restore_checkpoint(self.golden.checkpoint,
+                                     faults=faults,
+                                     config_override=config_override)
+            return sim
+        config = (self._detailed_config()
+                  if self.detailed_model is not None else self.config)
+        injector = FaultInjector(faults)
+        sim = Simulator(config, injector=injector)
+        sim.load(self.asm, self.spec.name)
+        return sim
+
+    def _detailed_config(self) -> SimConfig:
+        from dataclasses import replace
+        return replace(self.config, cpu_model=self.detailed_model,
+                       switch_to_atomic_after_fi=True)

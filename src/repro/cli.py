@@ -1,0 +1,184 @@
+"""Command-line interface — the gem5-style front end of the tool.
+
+Usage mirrors the paper's workflow (Section III.B): compile or assemble
+an application, hand the simulator a fault-description input file on the
+command line, run, and inspect the postmortem report / statistics.
+
+    gemfi run app.mc --fault-file faults.txt --cpu o3 --stats stats.txt
+    gemfi campaign --workload dct --scale tiny -n 50
+    gemfi workloads
+    gemfi sample-size --confidence 0.99 --margin 0.01
+
+(`python -m repro ...` works identically.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .campaign import (
+    CampaignRunner,
+    SEUGenerator,
+    render_location_table,
+    sample_size,
+)
+from .compiler import compile_source
+from .core import FaultInjector, parse_fault_file
+from .sim import SimConfig, Simulator
+from .workloads import WORKLOAD_NAMES, build
+
+
+def _load_program(path: str) -> str:
+    """Return assembly text for *path* (.mc MiniC is compiled; .s/.asm
+    is passed through)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".s", ".asm")):
+        return text
+    return compile_source(text)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    faults = []
+    if args.fault_file:
+        with open(args.fault_file, "r", encoding="utf-8") as handle:
+            faults.extend(parse_fault_file(handle.read()))
+    for line in args.fault or ():
+        faults.extend(parse_fault_file(line))
+
+    injector = FaultInjector(faults)
+    config = SimConfig(cpu_model=args.cpu,
+                       switch_to_atomic_after_fi=args.switch_to_atomic)
+    sim = Simulator(config, injector=injector)
+    sim.load(_load_program(args.program), "app")
+    result = sim.run(max_instructions=args.max_instructions)
+
+    process = sim.process(0)
+    print(f"status      : {result.status}")
+    print(f"process     : {process.state.value}"
+          + (f" ({process.crash_reason})" if process.crash_reason
+             else f" exit={process.exit_code}"))
+    print(f"instructions: {result.instructions}  ticks: {result.ticks}")
+    console = process.console_text()
+    if console:
+        print("--- console ---")
+        print(console, end="" if console.endswith("\n") else "\n")
+    if injector.records:
+        print("--- injections ---")
+        for record in injector.records:
+            print(f"  {record.fault.describe()}")
+            print(f"    pc={record.pc:#x} window-instr="
+                  f"{record.instruction_count} {record.detail} "
+                  f"{record.before:#x}->{record.after:#x} "
+                  f"propagated={record.propagated}")
+    if args.stats:
+        with open(args.stats, "w", encoding="utf-8") as handle:
+            handle.write(sim.stats_dump())
+        print(f"stats written to {args.stats}")
+    return 0 if process.state.value == "exited" else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    spec = build(args.workload, args.scale)
+    print(f"# {spec.description}")
+    runner = CampaignRunner(spec, detailed_model=args.detailed_model)
+    print(f"# golden: window={runner.golden.profile.committed} "
+          f"instructions, boot={runner.golden.boot_instructions}")
+    generator = SEUGenerator(runner.golden.profile, seed=args.seed)
+    location = None
+    if args.location:
+        from .core import LocationKind
+        location = LocationKind(args.location)
+    faults = generator.batch(args.experiments, location=location)
+    results = runner.run_campaign(
+        faults, progress=lambda done, total: print(
+            f"\r# {done}/{total}", end="", file=sys.stderr))
+    print(file=sys.stderr)
+    print(render_location_table(
+        results, title=f"{args.workload} ({args.scale}) — "
+                       f"{len(results)} experiments, seed {args.seed}"))
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for name in WORKLOAD_NAMES:
+        spec = build(name, "small")
+        print(f"{name:12s} {spec.description}")
+    return 0
+
+
+def cmd_sample_size(args: argparse.Namespace) -> int:
+    population = math.inf if args.population is None else args.population
+    n = sample_size(population, confidence=args.confidence,
+                    error_margin=args.margin)
+    pop_text = "inf" if population == math.inf else str(population)
+    print(f"N={pop_text} confidence={args.confidence} "
+          f"margin={args.margin} -> n={n}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gemfi",
+        description="GemFI: fault injection on a full-system simulator "
+                    "(DSN 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="simulate one program, optionally injecting faults")
+    run_p.add_argument("program",
+                       help="MiniC source (.mc/.py) or assembly (.s)")
+    run_p.add_argument("--fault-file", "-f",
+                       help="Listing-1 style fault input file")
+    run_p.add_argument("--fault", action="append",
+                       help="inline fault description (repeatable)")
+    run_p.add_argument("--cpu", default="atomic",
+                       choices=("atomic", "timing", "inorder", "o3"))
+    run_p.add_argument("--max-instructions", type=int,
+                       default=50_000_000)
+    run_p.add_argument("--stats", help="write a stats dump to this file")
+    run_p.add_argument("--switch-to-atomic", action="store_true",
+                       help="drop to AtomicSimple once the fault commits")
+    run_p.set_defaults(func=cmd_run)
+
+    camp_p = sub.add_parser(
+        "campaign", help="run an SEU campaign on a paper workload")
+    camp_p.add_argument("--workload", "-w", default="dct",
+                        choices=WORKLOAD_NAMES)
+    camp_p.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium", "paper"))
+    camp_p.add_argument("--experiments", "-n", type=int, default=40)
+    camp_p.add_argument("--seed", type=int, default=0)
+    camp_p.add_argument("--location", default=None,
+                        help="pin the fault location (e.g. pc, fetch, "
+                             "int_reg)")
+    camp_p.add_argument("--detailed-model", default=None,
+                        choices=(None, "o3", "inorder", "timing"),
+                        help="inject in this model, then switch to "
+                             "atomic (paper methodology)")
+    camp_p.set_defaults(func=cmd_campaign)
+
+    list_p = sub.add_parser("workloads",
+                            help="list the paper's benchmarks")
+    list_p.set_defaults(func=cmd_workloads)
+
+    size_p = sub.add_parser(
+        "sample-size",
+        help="Leveugle DATE'09 statistical campaign sizing")
+    size_p.add_argument("--population", type=int, default=None)
+    size_p.add_argument("--confidence", type=float, default=0.99)
+    size_p.add_argument("--margin", type=float, default=0.01)
+    size_p.set_defaults(func=cmd_sample_size)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""MiniC compiler: Python-syntax MiniC -> Alpha-like assembly."""
+
+from .codegen import ModuleCodegen, compile_source
+from .frontend import (
+    ArrayInfo,
+    CompileError,
+    FLOAT,
+    FuncInfo,
+    GlobalScalar,
+    INT,
+    ProgramInfo,
+    parse_program,
+)
+
+__all__ = [
+    "ArrayInfo", "CompileError", "FLOAT", "FuncInfo", "GlobalScalar",
+    "INT", "ModuleCodegen", "ProgramInfo", "compile_source",
+    "parse_program",
+]

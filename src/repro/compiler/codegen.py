@@ -1,0 +1,1114 @@
+"""MiniC code generator: AST -> Alpha-like assembly.
+
+Register conventions (Alpha ABI):
+
+* expression temporaries: ``t0``-``t11`` (caller-saved) for integers,
+  ``f10``-``f15``/``f22``-``f30`` for floats;
+* the first six integer/float scalar locals live in callee-saved
+  registers ``s0``-``s5`` / ``f2``-``f9`` — loop iterators therefore sit
+  in integer registers that are live across long spans, the property the
+  paper's Fig. 5 analysis attributes the high crash rate of integer
+  register faults to;
+* remaining locals spill to the stack frame; arrays are global;
+* arguments in ``a0``-``a5`` / ``f16``-``f21`` by position, results in
+  ``v0`` / ``f0``; ``at`` (r28) is the addressing scratch register.
+
+Temporaries live in an explicit free list; values in flight across a
+call are spilled to a per-frame call-save area (re-entrant for nested
+calls in argument lists).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .frontend import (
+    CompileError,
+    FLOAT,
+    FuncInfo,
+    INT,
+    ProgramInfo,
+    expr_type,
+    parse_program,
+)
+from .intrinsics import ARG_COUNTS, INTRINSIC_TYPES, SYSCALL_INTRINSICS
+
+INT_TEMPS = [f"t{i}" for i in range(12)]
+FP_TEMPS = [f"f{i}" for i in range(10, 16)] + \
+    [f"f{i}" for i in range(22, 31)]
+INT_SAVED = [f"s{i}" for i in range(6)]
+FP_SAVED = [f"f{i}" for i in range(2, 10)]
+CALL_SAVE_SLOTS = 64
+
+_INT_BINOPS = {
+    ast.Add: "addq", ast.Sub: "subq", ast.Mult: "mulq",
+    ast.FloorDiv: "divq", ast.Mod: "remq", ast.BitAnd: "and",
+    ast.BitOr: "bis", ast.BitXor: "xor", ast.LShift: "sll",
+    ast.RShift: "sra",
+}
+_FP_BINOPS = {
+    ast.Add: "addt", ast.Sub: "subt", ast.Mult: "mult", ast.Div: "divt",
+}
+# (mnemonic, swap operands, invert result)
+_INT_COMPARES = {
+    ast.Eq: ("cmpeq", False, False),
+    ast.NotEq: ("cmpeq", False, True),
+    ast.Lt: ("cmplt", False, False),
+    ast.LtE: ("cmple", False, False),
+    ast.Gt: ("cmplt", True, False),
+    ast.GtE: ("cmple", True, False),
+}
+_FP_COMPARES = {
+    ast.Eq: ("cmpteq", False, False),
+    ast.NotEq: ("cmpteq", False, True),
+    ast.Lt: ("cmptlt", False, False),
+    ast.LtE: ("cmptle", False, False),
+    ast.Gt: ("cmptlt", True, False),
+    ast.GtE: ("cmptle", True, False),
+}
+
+
+class _FunctionCodegen:
+    """Code generation context for one function."""
+
+    def __init__(self, module: "ModuleCodegen", func: FuncInfo) -> None:
+        self.module = module
+        self.program = module.program
+        self.func = func
+        self.lines: list[str] = []
+        self.int_free = list(INT_TEMPS)
+        self.fp_free = list(FP_TEMPS)
+        self.cs_depth = 0
+        self.max_cs_depth = 0
+        self._label_counter = 0
+        self._loop_stack: list[tuple[str, str]] = []
+        self.storage: dict[str, tuple[str, object]] = {}
+        self._layout_frame()
+
+    # -- frame layout ------------------------------------------------------------
+
+    def _layout_frame(self) -> None:
+        func = self.func
+        int_regs = list(INT_SAVED)
+        fp_regs = list(FP_SAVED)
+        stack_slots = 0
+        # Parameters first (they are also locals), then other locals in
+        # first-appearance order.
+        names = [name for name, _ in func.params]
+        for name in func.locals_types:
+            if name not in names:
+                names.append(name)
+        for name in names:
+            kind = func.locals_types[name]
+            if kind == INT and int_regs:
+                self.storage[name] = ("ireg", int_regs.pop(0))
+            elif kind == FLOAT and fp_regs:
+                self.storage[name] = ("freg", fp_regs.pop(0))
+            else:
+                self.storage[name] = ("stack", stack_slots)
+                stack_slots += 1
+        # Stack-allocated local arrays follow the scalar spill slots.
+        self.local_array_info: dict[str, tuple[int, str, int]] = {}
+        for name, (elem_type, size) in func.local_arrays.items():
+            self.local_array_info[name] = (stack_slots, elem_type, size)
+            stack_slots += size
+        self.used_int_saved = [r for r in INT_SAVED if r not in int_regs]
+        self.used_fp_saved = [r for r in FP_SAVED if r not in fp_regs]
+        self.stack_local_slots = stack_slots
+        # Frame: ra | saved int | saved fp | stack locals | call-save.
+        self.saved_base = 8
+        self.locals_base = self.saved_base + 8 * (
+            len(self.used_int_saved) + len(self.used_fp_saved))
+        self.callsave_base = self.locals_base + 8 * stack_slots
+        frame = self.callsave_base + 8 * CALL_SAVE_SLOTS
+        self.frame_size = (frame + 15) & ~15
+
+    def _local_offset(self, slot: int) -> int:
+        return self.locals_base + 8 * slot
+
+    # -- emission helpers ----------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f".{hint}_{self.func.name}_{self._label_counter}"
+
+    # -- temp management --------------------------------------------------------------
+
+    def alloc(self, kind: str) -> str:
+        pool = self.int_free if kind == INT else self.fp_free
+        if not pool:
+            raise CompileError(
+                f"expression too deep: out of {kind} temporaries in "
+                f"function '{self.func.name}'")
+        return pool.pop(0)
+
+    def free(self, reg: str) -> None:
+        if reg in INT_TEMPS:
+            self.int_free.insert(0, reg)
+        elif reg in FP_TEMPS:
+            self.fp_free.insert(0, reg)
+        # saved registers and ABI registers are never pool-managed
+
+    def _in_use(self) -> list[str]:
+        return [r for r in INT_TEMPS if r not in self.int_free] + \
+            [r for r in FP_TEMPS if r not in self.fp_free]
+
+    # -- function skeleton -----------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        func = self.func
+        body_lines = self._generate_body()
+        out: list[str] = [f"{func.label}:"]
+        out.append(f"    lda sp, -{self.frame_size}(sp)")
+        out.append("    stq ra, 0(sp)")
+        offset = self.saved_base
+        for reg in self.used_int_saved:
+            out.append(f"    stq {reg}, {offset}(sp)")
+            offset += 8
+        for reg in self.used_fp_saved:
+            out.append(f"    stt {reg}, {offset}(sp)")
+            offset += 8
+        # Move incoming arguments into their storage.
+        for index, (name, kind) in enumerate(func.params):
+            where, loc = self.storage[name]
+            if kind == INT:
+                src = f"a{index}"
+                if where == "ireg":
+                    out.append(f"    mov {src}, {loc}")
+                else:
+                    out.append(
+                        f"    stq {src}, {self._local_offset(loc)}(sp)")
+            else:
+                src = f"f{16 + index}"
+                if where == "freg":
+                    out.append(f"    fmov {src}, {loc}")
+                else:
+                    out.append(
+                        f"    stt {src}, {self._local_offset(loc)}(sp)")
+        out.extend(body_lines)
+        # Epilogue.
+        out.append(f".Lret_{func.name}:")
+        out.append("    ldq ra, 0(sp)")
+        offset = self.saved_base
+        for reg in self.used_int_saved:
+            out.append(f"    ldq {reg}, {offset}(sp)")
+            offset += 8
+        for reg in self.used_fp_saved:
+            out.append(f"    ldt {reg}, {offset}(sp)")
+            offset += 8
+        out.append(f"    lda sp, {self.frame_size}(sp)")
+        out.append("    ret")
+        return out
+
+    def _generate_body(self) -> list[str]:
+        body = self.func.node.body
+        start = 0
+        if body and isinstance(body[0], ast.Expr) and \
+                isinstance(body[0].value, ast.Constant) and \
+                isinstance(body[0].value.value, str):
+            start = 1  # docstring
+        for stmt in body[start:]:
+            self.stmt(stmt)
+        # Fall-through return (value 0 / 0.0).
+        if self.func.ret_type == FLOAT:
+            self.emit("fmov f31, f0")
+        else:
+            self.emit("clr v0")
+        return self.lines
+
+    # -- statements ----------------------------------------------------------------------
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._stmt_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            op_node = ast.BinOp(
+                left=_load_of(node.target), op=node.op, right=node.value)
+            ast.copy_location(op_node, node)
+            ast.fix_missing_locations(op_node)
+            assign = ast.Assign(targets=[node.target], value=op_node)
+            ast.copy_location(assign, node)
+            self._stmt_assign(assign)
+        elif isinstance(node, ast.If):
+            self._stmt_if(node)
+        elif isinstance(node, ast.While):
+            self._stmt_while(node)
+        elif isinstance(node, ast.For):
+            self._stmt_for(node)
+        elif isinstance(node, ast.Return):
+            self._stmt_return(node)
+        elif isinstance(node, ast.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", node)
+            self.emit(f"br {self._loop_stack[-1][0]}")
+        elif isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", node)
+            self.emit(f"br {self._loop_stack[-1][1]}")
+        elif isinstance(node, ast.Expr):
+            kind, reg = self.expr(node.value)
+            if reg is not None:
+                self.free(reg)
+        elif isinstance(node, ast.Pass):
+            pass
+        else:
+            raise CompileError(
+                f"unsupported statement {type(node).__name__}", node)
+
+    def _stmt_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise CompileError("chained assignment not supported", node)
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and \
+                target.id in self.local_array_info:
+            if not (isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in ("ilocal", "flocal")):
+                raise CompileError(
+                    f"cannot reassign local array '{target.id}'", node)
+            self._zero_local_array(target.id)
+            return
+        if isinstance(target, ast.Name):
+            dest_type = self._name_type(target.id, node)
+            kind, reg = self.expr(node.value)
+            reg = self._coerce(kind, dest_type, reg)
+            self._store_name(target.id, dest_type, reg, node)
+            self.free(reg)
+            return
+        if isinstance(target, ast.Subscript):
+            self._store_subscript(target, node.value)
+            return
+        raise CompileError("unsupported assignment target", node)
+
+    def _stmt_if(self, node: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if node.orelse else else_label
+        self.cond_false(node.test, else_label)
+        for stmt in node.body:
+            self.stmt(stmt)
+        if node.orelse:
+            self.emit(f"br {end_label}")
+            self.emit_label(else_label)
+            for stmt in node.orelse:
+                self.stmt(stmt)
+        self.emit_label(end_label)
+
+    def _stmt_while(self, node: ast.While) -> None:
+        if node.orelse:
+            raise CompileError("while/else not supported", node)
+        top = self.new_label("wtop")
+        end = self.new_label("wend")
+        self.emit_label(top)
+        self.cond_false(node.test, end)
+        self._loop_stack.append((end, top))
+        for stmt in node.body:
+            self.stmt(stmt)
+        self._loop_stack.pop()
+        self.emit(f"br {top}")
+        self.emit_label(end)
+
+    def _stmt_for(self, node: ast.For) -> None:
+        if node.orelse:
+            raise CompileError("for/else not supported", node)
+        if not isinstance(node.target, ast.Name):
+            raise CompileError("for target must be a variable", node)
+        call = node.iter
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "range" and 1 <= len(call.args) <= 3):
+            raise CompileError("for loops iterate over range(...)", node)
+        var = node.target.id
+        if len(call.args) == 1:
+            start_node: ast.expr = ast.Constant(value=0)
+            ast.copy_location(start_node, node)
+            stop_node = call.args[0]
+            step = 1
+        else:
+            start_node = call.args[0]
+            stop_node = call.args[1]
+            step = 1
+            if len(call.args) == 3:
+                step = _const_step(call.args[2])
+
+        kind, reg = self.expr(start_node)
+        reg = self._coerce(kind, INT, reg)
+        self._store_name(var, INT, reg, node)
+        self.free(reg)
+
+        top = self.new_label("ftop")
+        cont = self.new_label("fcont")
+        end = self.new_label("fend")
+        self.emit_label(top)
+        # Loop condition: i < stop (or i > stop for negative step).
+        ikind, ireg = self._load_name(var, node)
+        skind, sreg = self.expr(stop_node)
+        sreg = self._coerce(skind, INT, sreg)
+        flag = self.alloc(INT)
+        if step > 0:
+            self.emit(f"cmplt {ireg}, {sreg}, {flag}")
+        else:
+            self.emit(f"cmplt {sreg}, {ireg}, {flag}")
+        self.emit(f"beq {flag}, {end}")
+        self.free(flag)
+        self.free(sreg)
+        self.free(ireg)
+
+        self._loop_stack.append((end, cont))
+        for stmt in node.body:
+            self.stmt(stmt)
+        self._loop_stack.pop()
+
+        self.emit_label(cont)
+        _, ireg = self._load_name(var, node)
+        if 0 <= step < 256:
+            self.emit(f"addq {ireg}, {step}, {ireg}")
+        elif -256 < step < 0:
+            self.emit(f"subq {ireg}, {-step}, {ireg}")
+        else:
+            raise CompileError("range step must be within (-256, 256)",
+                               node)
+        self._store_name(var, INT, ireg, node)
+        self.free(ireg)
+        self.emit(f"br {top}")
+        self.emit_label(end)
+
+    def _stmt_return(self, node: ast.Return) -> None:
+        ret_type = self.func.ret_type or INT
+        if node.value is not None:
+            kind, reg = self.expr(node.value)
+            reg = self._coerce(kind, ret_type, reg)
+            if ret_type == FLOAT:
+                self.emit(f"fmov {reg}, f0")
+            else:
+                self.emit(f"mov {reg}, v0")
+            self.free(reg)
+        else:
+            if ret_type == FLOAT:
+                self.emit("fmov f31, f0")
+            else:
+                self.emit("clr v0")
+        self.emit(f"br .Lret_{self.func.name}")
+
+    # -- conditions -----------------------------------------------------------------------
+
+    def cond_false(self, node: ast.expr, false_label: str) -> None:
+        """Emit code that branches to *false_label* when the condition is
+        false and falls through when true."""
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                for value in node.values:
+                    self.cond_false(value, false_label)
+                return
+            true_label = self.new_label("ortrue")
+            for value in node.values[:-1]:
+                self.cond_true(value, true_label)
+            self.cond_false(node.values[-1], false_label)
+            self.emit_label(true_label)
+            return
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            self.cond_true(node.operand, false_label)
+            return
+        if isinstance(node, ast.Compare):
+            self._compare_branch(node, false_label, branch_when_true=False)
+            return
+        if isinstance(node, ast.Constant):
+            if not node.value:
+                self.emit(f"br {false_label}")
+            return
+        kind, reg = self.expr(node)
+        if kind == FLOAT:
+            self.emit(f"fbeq {reg}, {false_label}")
+        else:
+            self.emit(f"beq {reg}, {false_label}")
+        self.free(reg)
+
+    def cond_true(self, node: ast.expr, true_label: str) -> None:
+        """Branch to *true_label* when the condition is true."""
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.Or):
+                for value in node.values:
+                    self.cond_true(value, true_label)
+                return
+            false_label = self.new_label("andfalse")
+            for value in node.values[:-1]:
+                self.cond_false(value, false_label)
+            self.cond_true(node.values[-1], true_label)
+            self.emit_label(false_label)
+            return
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            self.cond_false(node.operand, true_label)
+            return
+        if isinstance(node, ast.Compare):
+            self._compare_branch(node, true_label, branch_when_true=True)
+            return
+        if isinstance(node, ast.Constant):
+            if node.value:
+                self.emit(f"br {true_label}")
+            return
+        kind, reg = self.expr(node)
+        if kind == FLOAT:
+            self.emit(f"fbne {reg}, {true_label}")
+        else:
+            self.emit(f"bne {reg}, {true_label}")
+        self.free(reg)
+
+    def _compare_branch(self, node: ast.Compare, label: str,
+                        branch_when_true: bool) -> None:
+        flag, invert = self._compare_flag(node)
+        want_taken = branch_when_true != invert
+        if isinstance(flag, tuple):  # float flag register
+            reg = flag[1]
+            self.emit(f"{'fbne' if want_taken else 'fbeq'} {reg}, {label}")
+            self.free(reg)
+        else:
+            self.emit(f"{'bne' if want_taken else 'beq'} {flag}, {label}")
+            self.free(flag)
+
+    def _compare_flag(self, node: ast.Compare):
+        """Evaluate a comparison into a flag.  Returns (reg, invert) for
+        int flags, ((FLOAT, reg), invert) for FP flag registers."""
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise CompileError("chained comparisons not supported", node)
+        left_t = expr_type(self.program, self.func, node.left)
+        right_t = expr_type(self.program, self.func,
+                            node.comparators[0])
+        use_float = FLOAT in (left_t, right_t)
+        table = _FP_COMPARES if use_float else _INT_COMPARES
+        entry = table.get(type(node.ops[0]))
+        if entry is None:
+            raise CompileError(
+                f"unsupported comparison {type(node.ops[0]).__name__}",
+                node)
+        mnemonic, swap, invert = entry
+        lkind, lreg = self.expr(node.left)
+        rkind, rreg = self.expr(node.comparators[0])
+        if use_float:
+            lreg = self._coerce(lkind, FLOAT, lreg)
+            rreg = self._coerce(rkind, FLOAT, rreg)
+            a, b = (rreg, lreg) if swap else (lreg, rreg)
+            flag = self.alloc(FLOAT)
+            self.emit(f"{mnemonic} {a}, {b}, {flag}")
+            self.free(lreg)
+            self.free(rreg)
+            return (FLOAT, flag), invert
+        a, b = (rreg, lreg) if swap else (lreg, rreg)
+        flag = self.alloc(INT)
+        self.emit(f"{mnemonic} {a}, {b}, {flag}")
+        self.free(lreg)
+        self.free(rreg)
+        return flag, invert
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> tuple[str, str]:
+        """Generate code computing *node*; returns (type, temp register).
+        The caller owns (and must free) the returned register."""
+        if isinstance(node, ast.Constant):
+            return self._expr_const(node)
+        if isinstance(node, ast.Name):
+            return self._load_name(node.id, node)
+        if isinstance(node, ast.Subscript):
+            return self._load_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._expr_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._expr_compare_value(node)
+        if isinstance(node, ast.BoolOp):
+            return self._expr_bool_value(node)
+        if isinstance(node, ast.Call):
+            return self._expr_call(node)
+        if isinstance(node, ast.IfExp):
+            return self._expr_ifexp(node)
+        raise CompileError(
+            f"unsupported expression {type(node).__name__}", node)
+
+    def _expr_const(self, node: ast.Constant) -> tuple[str, str]:
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CompileError("unsupported literal", node)
+        if isinstance(value, float):
+            reg = self.alloc(FLOAT)
+            if value == 0.0:
+                self.emit(f"fmov f31, {reg}")
+            else:
+                label = self.module.float_const(value)
+                self.emit(f"la at, {label}")
+                self.emit(f"ldt {reg}, 0(at)")
+            return FLOAT, reg
+        reg = self.alloc(INT)
+        if -(1 << 31) <= value < (1 << 31) - (1 << 15):
+            self.emit(f"ldi {reg}, {value}")
+        else:
+            label = self.module.int_const(value)
+            self.emit(f"la at, {label}")
+            self.emit(f"ldq {reg}, 0(at)")
+        return INT, reg
+
+    def _name_type(self, name: str, node) -> str:
+        if name in self.local_array_info:
+            raise CompileError(
+                f"local array '{name}' used without an index", node)
+        if name in self.func.locals_types:
+            return self.func.locals_types[name]
+        if name in self.program.globals:
+            return self.program.globals[name].type
+        if name in self.program.arrays:
+            raise CompileError(
+                f"array '{name}' used without an index", node)
+        raise CompileError(f"unknown variable '{name}'", node)
+
+    def _load_name(self, name: str, node) -> tuple[str, str]:
+        kind = self._name_type(name, node)
+        if name in self.storage:
+            where, loc = self.storage[name]
+            if where == "ireg":
+                reg = self.alloc(INT)
+                self.emit(f"mov {loc}, {reg}")
+                return kind, reg
+            if where == "freg":
+                reg = self.alloc(FLOAT)
+                self.emit(f"fmov {loc}, {reg}")
+                return kind, reg
+            reg = self.alloc(kind)
+            insn = "ldq" if kind == INT else "ldt"
+            self.emit(f"{insn} {reg}, {self._local_offset(loc)}(sp)")
+            return kind, reg
+        scalar = self.program.globals[name]
+        reg = self.alloc(kind)
+        self.emit(f"la at, {scalar.label}")
+        self.emit(f"{'ldq' if kind == INT else 'ldt'} {reg}, 0(at)")
+        return kind, reg
+
+    def _store_name(self, name: str, kind: str, reg: str, node) -> None:
+        if name in self.storage:
+            where, loc = self.storage[name]
+            if where == "ireg":
+                self.emit(f"mov {reg}, {loc}")
+            elif where == "freg":
+                self.emit(f"fmov {reg}, {loc}")
+            else:
+                insn = "stq" if kind == INT else "stt"
+                self.emit(f"{insn} {reg}, {self._local_offset(loc)}(sp)")
+            return
+        if name in self.program.globals:
+            scalar = self.program.globals[name]
+            self.emit(f"la at, {scalar.label}")
+            self.emit(f"{'stq' if kind == INT else 'stt'} {reg}, 0(at)")
+            return
+        raise CompileError(f"unknown variable '{name}'", node)
+
+    def _zero_local_array(self, name: str) -> None:
+        """Stack memory holds whatever earlier frames left behind;
+        declarations zero their slots for Python-like semantics."""
+        base_slot, _, size = self.local_array_info[name]
+        if size <= 16:
+            for slot in range(size):
+                offset = self._local_offset(base_slot + slot)
+                self.emit(f"stq zero, {offset}(sp)")
+            return
+        counter = self.alloc(INT)
+        addr = self.alloc(INT)
+        self.emit(f"lda {addr}, {self._local_offset(base_slot)}(sp)")
+        self.emit(f"ldi {counter}, {size}")
+        top = self.new_label("zloop")
+        self.emit_label(top)
+        self.emit(f"stq zero, 0({addr})")
+        self.emit(f"addq {addr}, 8, {addr}")
+        self.emit(f"subq {counter}, 1, {counter}")
+        self.emit(f"bgt {counter}, {top}")
+        self.free(addr)
+        self.free(counter)
+
+    def _array_addr(self, node: ast.Subscript) -> tuple[str, str]:
+        """Compute the element address; returns (elem_type, addr_reg)."""
+        if not isinstance(node.value, ast.Name):
+            raise CompileError("only arrays can be indexed", node)
+        name = node.value.id
+        kind, ireg = self.expr(node.slice)
+        if kind != INT:
+            raise CompileError("array index must be an int", node)
+        addr = self.alloc(INT)
+        if name in self.local_array_info:
+            base_slot, elem_type, _ = self.local_array_info[name]
+            self.emit(f"s8addq {ireg}, sp, {addr}")
+            self.emit(f"lda {addr}, "
+                      f"{self._local_offset(base_slot)}({addr})")
+            self.free(ireg)
+            return elem_type, addr
+        if name not in self.program.arrays:
+            raise CompileError(
+                f"'{name}' is not a global or local array", node)
+        array = self.program.arrays[name]
+        self.emit(f"la at, {array.label}")
+        self.emit(f"s8addq {ireg}, at, {addr}")
+        self.free(ireg)
+        return array.elem_type, addr
+
+    def _load_subscript(self, node: ast.Subscript) -> tuple[str, str]:
+        elem_type, addr = self._array_addr(node)
+        reg = self.alloc(elem_type)
+        self.emit(f"{'ldq' if elem_type == INT else 'ldt'} {reg}, "
+                  f"0({addr})")
+        self.free(addr)
+        return elem_type, reg
+
+    def _store_subscript(self, target: ast.Subscript,
+                         value: ast.expr) -> None:
+        kind, reg = self.expr(value)
+        elem_type, addr = self._array_addr(target)
+        reg = self._coerce(kind, elem_type, reg)
+        self.emit(f"{'stq' if elem_type == INT else 'stt'} {reg}, "
+                  f"0({addr})")
+        self.free(addr)
+        self.free(reg)
+
+    def _expr_binop(self, node: ast.BinOp) -> tuple[str, str]:
+        left_t = expr_type(self.program, self.func, node.left)
+        right_t = expr_type(self.program, self.func, node.right)
+        use_float = isinstance(node.op, ast.Div) or \
+            FLOAT in (left_t, right_t)
+        if use_float:
+            if type(node.op) not in _FP_BINOPS:
+                raise CompileError(
+                    f"operator {type(node.op).__name__} not supported on "
+                    "floats", node)
+            lk, lreg = self.expr(node.left)
+            lreg = self._coerce(lk, FLOAT, lreg)
+            rk, rreg = self.expr(node.right)
+            rreg = self._coerce(rk, FLOAT, rreg)
+            self.emit(f"{_FP_BINOPS[type(node.op)]} {lreg}, {rreg}, "
+                      f"{lreg}")
+            self.free(rreg)
+            return FLOAT, lreg
+        if type(node.op) not in _INT_BINOPS:
+            raise CompileError(
+                f"operator {type(node.op).__name__} not supported", node)
+        _, lreg = self.expr(node.left)
+        # Tiny-literal fast path mirrors what a real compiler emits.
+        if isinstance(node.right, ast.Constant) and \
+                isinstance(node.right.value, int) and \
+                0 <= node.right.value < 256 and \
+                not isinstance(node.right.value, bool):
+            self.emit(f"{_INT_BINOPS[type(node.op)]} {lreg}, "
+                      f"{node.right.value}, {lreg}")
+            return INT, lreg
+        _, rreg = self.expr(node.right)
+        self.emit(f"{_INT_BINOPS[type(node.op)]} {lreg}, {rreg}, {lreg}")
+        self.free(rreg)
+        return INT, lreg
+
+    def _expr_unary(self, node: ast.UnaryOp) -> tuple[str, str]:
+        if isinstance(node.op, ast.Not):
+            kind, reg = self.expr(node.operand)
+            if kind == FLOAT:
+                raise CompileError("'not' needs an int operand", node)
+            self.emit(f"cmpeq {reg}, 0, {reg}")
+            return INT, reg
+        if isinstance(node.op, ast.USub):
+            kind, reg = self.expr(node.operand)
+            if kind == FLOAT:
+                self.emit(f"fneg {reg}, {reg}")
+            else:
+                self.emit(f"negq {reg}, {reg}")
+            return kind, reg
+        if isinstance(node.op, ast.UAdd):
+            return self.expr(node.operand)
+        if isinstance(node.op, ast.Invert):
+            kind, reg = self.expr(node.operand)
+            if kind == FLOAT:
+                raise CompileError("'~' needs an int operand", node)
+            self.emit(f"not {reg}, {reg}")
+            return INT, reg
+        raise CompileError("unsupported unary operator", node)
+
+    def _expr_compare_value(self, node: ast.Compare) -> tuple[str, str]:
+        flag, invert = self._compare_flag(node)
+        if isinstance(flag, tuple):
+            freg = flag[1]
+            reg = self.alloc(INT)
+            done = self.new_label("fcmp")
+            self.emit(f"ldi {reg}, {0 if not invert else 1}")
+            self.emit(f"fbeq {freg}, {done}")
+            self.emit(f"ldi {reg}, {1 if not invert else 0}")
+            self.emit_label(done)
+            self.free(freg)
+            return INT, reg
+        if invert:
+            self.emit(f"xor {flag}, 1, {flag}")
+        return INT, flag
+
+    def _expr_bool_value(self, node: ast.BoolOp) -> tuple[str, str]:
+        reg = self.alloc(INT)
+        end = self.new_label("bool")
+        if isinstance(node.op, ast.And):
+            false_label = self.new_label("boolf")
+            self.cond_false(node, false_label)
+            self.emit(f"ldi {reg}, 1")
+            self.emit(f"br {end}")
+            self.emit_label(false_label)
+            self.emit(f"ldi {reg}, 0")
+        else:
+            true_label = self.new_label("boolt")
+            self.cond_true(node, true_label)
+            self.emit(f"ldi {reg}, 0")
+            self.emit(f"br {end}")
+            self.emit_label(true_label)
+            self.emit(f"ldi {reg}, 1")
+        self.emit_label(end)
+        return INT, reg
+
+    def _expr_ifexp(self, node: ast.IfExp) -> tuple[str, str]:
+        body_t = expr_type(self.program, self.func, node.body)
+        orelse_t = expr_type(self.program, self.func, node.orelse)
+        result_t = FLOAT if FLOAT in (body_t, orelse_t) else INT
+        result = self.alloc(result_t)
+        else_label = self.new_label("ifexp_else")
+        end = self.new_label("ifexp_end")
+        self.cond_false(node.test, else_label)
+        kind, reg = self.expr(node.body)
+        reg = self._coerce(kind, result_t, reg)
+        self._move(reg, result, result_t)
+        self.free(reg)
+        self.emit(f"br {end}")
+        self.emit_label(else_label)
+        kind, reg = self.expr(node.orelse)
+        reg = self._coerce(kind, result_t, reg)
+        self._move(reg, result, result_t)
+        self.free(reg)
+        self.emit_label(end)
+        return result_t, result
+
+    def _move(self, src: str, dst: str, kind: str) -> None:
+        if src == dst:
+            return
+        self.emit(f"{'fmov' if kind == FLOAT else 'mov'} {src}, {dst}")
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def _expr_call(self, node: ast.Call) -> tuple[str, str]:
+        if not isinstance(node.func, ast.Name):
+            raise CompileError("only direct calls are supported", node)
+        name = node.func.id
+        if node.keywords:
+            raise CompileError("keyword arguments not supported", node)
+        if name in INTRINSIC_TYPES:
+            return self._expr_intrinsic(name, node)
+        if name not in self.program.functions:
+            raise CompileError(f"unknown function '{name}'", node)
+        callee = self.program.functions[name]
+        if len(node.args) != len(callee.params):
+            raise CompileError(
+                f"{name}() takes {len(callee.params)} arguments, "
+                f"got {len(node.args)}", node)
+
+        saved = self._spill_live()
+        arg_regs: list[tuple[str, str]] = []
+        for arg_node, (_, param_t) in zip(node.args, callee.params):
+            kind, reg = self.expr(arg_node)
+            reg = self._coerce(kind, param_t, reg)
+            arg_regs.append((param_t, reg))
+        for index, (param_t, reg) in enumerate(arg_regs):
+            if param_t == INT:
+                self.emit(f"mov {reg}, a{index}")
+            else:
+                self.emit(f"fmov {reg}, f{16 + index}")
+            self.free(reg)
+        self.emit(f"bsr ra, {callee.label}")
+        ret_t = callee.ret_type or INT
+        # Reload spilled temporaries first: v0/f0 are outside the temp
+        # pool, so the result survives; allocating the result register
+        # afterwards guarantees it cannot collide with a reloaded temp.
+        self._reload_live(saved)
+        result = self.alloc(ret_t)
+        self._move("f0" if ret_t == FLOAT else "v0", result, ret_t)
+        return ret_t, result
+
+    def _expr_intrinsic(self, name: str, node: ast.Call) -> \
+            tuple[str, str]:
+        expected = ARG_COUNTS[name]
+        if len(node.args) != expected:
+            raise CompileError(
+                f"{name}() takes {expected} argument(s)", node)
+
+        if name == "fi_read_init_all":
+            self.emit("fi_read_init")
+            reg = self.alloc(INT)
+            self.emit(f"clr {reg}")
+            return INT, reg
+        if name == "fi_activate_inst":
+            kind, reg = self.expr(node.args[0])
+            reg = self._coerce(kind, INT, reg)
+            self.emit(f"mov {reg}, a0")
+            self.emit("fi_activate")
+            self.emit(f"clr {reg}")
+            return INT, reg
+        if name == "float":
+            kind, reg = self.expr(node.args[0])
+            return FLOAT, self._coerce(kind, FLOAT, reg)
+        if name == "int":
+            kind, reg = self.expr(node.args[0])
+            return INT, self._coerce(kind, INT, reg)
+        if name == "sqrt":
+            kind, reg = self.expr(node.args[0])
+            reg = self._coerce(kind, FLOAT, reg)
+            self.emit(f"sqrtt {reg}, {reg}")
+            return FLOAT, reg
+        if name == "abs":
+            kind, reg = self.expr(node.args[0])
+            if kind == FLOAT:
+                self.emit(f"cpys f31, {reg}, {reg}")
+                return FLOAT, reg
+            tmp = self.alloc(INT)
+            self.emit(f"negq {reg}, {tmp}")
+            self.emit(f"cmovge {reg}, {reg}, {tmp}")
+            self.free(reg)
+            return INT, tmp
+        if name in ("min", "max"):
+            left_t = expr_type(self.program, self.func, node.args[0])
+            right_t = expr_type(self.program, self.func, node.args[1])
+            use_float = FLOAT in (left_t, right_t)
+            target_t = FLOAT if use_float else INT
+            ak, areg = self.expr(node.args[0])
+            areg = self._coerce(ak, target_t, areg)
+            bk, breg = self.expr(node.args[1])
+            breg = self._coerce(bk, target_t, breg)
+            if use_float:
+                flag = self.alloc(FLOAT)
+                self.emit(f"cmptlt {areg}, {breg}, {flag}")
+                # min: take a when a < b; max: take a when not (a < b).
+                mnemonic = "fcmovne" if name == "min" else "fcmoveq"
+                self.emit(f"{mnemonic} {flag}, {areg}, {breg}")
+                self.free(flag)
+                self.free(areg)
+                return FLOAT, breg
+            flag = self.alloc(INT)
+            self.emit(f"cmplt {areg}, {breg}, {flag}")
+            mnemonic = "cmovne" if name == "min" else "cmoveq"
+            self.emit(f"{mnemonic} {flag}, {areg}, {breg}")
+            self.free(flag)
+            self.free(areg)
+            return INT, breg
+        if name == "spawn":
+            # spawn(function_name, argument) -> thread pid.  The first
+            # argument must name a user-defined function; its address is
+            # materialised directly (there are no function pointers in
+            # MiniC expressions).
+            target = node.args[0]
+            if not (isinstance(target, ast.Name)
+                    and target.id in self.program.functions):
+                raise CompileError(
+                    "spawn() needs a user-defined function name as its "
+                    "first argument", node)
+            callee = self.program.functions[target.id]
+            if len(callee.params) > 1:
+                raise CompileError(
+                    "spawned functions take at most one int argument",
+                    node)
+            kind, reg = self.expr(node.args[1])
+            reg = self._coerce(kind, INT, reg)
+            self.emit(f"mov {reg}, a1")
+            self.free(reg)
+            self.emit(f"la a0, {callee.label}")
+            self.emit("ldi v0, 9")
+            self.emit("callsys")
+            result = self.alloc(INT)
+            self._move("v0", result, INT)
+            return INT, result
+        if name == "print_str":
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)):
+                raise CompileError(
+                    "print_str takes a string literal", node)
+            label, length = self.module.string_const(arg.value)
+            self.emit("ldi a0, 1")
+            self.emit(f"la a1, {label}")
+            self.emit(f"ldi a2, {length}")
+            self.emit("ldi v0, 1")
+            self.emit("callsys")
+            reg = self.alloc(INT)
+            self.emit(f"clr {reg}")
+            return INT, reg
+        if name in SYSCALL_INTRINSICS:
+            number = SYSCALL_INTRINSICS[name]
+            if expected:
+                kind, reg = self.expr(node.args[0])
+                if name == "print_float":
+                    reg = self._coerce(kind, FLOAT, reg)
+                    self.emit(f"ftoit {reg}, a0")
+                else:
+                    reg = self._coerce(kind, INT, reg)
+                    self.emit(f"mov {reg}, a0")
+                self.free(reg)
+            self.emit(f"ldi v0, {number}")
+            self.emit("callsys")
+            result = self.alloc(INT)
+            self._move("v0", result, INT)
+            return INT, result
+        raise CompileError(f"unhandled intrinsic '{name}'", node)
+
+    def _spill_live(self) -> list[tuple[str, int]]:
+        live = self._in_use()
+        saved: list[tuple[str, int]] = []
+        for reg in live:
+            slot = self.cs_depth
+            self.cs_depth += 1
+            if self.cs_depth > CALL_SAVE_SLOTS:
+                raise CompileError(
+                    "call nesting too deep: call-save area exhausted")
+            self.max_cs_depth = max(self.max_cs_depth, self.cs_depth)
+            offset = self.callsave_base + 8 * slot
+            if reg in INT_TEMPS:
+                self.emit(f"stq {reg}, {offset}(sp)")
+                self.int_free.append(reg)
+            else:
+                self.emit(f"stt {reg}, {offset}(sp)")
+                self.fp_free.append(reg)
+            saved.append((reg, slot))
+        return saved
+
+    def _reload_live(self, saved: list[tuple[str, int]]) -> None:
+        for reg, slot in reversed(saved):
+            offset = self.callsave_base + 8 * slot
+            if reg in INT_TEMPS:
+                self.emit(f"ldq {reg}, {offset}(sp)")
+                self.int_free.remove(reg)
+            else:
+                self.emit(f"ldt {reg}, {offset}(sp)")
+                self.fp_free.remove(reg)
+            self.cs_depth -= 1
+
+    # -- coercion ---------------------------------------------------------------------------
+
+    def _coerce(self, from_t: str, to_t: str, reg: str) -> str:
+        """Convert *reg* to *to_t*, returning the (possibly new) register.
+        Frees the input register when a new one is allocated."""
+        if from_t == to_t:
+            return reg
+        if from_t == INT and to_t == FLOAT:
+            freg = self.alloc(FLOAT)
+            self.emit(f"itoft {reg}, {freg}")
+            self.emit(f"cvtqt {freg}, {freg}")
+            self.free(reg)
+            return freg
+        # float -> int: C-style truncation toward zero.
+        tmp = self.alloc(FLOAT)
+        self.emit(f"cvttq {reg}, {tmp}")
+        ireg = self.alloc(INT)
+        self.emit(f"ftoit {tmp}, {ireg}")
+        self.free(tmp)
+        self.free(reg)
+        return ireg
+
+
+def _load_of(target: ast.expr) -> ast.expr:
+    """Build the load expression matching an assignment target."""
+    if isinstance(target, ast.Name):
+        node = ast.Name(id=target.id, ctx=ast.Load())
+    elif isinstance(target, ast.Subscript):
+        node = ast.Subscript(
+            value=ast.Name(id=target.value.id, ctx=ast.Load())
+            if isinstance(target.value, ast.Name) else target.value,
+            slice=target.slice, ctx=ast.Load())
+    else:
+        raise CompileError("unsupported augmented-assignment target",
+                           target)
+    ast.copy_location(node, target)
+    ast.fix_missing_locations(node)
+    return node
+
+
+def _const_step(node: ast.expr) -> int:
+    negative = False
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        negative = True
+        node = node.operand
+    if not (isinstance(node, ast.Constant)
+            and isinstance(node.value, int)):
+        raise CompileError("range step must be an integer constant", node)
+    step = -node.value if negative else node.value
+    if step == 0:
+        raise CompileError("range step must not be zero", node)
+    return step
+
+
+class ModuleCodegen:
+    """Whole-program code generation."""
+
+    def __init__(self, program: ProgramInfo) -> None:
+        self.program = program
+        self._float_consts: dict[float, str] = {}
+        self._int_consts: dict[int, str] = {}
+        self._strings: dict[str, tuple[str, int]] = {}
+
+    def float_const(self, value: float) -> str:
+        key = value
+        if key not in self._float_consts:
+            self._float_consts[key] = f"c_f{len(self._float_consts)}"
+        return self._float_consts[key]
+
+    def int_const(self, value: int) -> str:
+        if value not in self._int_consts:
+            self._int_consts[value] = f"c_i{len(self._int_consts)}"
+        return self._int_consts[value]
+
+    def string_const(self, text: str) -> tuple[str, int]:
+        if text not in self._strings:
+            label = f"c_s{len(self._strings)}"
+            self._strings[text] = (label, len(text.encode("utf-8")))
+        return self._strings[text]
+
+    def generate(self) -> str:
+        lines: list[str] = ["    .text"]
+        # Entry wrapper: call fn_main, then exit(main's return value).
+        lines.append("main:")
+        lines.append("    bsr ra, fn_main")
+        lines.append("    mov v0, a0")
+        lines.append("    ldi v0, 0")
+        lines.append("    callsys")
+        for func in self.program.functions.values():
+            gen = _FunctionCodegen(self, func)
+            lines.extend(gen.generate())
+        lines.append("    .data")
+        for array in self.program.arrays.values():
+            lines.append(f"{array.label}:")
+            if array.init is None:
+                lines.append(f"    .space {8 * array.size}")
+            elif array.elem_type == INT:
+                for value in array.init:
+                    lines.append(f"    .quad {value}")
+            else:
+                for value in array.init:
+                    lines.append(f"    .double {value!r}")
+        for scalar in self.program.globals.values():
+            lines.append(f"{scalar.label}:")
+            if scalar.type == INT:
+                lines.append(f"    .quad {int(scalar.init)}")
+            else:
+                lines.append(f"    .double {float(scalar.init)!r}")
+        for value, label in self._int_consts.items():
+            lines.append(f"{label}:")
+            lines.append(f"    .quad {value}")
+        for value, label in self._float_consts.items():
+            lines.append(f"{label}:")
+            lines.append(f"    .double {value!r}")
+        for text, (label, _) in self._strings.items():
+            escaped = text.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n").replace("\t", "\\t")
+            lines.append(f"{label}:")
+            lines.append(f'    .asciiz "{escaped}"')
+        return "\n".join(lines) + "\n"
+
+
+def compile_source(source: str) -> str:
+    """Compile MiniC source text to assembly text."""
+    program = parse_program(source)
+    return ModuleCodegen(program).generate()

@@ -1,0 +1,74 @@
+"""MiniC intrinsic functions.
+
+Intrinsics compile to inline instruction sequences or syscalls rather
+than calls; the GemFI API pair (``fi_activate_inst`` /
+``fi_read_init_all``) compiles to the pseudo-instructions of opcode 0x01,
+exactly like the paper's m5op-based intrinsics (Listing 2).
+"""
+
+from __future__ import annotations
+
+from ..system import syscalls as sc
+
+INT = "int"
+FLOAT = "float"
+
+
+def _same_as_arg(arg_types: list[str]) -> str:
+    return arg_types[0] if arg_types else INT
+
+
+# name -> return type (or callable(arg_types) -> type).
+INTRINSIC_TYPES: dict[str, object] = {
+    "fi_activate_inst": INT,
+    "fi_read_init_all": INT,
+    "print_int": INT,
+    "print_float": INT,
+    "print_char": INT,
+    "print_str": INT,
+    "exit": INT,
+    "getpid": INT,
+    "sched_yield": INT,
+    "ticks": INT,
+    "float": FLOAT,
+    "int": INT,
+    "sqrt": FLOAT,
+    "abs": _same_as_arg,
+    "spawn": INT,
+    "join": INT,
+    "min": lambda ts: FLOAT if FLOAT in ts else INT,
+    "max": lambda ts: FLOAT if FLOAT in ts else INT,
+}
+
+# Syscall numbers for the straightforward syscall-backed intrinsics.
+SYSCALL_INTRINSICS = {
+    "print_int": sc.SYS_PRINT_INT,
+    "print_float": sc.SYS_PRINT_FLOAT,
+    "print_char": sc.SYS_PRINT_CHAR,
+    "exit": sc.SYS_EXIT,
+    "getpid": sc.SYS_GETPID,
+    "sched_yield": sc.SYS_YIELD,
+    "ticks": sc.SYS_TICKS,
+    "join": sc.SYS_JOIN,
+}
+
+ARG_COUNTS = {
+    "fi_activate_inst": 1,
+    "fi_read_init_all": 0,
+    "print_int": 1,
+    "print_float": 1,
+    "print_char": 1,
+    "print_str": 1,
+    "exit": 1,
+    "getpid": 0,
+    "sched_yield": 0,
+    "ticks": 0,
+    "float": 1,
+    "int": 1,
+    "sqrt": 1,
+    "abs": 1,
+    "spawn": 2,
+    "join": 1,
+    "min": 2,
+    "max": 2,
+}

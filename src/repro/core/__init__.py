@@ -1,0 +1,25 @@
+"""GemFI core: the paper's contribution — configurable fault injection."""
+
+from .fault import (
+    Behavior,
+    BehaviorKind,
+    Fault,
+    InjectionRecord,
+    LocationKind,
+    PERMANENT,
+    Stage,
+    TimeMode,
+)
+from .injector import FaultInjector
+from .parser import FaultParseError, parse_fault_file, parse_fault_line, \
+    render_fault_file
+from .queues import ActiveFault, FaultQueues, StageQueue
+from .thread_state import ThreadEnabledFault, ThreadTable
+
+__all__ = [
+    "ActiveFault", "Behavior", "BehaviorKind", "Fault", "FaultInjector",
+    "FaultParseError", "FaultQueues", "InjectionRecord", "LocationKind",
+    "PERMANENT", "Stage", "StageQueue", "ThreadEnabledFault",
+    "ThreadTable", "TimeMode", "parse_fault_file", "parse_fault_line",
+    "render_fault_file",
+]

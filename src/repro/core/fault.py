@@ -1,0 +1,193 @@
+"""Fault descriptions: *(Location, Thread, Time, Behavior)*.
+
+Section III.A of the paper characterises every fault by four attributes:
+
+* **Location** — the micro-architectural module to corrupt: a register
+  (integer / floating-point / special), the fetched instruction word, the
+  register-selection fields at the decode stage, the result of an
+  instruction at the execute stage, the PC, or a memory transaction.
+* **Thread** — the numeric id assigned by ``fi_activate_inst(id)``; only
+  that thread observes the fault.
+* **Time** — relative to the thread's fault-injection activation, counted
+  either in committed instructions or in simulation ticks.
+* **Behavior** — how the value at the location is corrupted, and for how
+  many occurrences (transient, intermittent or permanent faults).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class LocationKind(Enum):
+    """Where a fault strikes.  Each kind maps to one of the five internal
+    per-stage queues of Section III.C (registers and the PC share the
+    register-file queue)."""
+
+    INT_REG = "int_reg"
+    FP_REG = "fp_reg"
+    PC = "pc"
+    FETCH = "fetch"
+    DECODE = "decode"
+    EXECUTE = "execute"
+    MEM = "mem"
+
+
+class Stage(Enum):
+    """The five internal fault queues (one per pipeline stage)."""
+
+    FETCH = "fetch"
+    DECODE = "decode"
+    EXECUTE = "execute"
+    MEM = "mem"
+    REGFILE = "regfile"      # register-file and PC faults
+
+
+STAGE_OF_KIND = {
+    LocationKind.FETCH: Stage.FETCH,
+    LocationKind.DECODE: Stage.DECODE,
+    LocationKind.EXECUTE: Stage.EXECUTE,
+    LocationKind.MEM: Stage.MEM,
+    LocationKind.INT_REG: Stage.REGFILE,
+    LocationKind.FP_REG: Stage.REGFILE,
+    LocationKind.PC: Stage.REGFILE,
+}
+
+
+class TimeMode(Enum):
+    """Fault timing reference (Section III.A.3)."""
+
+    INSTRUCTIONS = "inst"
+    TICKS = "tick"
+
+
+class BehaviorKind(Enum):
+    """Value-corruption behaviours (Section III.A.4)."""
+
+    IMMEDIATE = "imm"     # assign a user-provided value
+    XOR = "xor"           # XOR the running value with a constant
+    FLIP = "flip"         # flip specific bit positions
+    ALL_ZERO = "all0"     # set every bit to 0
+    ALL_ONE = "all1"      # set every bit to 1
+
+
+PERMANENT = math.inf
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """How the targeted value is corrupted and for how many occurrences."""
+
+    kind: BehaviorKind
+    operand: int = 0                  # immediate value / xor mask
+    bits: tuple[int, ...] = ()        # bit positions for FLIP
+    occ: float = 1                    # occurrences; PERMANENT = forever
+
+    def apply(self, value: int, width: int = 64) -> int:
+        """Corrupt *value* (an unsigned integer of *width* bits)."""
+        mask = (1 << width) - 1
+        if self.kind is BehaviorKind.IMMEDIATE:
+            return self.operand & mask
+        if self.kind is BehaviorKind.XOR:
+            return (value ^ self.operand) & mask
+        if self.kind is BehaviorKind.FLIP:
+            for bit in self.bits:
+                if bit < width:
+                    value ^= 1 << bit
+            return value & mask
+        if self.kind is BehaviorKind.ALL_ZERO:
+            return 0
+        return mask  # ALL_ONE
+
+    def describe(self) -> str:
+        if self.kind is BehaviorKind.IMMEDIATE:
+            return f"Imm:{self.operand:#x}"
+        if self.kind is BehaviorKind.XOR:
+            return f"Xor:{self.operand:#x}"
+        if self.kind is BehaviorKind.FLIP:
+            return "Flip:" + ",".join(str(b) for b in self.bits)
+        return "All0" if self.kind is BehaviorKind.ALL_ZERO else "All1"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A complete fault description (one line of the GemFI input file)."""
+
+    location: LocationKind
+    time_mode: TimeMode
+    time: int
+    behavior: Behavior
+    thread_id: int = 0
+    cpu: str = "system.cpu0"
+    # Location details:
+    reg_index: int = 0            # INT_REG / FP_REG register number
+    operand_role: str = "src"     # DECODE: corrupt a "src" or "dst" selection
+    operand_index: int = 0        # DECODE: which source/destination operand
+    label: str = ""               # free-form tag kept in campaign results
+
+    @property
+    def stage(self) -> Stage:
+        return STAGE_OF_KIND[self.location]
+
+    def describe(self) -> str:
+        """Render in (extended) Listing-1 input-file syntax."""
+        head = {
+            LocationKind.INT_REG: "RegisterInjectedFault",
+            LocationKind.FP_REG: "RegisterInjectedFault",
+            LocationKind.PC: "PCInjectedFault",
+            LocationKind.FETCH: "FetchStageInjectedFault",
+            LocationKind.DECODE: "DecodeStageInjectedFault",
+            LocationKind.EXECUTE: "ExecutionStageInjectedFault",
+            LocationKind.MEM: "MemoryInjectedFault",
+        }[self.location]
+        time_tok = ("Inst" if self.time_mode is TimeMode.INSTRUCTIONS
+                    else "Tick") + f":{self.time}"
+        occ = "occ:permanent" if self.behavior.occ == PERMANENT \
+            else f"occ:{int(self.behavior.occ)}"
+        parts = [head, time_tok, self.behavior.describe(),
+                 f"Threadid:{self.thread_id}", self.cpu, occ]
+        if self.location is LocationKind.INT_REG:
+            parts += ["int", str(self.reg_index)]
+        elif self.location is LocationKind.FP_REG:
+            parts += ["fp", str(self.reg_index)]
+        elif self.location is LocationKind.DECODE:
+            parts += [self.operand_role, str(self.operand_index)]
+        return " ".join(parts)
+
+
+@dataclass
+class InjectionRecord:
+    """Postmortem log entry emitted when a fault actually fires
+    (Section IV.B.1: "we print information on the affected assembly
+    instruction")."""
+
+    fault: Fault
+    tick: int
+    instruction_count: int
+    pc: int
+    asm: str
+    detail: str = ""
+    before: int | None = None
+    after: int | None = None
+    # Did the corrupted value architecturally propagate?  True once a
+    # corrupted register is read (or a changed instruction semantic
+    # executes); False when it is overwritten first, lands in unused
+    # encoding bits, or is never consumed.  None = undetermined at
+    # program end (treated as not propagated, like the paper's dead
+    # register example).
+    propagated: bool | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "fault": self.fault.describe(),
+            "tick": self.tick,
+            "instruction_count": self.instruction_count,
+            "pc": self.pc,
+            "asm": self.asm,
+            "detail": self.detail,
+            "before": self.before,
+            "after": self.after,
+            "propagated": self.propagated,
+        }

@@ -1,0 +1,155 @@
+"""Parser for GemFI fault-input files (Listing 1 of the paper).
+
+Each non-empty, non-comment line describes one fault::
+
+    RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1
+    PCInjectedFault Tick:10000 Xor:0xff Threadid:0 system.cpu0 occ:1
+    FetchStageInjectedFault Inst:100 Flip:5 Threadid:0 system.cpu0 occ:2
+    DecodeStageInjectedFault Inst:100 Flip:2 Threadid:0 system.cpu0 occ:1 src 0
+    ExecutionStageInjectedFault Inst:100 Imm:0 Threadid:0 system.cpu0 occ:1
+    MemoryInjectedFault Inst:100 All1 Threadid:0 system.cpu0 occ:permanent
+
+Tokens may appear in any order after the fault-type head token, mirroring
+the keyword-ish format of the original tool.  Lines starting with ``#``
+are comments.
+"""
+
+from __future__ import annotations
+
+from .fault import (
+    PERMANENT,
+    Behavior,
+    BehaviorKind,
+    Fault,
+    LocationKind,
+    TimeMode,
+)
+
+_HEAD_TO_LOCATION = {
+    "registerinjectedfault": None,   # refined by the int/fp trailing tokens
+    "pcinjectedfault": LocationKind.PC,
+    "fetchstageinjectedfault": LocationKind.FETCH,
+    "decodestageinjectedfault": LocationKind.DECODE,
+    "executionstageinjectedfault": LocationKind.EXECUTE,
+    "memoryinjectedfault": LocationKind.MEM,
+}
+
+
+class FaultParseError(Exception):
+    """Raised on malformed fault-description lines."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        if lineno is not None:
+            message = f"fault input line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+
+
+def parse_fault_file(text: str) -> list[Fault]:
+    """Parse a whole fault-input file into a list of faults."""
+    faults = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip().strip('"')
+        if not line or line.startswith("#"):
+            continue
+        faults.append(parse_fault_line(line, lineno=lineno))
+    return faults
+
+
+def parse_fault_line(line: str, lineno: int | None = None) -> Fault:
+    """Parse a single Listing-1 style fault description."""
+    tokens = line.split()
+    head = tokens[0].lower()
+    if head not in _HEAD_TO_LOCATION:
+        raise FaultParseError(f"unknown fault type '{tokens[0]}'", lineno)
+    location = _HEAD_TO_LOCATION[head]
+
+    time_mode: TimeMode | None = None
+    time_value: int | None = None
+    behavior_kind: BehaviorKind | None = None
+    operand = 0
+    bits: tuple[int, ...] = ()
+    occ: float = 1
+    thread_id = 0
+    cpu = "system.cpu0"
+    trailing: list[str] = []
+
+    for token in tokens[1:]:
+        lowered = token.lower()
+        if lowered.startswith("inst:"):
+            time_mode, time_value = TimeMode.INSTRUCTIONS, \
+                _int(token[5:], lineno)
+        elif lowered.startswith("tick:"):
+            time_mode, time_value = TimeMode.TICKS, _int(token[5:], lineno)
+        elif lowered.startswith("imm:"):
+            behavior_kind, operand = BehaviorKind.IMMEDIATE, \
+                _int(token[4:], lineno)
+        elif lowered.startswith("xor:"):
+            behavior_kind, operand = BehaviorKind.XOR, _int(token[4:], lineno)
+        elif lowered.startswith("flip:"):
+            behavior_kind = BehaviorKind.FLIP
+            bits = tuple(_int(b, lineno) for b in token[5:].split(","))
+        elif lowered == "all0":
+            behavior_kind = BehaviorKind.ALL_ZERO
+        elif lowered == "all1":
+            behavior_kind = BehaviorKind.ALL_ONE
+        elif lowered.startswith("occ:"):
+            occ_str = token[4:].lower()
+            occ = PERMANENT if occ_str in ("permanent", "inf") \
+                else _int(occ_str, lineno)
+        elif lowered.startswith("threadid:"):
+            thread_id = _int(token[9:], lineno)
+        elif lowered.startswith("system.cpu"):
+            cpu = token
+        else:
+            trailing.append(token)
+
+    if time_mode is None or time_value is None:
+        raise FaultParseError("missing Inst:/Tick: time attribute", lineno)
+    if behavior_kind is None:
+        raise FaultParseError(
+            "missing behavior (Imm:/Xor:/Flip:/All0/All1)", lineno)
+    if occ != PERMANENT and occ < 1:
+        raise FaultParseError(f"occ must be >= 1, got {occ}", lineno)
+
+    reg_index = 0
+    operand_role = "src"
+    operand_index = 0
+    if head == "registerinjectedfault":
+        if len(trailing) < 2 or trailing[0].lower() not in ("int", "fp"):
+            raise FaultParseError(
+                "register faults need trailing 'int N' or 'fp N'", lineno)
+        location = (LocationKind.INT_REG if trailing[0].lower() == "int"
+                    else LocationKind.FP_REG)
+        reg_index = _int(trailing[1], lineno)
+        if not 0 <= reg_index < 32:
+            raise FaultParseError(
+                f"register index {reg_index} outside [0,31]", lineno)
+    elif location is LocationKind.DECODE and trailing:
+        operand_role = trailing[0].lower()
+        if operand_role not in ("src", "dst"):
+            raise FaultParseError(
+                f"decode operand role must be src/dst, got "
+                f"'{trailing[0]}'", lineno)
+        if len(trailing) > 1:
+            operand_index = _int(trailing[1], lineno)
+
+    behavior = Behavior(kind=behavior_kind, operand=operand, bits=bits,
+                        occ=occ)
+    return Fault(location=location, time_mode=time_mode, time=time_value,
+                 behavior=behavior, thread_id=thread_id, cpu=cpu,
+                 reg_index=reg_index, operand_role=operand_role,
+                 operand_index=operand_index)
+
+
+def render_fault_file(faults: list[Fault]) -> str:
+    """Serialise faults back into input-file text (round-trips the
+    parser; campaigns use this to materialise per-experiment configs)."""
+    return "\n".join(fault.describe() for fault in faults) + "\n"
+
+
+def _int(text: str, lineno: int | None) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise FaultParseError(f"bad integer '{text}'", lineno) from None

@@ -1,0 +1,134 @@
+"""The five per-stage fault queues (Section III.C).
+
+The input file is parsed at startup and every fault is inserted into the
+queue of its pipeline stage, sorted by trigger time.  On each simulated
+instruction GemFI scans only the queue of the stage being served, so the
+common case (no fault due) is a cheap emptiness/threshold check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fault import Fault, PERMANENT, Stage, TimeMode
+from .thread_state import ThreadEnabledFault
+
+
+@dataclass
+class ActiveFault:
+    """A fault that has triggered and remains live for its ``occ`` span."""
+
+    fault: Fault
+    remaining: float          # occurrences left (PERMANENT = forever)
+    expiry_tick: float = PERMANENT   # for tick-scoped occurrences
+
+    def consume(self) -> None:
+        if self.remaining != PERMANENT:
+            self.remaining -= 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining != PERMANENT and self.remaining <= 0
+
+
+class StageQueue:
+    """Pending + active faults for one pipeline stage."""
+
+    def __init__(self, stage: Stage) -> None:
+        self.stage = stage
+        self.pending: list[Fault] = []
+        self.active: list[ActiveFault] = []
+
+    def insert(self, fault: Fault) -> None:
+        self.pending.append(fault)
+        self.pending.sort(key=lambda f: f.time)
+
+    @property
+    def empty(self) -> bool:
+        return not self.pending and not self.active
+
+    def due(self, thread: ThreadEnabledFault, count: int,
+            now: int, core_name: str) -> list[ActiveFault]:
+        """Move newly-triggered faults to the active set and return every
+        fault that applies to this instruction of *thread*."""
+        if self.pending:
+            still_pending: list[Fault] = []
+            for fault in self.pending:
+                if not self._matches_thread(fault, thread, core_name):
+                    still_pending.append(fault)
+                    continue
+                t = (count if fault.time_mode is TimeMode.INSTRUCTIONS
+                     else thread.elapsed_ticks(now))
+                if t >= fault.time:
+                    expiry = PERMANENT
+                    if fault.time_mode is TimeMode.TICKS \
+                            and fault.behavior.occ != PERMANENT:
+                        expiry = fault.time + fault.behavior.occ + \
+                            thread.activation_tick
+                    remaining = (fault.behavior.occ
+                                 if fault.time_mode is TimeMode.INSTRUCTIONS
+                                 else PERMANENT)
+                    self.active.append(ActiveFault(
+                        fault, remaining=remaining, expiry_tick=expiry))
+                else:
+                    still_pending.append(fault)
+            self.pending = still_pending
+
+        if not self.active:
+            return []
+        live: list[ActiveFault] = []
+        hits: list[ActiveFault] = []
+        for entry in self.active:
+            if entry.expiry_tick != PERMANENT and now >= entry.expiry_tick:
+                continue
+            if not self._matches_thread(entry.fault, thread, core_name):
+                live.append(entry)
+                continue
+            hits.append(entry)
+            entry.consume()
+            if not entry.exhausted:
+                live.append(entry)
+        self.active = live
+        return hits
+
+    @staticmethod
+    def _matches_thread(fault: Fault, thread: ThreadEnabledFault,
+                        core_name: str) -> bool:
+        if fault.thread_id != thread.thread_id:
+            return False
+        return fault.cpu in ("any", core_name)
+
+
+class FaultQueues:
+    """All five stage queues plus bulk load/reset."""
+
+    def __init__(self, faults: list[Fault] | None = None) -> None:
+        self.queues = {stage: StageQueue(stage) for stage in Stage}
+        self._initial: list[Fault] = []
+        if faults:
+            self.load(faults)
+
+    def load(self, faults: list[Fault]) -> None:
+        self._initial = list(faults)
+        for fault in faults:
+            self.queues[fault.stage].insert(fault)
+
+    def reset(self) -> None:
+        """Re-arm every fault from the originally-loaded list — invoked
+        when restoring a checkpoint (``fi_read_init_all`` semantics)."""
+        self.queues = {stage: StageQueue(stage) for stage in Stage}
+        for fault in self._initial:
+            self.queues[fault.stage].insert(fault)
+
+    def queue(self, stage: Stage) -> StageQueue:
+        return self.queues[stage]
+
+    @property
+    def all_exhausted(self) -> bool:
+        """True when no fault can ever fire again — the simulator may
+        switch from the detailed CPU model to atomic mode (Section
+        IV.B.1)."""
+        return all(q.empty for q in self.queues.values())
+
+    def pending_count(self) -> int:
+        return sum(len(q.pending) for q in self.queues.values())

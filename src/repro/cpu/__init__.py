@@ -1,0 +1,20 @@
+"""The four gem5 CPU models: atomic, timing, in-order and O3."""
+
+from .atomic import AtomicSimpleCPU
+from .base import Core, StepResult
+from .branch_pred import TournamentPredictor
+from .inorder import InOrderCPU
+from .o3 import O3CPU
+from .timing import TimingSimpleCPU
+
+CPU_MODELS = {
+    "atomic": AtomicSimpleCPU,
+    "timing": TimingSimpleCPU,
+    "inorder": InOrderCPU,
+    "o3": O3CPU,
+}
+
+__all__ = [
+    "AtomicSimpleCPU", "Core", "CPU_MODELS", "InOrderCPU", "O3CPU",
+    "StepResult", "TimingSimpleCPU", "TournamentPredictor",
+]

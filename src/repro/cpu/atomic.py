@@ -1,0 +1,33 @@
+"""AtomicSimple CPU model: one instruction per tick, no memory timing.
+
+The fastest of gem5's four models and the one the paper's campaign
+methodology switches *to* once the injected fault has committed or
+squashed (Section IV.B.1).
+"""
+
+from __future__ import annotations
+
+from .base import Core
+
+
+class AtomicSimpleCPU:
+    """1-IPC functional model."""
+
+    model_name = "atomic"
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+
+    def step(self) -> tuple[int, int]:
+        """Serve one instruction; returns (ticks, instructions)."""
+        self.core.serve_instruction(timing=False)
+        return 1, 1
+
+    def drain(self) -> None:
+        """No internal state to flush (model-switch support)."""
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def restore(self, snap: dict) -> None:
+        pass

@@ -1,0 +1,150 @@
+"""Tournament branch predictor (the paper's validation platform couples
+the core with a tournament predictor, Section IV).
+
+Classic Alpha-21264-style arrangement: a local predictor (per-branch
+history feeding saturating counters), a global predictor (shared history
+register) and a chooser that learns which of the two to trust per global
+history.  A branch target buffer (BTB) supplies indirect-jump targets and
+a return-address stack (RAS) predicts subroutine returns.
+"""
+
+from __future__ import annotations
+
+from ..isa import instructions as ins
+from ..isa.instructions import Decoded
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters."""
+
+    __slots__ = ("counters", "mask")
+
+    def __init__(self, size: int, init: int = 1) -> None:
+        if size & (size - 1):
+            raise ValueError("table size must be a power of two")
+        self.counters = [init] * size
+        self.mask = size - 1
+
+    def taken(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        value = self.counters[index]
+        if taken:
+            if value < 3:
+                self.counters[index] = value + 1
+        elif value > 0:
+            self.counters[index] = value - 1
+
+
+class TournamentPredictor:
+    """Local + global + chooser, with BTB and RAS."""
+
+    def __init__(self, local_size: int = 1024, global_size: int = 4096,
+                 btb_size: int = 4096, ras_depth: int = 16) -> None:
+        self.local_history = [0] * local_size
+        self.local_counters = _CounterTable(local_size)
+        self.global_counters = _CounterTable(global_size)
+        self.chooser = _CounterTable(global_size, init=2)
+        self.global_history = 0
+        self._local_mask = local_size - 1
+        self._global_mask = global_size - 1
+        self.btb: dict[int, int] = {}
+        self.btb_size = btb_size
+        self.ras: list[int] = []
+        self.ras_depth = ras_depth
+        self.lookups = 0
+        self.mispredicts = 0
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(self, pc: int, d: Decoded) -> tuple[bool, int]:
+        """Predict (taken, next_pc) for a control instruction at *pc*."""
+        self.lookups += 1
+        fallthrough = pc + 4
+        if d.kind == ins.KIND_BR:
+            target = fallthrough + 4 * d.disp
+            if d.opcode == ins.OP_BSR or d.ra == 26:
+                self._push_ras(fallthrough)
+            return True, target
+        if d.kind == ins.KIND_JUMP:
+            if d.ra == 31 and self.ras:  # looks like a return
+                return True, self.ras.pop()
+            self._push_ras(fallthrough)
+            target = self.btb.get(pc)
+            return True, target if target is not None else fallthrough
+        # Conditional branch: tournament direction prediction.
+        local_index = (pc >> 2) & self._local_mask
+        local_hist = self.local_history[local_index]
+        local_taken = self.local_counters.taken(local_hist)
+        global_taken = self.global_counters.taken(self.global_history)
+        use_global = self.chooser.taken(self.global_history)
+        taken = global_taken if use_global else local_taken
+        if taken:
+            target = self.btb.get(pc, fallthrough + 4 * d.disp)
+            return True, target
+        return False, fallthrough
+
+    # -- training ----------------------------------------------------------------
+
+    def update(self, pc: int, d: Decoded, taken: bool,
+               actual_next: int, predicted_next: int) -> None:
+        if actual_next != predicted_next:
+            self.mispredicts += 1
+        if d.kind in (ins.KIND_BRANCH, ins.KIND_FBRANCH):
+            local_index = (pc >> 2) & self._local_mask
+            local_hist = self.local_history[local_index]
+            local_taken = self.local_counters.taken(local_hist)
+            global_taken = self.global_counters.taken(self.global_history)
+            if local_taken != global_taken:
+                self.chooser.update(self.global_history,
+                                    global_taken == taken)
+            self.local_counters.update(local_hist, taken)
+            self.global_counters.update(self.global_history, taken)
+            self.local_history[local_index] = \
+                ((local_hist << 1) | taken) & self.local_counters.mask
+            self.global_history = \
+                ((self.global_history << 1) | taken) & self._global_mask
+        if taken:
+            self._learn_target(pc, actual_next)
+
+    def _learn_target(self, pc: int, target: int) -> None:
+        if len(self.btb) >= self.btb_size and pc not in self.btb:
+            self.btb.pop(next(iter(self.btb)))
+        self.btb[pc] = target
+
+    def _push_ras(self, address: int) -> None:
+        self.ras.append(address)
+        if len(self.ras) > self.ras_depth:
+            self.ras.pop(0)
+
+    # -- stats / checkpoint --------------------------------------------------------
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "local_history": list(self.local_history),
+            "local_counters": list(self.local_counters.counters),
+            "global_counters": list(self.global_counters.counters),
+            "chooser": list(self.chooser.counters),
+            "global_history": self.global_history,
+            "btb": dict(self.btb),
+            "ras": list(self.ras),
+            "lookups": self.lookups,
+            "mispredicts": self.mispredicts,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.local_history = list(snap["local_history"])
+        self.local_counters.counters = list(snap["local_counters"])
+        self.global_counters.counters = list(snap["global_counters"])
+        self.chooser.counters = list(snap["chooser"])
+        self.global_history = snap["global_history"]
+        self.btb = dict(snap["btb"])
+        self.ras = list(snap["ras"])
+        self.lookups = snap["lookups"]
+        self.mispredicts = snap["mispredicts"]

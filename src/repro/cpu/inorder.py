@@ -1,0 +1,76 @@
+"""InOrder CPU model: a pipelined, in-order core.
+
+Models the timing effects of a classic five-stage pipeline on top of the
+shared functional flow: load-use interlocks, taken-branch bubbles and
+multi-cycle functional units.  Architectural results are identical to
+AtomicSimple by construction; only the tick accounting differs.
+"""
+
+from __future__ import annotations
+
+from ..isa import instructions as ins
+from .base import Core
+
+# Execute-stage latencies per instruction class (cycles).
+_LATENCY = {
+    "mul": 3,
+    "div": 12,
+    "fp": 4,
+    "fpdiv": 12,
+    "default": 1,
+}
+
+_TAKEN_BRANCH_BUBBLES = 2
+_LOAD_USE_STALL = 1
+
+
+def op_latency(d: ins.Decoded) -> int:
+    """Execute latency of a decoded instruction (shared with O3)."""
+    if d.kind == ins.KIND_ALU and d.opcode == ins.OP_INTM:
+        return _LATENCY["div"] if d.name in ("divq", "remq") \
+            else _LATENCY["mul"]
+    if d.kind in (ins.KIND_FPALU, ins.KIND_FCMOV):
+        return _LATENCY["fpdiv"] if d.name in ("divt", "sqrtt") \
+            else _LATENCY["fp"]
+    return _LATENCY["default"]
+
+
+class InOrderCPU:
+    """Five-stage in-order pipeline timing model."""
+
+    model_name = "inorder"
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        self._pending_load_dests: set[tuple[str, int]] = set()
+
+    def step(self) -> tuple[int, int]:
+        core = self.core
+        result = core.serve_instruction(timing=True)
+        decoded = result.decoded
+        ticks = max(result.ticks, op_latency(decoded))
+
+        # Load-use interlock: the previous instruction was a load whose
+        # destination this instruction reads.
+        if self._pending_load_dests:
+            sources = set(decoded.src_regs())
+            if sources & self._pending_load_dests:
+                ticks += _LOAD_USE_STALL
+            self._pending_load_dests.clear()
+
+        if decoded.kind in (ins.KIND_LOAD, ins.KIND_FLOAD):
+            self._pending_load_dests = set(decoded.dest_regs())
+
+        # Control hazards: taken branches flush the fetch bubble.
+        if result.is_branch and result.taken:
+            ticks += _TAKEN_BRANCH_BUBBLES
+        return ticks, 1
+
+    def drain(self) -> None:
+        self._pending_load_dests.clear()
+
+    def snapshot(self) -> dict:
+        return {"pending": sorted(self._pending_load_dests)}
+
+    def restore(self, snap: dict) -> None:
+        self._pending_load_dests = {tuple(t) for t in snap["pending"]}

@@ -1,0 +1,263 @@
+"""O3 CPU model: speculative, superscalar, out-of-order timing.
+
+The front end fetches and decodes along the *predicted* path (tournament
+predictor + BTB + RAS) into a reorder buffer.  GemFI's fetch- and
+decode-stage hooks fire at front-end time, so faults can land on
+wrong-path instructions and be absorbed when the branch resolves — the
+squash behaviour the paper's methodology depends on ("the simulation
+continues until the affected instruction commits or squashes").
+
+The back end executes architecturally *at commit*, in program order, so
+functional results are bit-identical to AtomicSimple; out-of-orderness is
+captured by a dataflow scoreboard (per-register ready cycles, per-class
+latencies, commit width) that determines how many instructions retire per
+cycle.  Mispredicted branches squash all younger in-flight entries and
+pay a redirect penalty.
+"""
+
+from __future__ import annotations
+
+from ..isa import instructions as ins
+from ..isa.registers import MASK64
+from ..isa.traps import SimTrap
+from .base import Core
+from .branch_pred import TournamentPredictor
+from .inorder import op_latency
+
+_FRONTEND_DEPTH = 3      # fetch-to-issue pipeline stages
+_MISPREDICT_PENALTY = 8  # redirect bubbles
+
+
+class _Entry:
+    """One reorder-buffer slot."""
+
+    __slots__ = ("pc", "decoded", "pred_next", "fetch_cycle",
+                 "exception", "serializing", "result", "complete")
+
+    def __init__(self, pc: int, decoded, pred_next: int,
+                 fetch_cycle: int, exception: SimTrap | None = None,
+                 serializing: bool = False) -> None:
+        self.pc = pc
+        self.decoded = decoded
+        self.pred_next = pred_next
+        self.fetch_cycle = fetch_cycle
+        self.exception = exception
+        self.serializing = serializing
+        self.result = None       # cached execution outcome (execute once)
+        self.complete = 0        # scoreboard completion cycle
+
+
+class O3CPU:
+    """Out-of-order model with speculation and squash."""
+
+    model_name = "o3"
+
+    def __init__(self, core: Core, rob_size: int = 64,
+                 fetch_width: int = 4, commit_width: int = 4,
+                 predictor: TournamentPredictor | None = None) -> None:
+        self.core = core
+        self.rob_size = rob_size
+        self.fetch_width = fetch_width
+        self.commit_width = commit_width
+        self.predictor = predictor or TournamentPredictor()
+        self.cycle = 0
+        self.rob: list[_Entry] = []
+        self.fetch_pc = None        # None = follow arch.pc
+        self.fetch_stall_until = 0
+        self.fetch_blocked = False  # waiting on a serializing instruction
+        self.reg_ready: dict[tuple[str, int], int] = {}
+        self.squashed_instructions = 0
+
+    # -- the per-cycle step -------------------------------------------------------
+
+    def step(self) -> tuple[int, int]:
+        """Advance at least one cycle; returns (ticks, committed).
+
+        The cycle counter can jump forward when the ROB head needs
+        several cycles to complete; the jump is reported in ``ticks`` so
+        the simulator's global tick clock stays aligned.
+        """
+        start = self.cycle
+        self.cycle += 1
+        self._frontend()
+        committed = self._commit()
+        return self.cycle - start, committed
+
+    # -- front end ------------------------------------------------------------------
+
+    def _frontend(self) -> None:
+        core = self.core
+        if self.fetch_blocked or self.cycle < self.fetch_stall_until:
+            return
+        if self.fetch_pc is None:
+            self.fetch_pc = core.arch.pc
+        fi_thread = core.fi_thread
+        inj = core.injector if fi_thread is not None else None
+
+        fetched = 0
+        while fetched < self.fetch_width and len(self.rob) < self.rob_size:
+            pc = self.fetch_pc & MASK64
+            try:
+                word, fetch_lat = core.hier.fetch(pc)
+            except SimTrap as trap:
+                # Deferred: the fault only matters if this entry commits.
+                self.rob.append(_Entry(pc, None, pc + 4, self.cycle,
+                                       exception=trap))
+                self.fetch_blocked = True
+                return
+            if fetch_lat > 1:
+                self.fetch_stall_until = self.cycle + fetch_lat - 1
+            if inj is not None and inj.hot_fetch:
+                word = inj.on_fetch(core, fi_thread, pc, word)
+            try:
+                decoded = core.decode_cache.decode(word)
+            except SimTrap as trap:
+                self.rob.append(_Entry(pc, None, pc + 4, self.cycle,
+                                       exception=trap))
+                self.fetch_blocked = True
+                return
+            if inj is not None and inj.hot_decode:
+                decoded = inj.on_decode(core, fi_thread, pc, decoded)
+
+            serializing = decoded.kind in (ins.KIND_PAL, ins.KIND_FI)
+            if decoded.is_control():
+                _, pred_next = self.predictor.predict(pc, decoded)
+            else:
+                pred_next = pc + 4
+            self.rob.append(_Entry(pc, decoded, pred_next & MASK64,
+                                   self.cycle, serializing=serializing))
+            self.fetch_pc = pred_next & MASK64
+            fetched += 1
+            if serializing:
+                self.fetch_blocked = True
+                return
+            if fetch_lat > 1:
+                return  # icache miss: group ends here
+
+    # -- back end -------------------------------------------------------------------
+
+    def _commit(self) -> int:
+        core = self.core
+        committed = 0
+        while committed < self.commit_width and self.rob:
+            entry = self.rob[0]
+            if entry.exception is not None:
+                # The faulting fetch/decode reached the commit point:
+                # the exception becomes architectural.
+                raise entry.exception
+            decoded = entry.decoded
+            fi_thread = core.fi_thread
+            inj = core.injector if fi_thread is not None else None
+
+            if entry.result is None:
+                # Dataflow scoreboard: when can this instruction complete?
+                ready = entry.fetch_cycle + _FRONTEND_DEPTH
+                for src in decoded.src_regs():
+                    ready = max(ready, self.reg_ready.get(src, 0))
+                # Architectural execution happens exactly once, at the
+                # head of the ROB, in program order.
+                entry.result = core.execute(decoded, entry.pc, timing=True)
+                entry.complete = max(ready, self.cycle) + \
+                    max(op_latency(decoded), entry.result.ticks) - 1
+            if entry.complete > self.cycle:
+                if committed:
+                    break  # retire the rest on a later cycle
+                self.cycle = entry.complete
+            result = entry.result
+            self._retire(entry, result, inj, fi_thread)
+            committed += 1
+            if decoded.is_control() or entry.serializing:
+                redirect = self._resolve_control(entry, result)
+                if redirect:
+                    break
+        return committed
+
+    def _retire(self, entry: _Entry, result, inj, fi_thread) -> None:
+        core = self.core
+        decoded = entry.decoded
+        if inj is not None and inj.has_watches:
+            inj.observe(decoded)
+        for dest in decoded.dest_regs():
+            self.reg_ready[dest] = entry.complete
+        core.arch.pc = result.next_pc
+        core.committed += 1
+        if inj is not None and inj.hot_regfile:
+            pc_changed = inj.on_commit(core, fi_thread, entry.pc)
+            if pc_changed:
+                # A PC fault at commit redirects the whole machine.
+                self.squash()
+                return
+        self.rob.pop(0)
+
+    def _resolve_control(self, entry: _Entry, result) -> bool:
+        """Train the predictor; squash and redirect on mispredict.
+        Returns True when the pipeline was redirected."""
+        decoded = entry.decoded
+        actual_next = self.core.arch.pc
+        if decoded is not None and decoded.is_control():
+            self.predictor.update(entry.pc, decoded, result.taken,
+                                  actual_next, entry.pred_next)
+        if entry.serializing:
+            self.fetch_blocked = False
+            self._redirect(actual_next, penalty=0)
+            return True
+        if actual_next != entry.pred_next:
+            self._redirect(actual_next, penalty=_MISPREDICT_PENALTY)
+            return True
+        return False
+
+    def _redirect(self, target: int, penalty: int) -> None:
+        self.squashed_instructions += len(self.rob)
+        self.rob.clear()
+        self.fetch_pc = target & MASK64
+        self.fetch_blocked = False
+        self.fetch_stall_until = self.cycle + penalty
+
+    def squash(self) -> None:
+        """Flush every speculative instruction and refetch from the
+        architectural PC (used for PC-fault redirects and model switch)."""
+        self.squashed_instructions += len(self.rob)
+        self.rob.clear()
+        self.fetch_pc = None
+        self.fetch_blocked = False
+
+    def drain(self) -> None:
+        """Flush speculative state before a model switch or preemption.
+
+        The ROB head may already have *executed* (architectural side
+        effects applied) while waiting out its completion latency; it
+        must be retired — not discarded — or the instruction would
+        re-execute after the flush and double-apply its effects.
+        Younger entries never execute before reaching the head, so they
+        are safe to squash.
+        """
+        if self.rob and self.rob[0].result is not None:
+            entry = self.rob[0]
+            core = self.core
+            fi_thread = core.fi_thread
+            inj = core.injector if fi_thread is not None else None
+            self.cycle = max(self.cycle, entry.complete)
+            self._retire(entry, entry.result, inj, fi_thread)
+        self.squash()
+
+    # -- checkpoint -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        # Speculative state is never checkpointed: a drained pipeline
+        # restarts cleanly from the architectural PC (this mirrors the
+        # pipeline-flush caveat of gem5 checkpointing, Section III.D).
+        return {
+            "cycle": self.cycle,
+            "squashed": self.squashed_instructions,
+            "predictor": self.predictor.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.cycle = snap["cycle"]
+        self.squashed_instructions = snap["squashed"]
+        self.predictor.restore(snap["predictor"])
+        self.rob.clear()
+        self.fetch_pc = None
+        self.fetch_blocked = False
+        self.fetch_stall_until = 0
+        self.reg_ready.clear()

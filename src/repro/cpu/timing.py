@@ -1,0 +1,32 @@
+"""TimingSimple CPU model: AtomicSimple plus memory-reference timing.
+
+Instructions still execute one at a time, but instruction fetches and
+data accesses travel through the cache hierarchy and contribute their
+modelled latencies to simulated time — gem5's ``TimingSimpleCPU``.
+"""
+
+from __future__ import annotations
+
+from .base import Core
+
+
+class TimingSimpleCPU:
+    """1-wide in-order model with cache/memory latencies."""
+
+    model_name = "timing"
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+
+    def step(self) -> tuple[int, int]:
+        result = self.core.serve_instruction(timing=True)
+        return result.ticks, 1
+
+    def drain(self) -> None:
+        """No internal state to flush (model-switch support)."""
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def restore(self, snap: dict) -> None:
+        pass

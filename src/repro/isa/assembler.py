@@ -1,0 +1,544 @@
+"""Two-pass assembler for the Alpha-like ISA.
+
+The assembler turns textual assembly (as emitted by ``repro.compiler`` or
+written by hand in tests) into a loadable :class:`Image`.  Syntax follows
+Alpha conventions::
+
+        .text
+    main:
+        lda   sp, -64(sp)
+        stq   ra, 0(sp)
+        ldi   t0, 41
+        addq  t0, 1, v0          # literal operand
+        beq   v0, done
+        bsr   ra, helper
+    done:
+        ldq   ra, 0(sp)
+        lda   sp, 64(sp)
+        ret
+        .data
+    table:
+        .quad 1, 2, 3
+
+Pseudo-instructions (``nop``, ``mov``, ``ldi``, ``la``, ``fmov``, ``fneg``,
+``clr``, ``negq``, ``not``, ``sextl``, ``ret``, bare ``br``/``bsr``) expand
+to fixed-length sequences so that label resolution is a simple two-pass
+process.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from . import encoding as enc
+from . import instructions as ins
+from .registers import INT_NAME_TO_INDEX
+
+TEXT_BASE = 0x10000
+DATA_BASE = 0x1000000
+
+
+class AssemblyError(Exception):
+    """Raised on any syntax or range error, with file line context."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+
+
+@dataclass
+class Image:
+    """An assembled, loadable program image."""
+
+    text: bytes
+    data: bytes
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.text) // 4
+
+    def words(self) -> list[int]:
+        return [
+            struct.unpack_from("<I", self.text, off)[0]
+            for off in range(0, len(self.text), 4)
+        ]
+
+
+# Reverse mnemonic tables built from the instruction-set definition.
+_OPERATE_MNEMONICS: dict[str, tuple[int, int]] = {}
+for _op, _table in ((ins.OP_INTA, ins.INTA_FUNCS),
+                    (ins.OP_INTL, ins.INTL_FUNCS),
+                    (ins.OP_INTS, ins.INTS_FUNCS),
+                    (ins.OP_INTM, ins.INTM_FUNCS)):
+    for _fn, (_name, _) in _table.items():
+        _OPERATE_MNEMONICS[_name] = (_op, _fn)
+_OPERATE_MNEMONICS.update({
+    "cmoveq": (ins.OP_INTL, 0x24), "cmovne": (ins.OP_INTL, 0x26),
+    "cmovlt": (ins.OP_INTL, 0x44), "cmovge": (ins.OP_INTL, 0x46),
+    "cmovle": (ins.OP_INTL, 0x64), "cmovgt": (ins.OP_INTL, 0x66),
+})
+
+_FP_OPERATE_MNEMONICS: dict[str, tuple[int, int]] = {}
+for _fn, (_name, _) in ins.FLTI_FUNCS.items():
+    _FP_OPERATE_MNEMONICS[_name] = (ins.OP_FLTI, _fn)
+for _fn, (_name, _) in ins.FLTL_FUNCS.items():
+    _FP_OPERATE_MNEMONICS[_name] = (ins.OP_FLTL, _fn)
+_FP_OPERATE_MNEMONICS.update({
+    "fcmoveq": (ins.OP_FLTL, 0x02A), "fcmovne": (ins.OP_FLTL, 0x02B),
+    "sqrtt": (ins.OP_ITFP, 0x0AB),
+})
+
+_MEM_MNEMONICS = {name: op for op, (name, _, _, _) in ins.MEM_OPS.items()}
+
+_BRANCH_MNEMONICS = {name: op for op, (name, _)
+                     in ins.BRANCH_CONDS.items()}
+_FBRANCH_MNEMONICS = {name: op for op, (name, _)
+                      in ins.FBRANCH_CONDS.items()}
+
+
+def parse_int_reg(token: str, lineno: int | None = None) -> int:
+    token = token.strip().lower()
+    if token.startswith("$"):
+        token = token[1:]
+    idx = INT_NAME_TO_INDEX.get(token)
+    if idx is None:
+        raise AssemblyError(f"unknown integer register '{token}'", lineno)
+    return idx
+
+
+def parse_fp_reg(token: str, lineno: int | None = None) -> int:
+    token = token.strip().lower()
+    if token.startswith("$"):
+        token = token[1:]
+    if token.startswith("f"):
+        try:
+            idx = int(token[1:])
+        except ValueError:
+            idx = -1
+        if 0 <= idx < 32:
+            return idx
+    raise AssemblyError(f"unknown FP register '{token}'", lineno)
+
+
+def _parse_imm(token: str, lineno: int | None = None) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate '{token}'", lineno) from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand string on commas that are outside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    cur = []
+    for ch in rest:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_mem_operand(token: str, lineno: int | None) -> tuple[int, int]:
+    """Parse ``disp(reg)`` / ``(reg)`` / ``disp`` into (disp, reg)."""
+    token = token.strip()
+    if "(" in token:
+        if not token.endswith(")"):
+            raise AssemblyError(f"bad memory operand '{token}'", lineno)
+        disp_str, reg_str = token[:-1].split("(", 1)
+        disp = _parse_imm(disp_str, lineno) if disp_str.strip() else 0
+        return disp, parse_int_reg(reg_str, lineno)
+    return _parse_imm(token, lineno), 31
+
+
+def _ldi_parts(value: int) -> tuple[int, int]:
+    """Split a 32-bit signed constant into (ldah_hi, lda_lo) parts."""
+    hi = (value + 0x8000) >> 16
+    lo = value - (hi << 16)
+    return hi, lo
+
+
+@dataclass
+class _PendingInstr:
+    mnemonic: str
+    operands: list[str]
+    lineno: int
+    addr: int
+    expansion_slot: int = 0   # index within a pseudo-expansion
+
+
+class Assembler:
+    """Two-pass assembler producing an :class:`Image`."""
+
+    def __init__(self, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE) -> None:
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, source: str, entry_symbol: str = "main") -> Image:
+        lines = source.splitlines()
+        symbols, instrs, data = self._pass1(lines)
+        words = self._pass2(instrs, symbols)
+        text = b"".join(struct.pack("<I", w) for w in words)
+        entry = symbols.get(entry_symbol, self.text_base)
+        return Image(text=text, data=bytes(data),
+                     text_base=self.text_base, data_base=self.data_base,
+                     symbols=symbols, entry=entry)
+
+    # -- pass 1: layout & symbol table ---------------------------------------
+
+    def _pass1(self, lines: list[str]):
+        symbols: dict[str, int] = {}
+        instrs: list[_PendingInstr] = []
+        data = bytearray()
+        section = "text"
+        text_addr = self.text_base
+
+        for lineno, raw in enumerate(lines, start=1):
+            line = self._strip_comment(raw).strip()
+            if not line:
+                continue
+            while True:
+                label, _, rest = line.partition(":")
+                if _ == ":" and label and self._is_symbol(label.strip()):
+                    name = label.strip()
+                    if name in symbols:
+                        raise AssemblyError(
+                            f"duplicate label '{name}'", lineno)
+                    if section == "text":
+                        symbols[name] = text_addr
+                    else:
+                        symbols[name] = self.data_base + len(data)
+                    line = rest.strip()
+                    if not line:
+                        break
+                else:
+                    break
+            if not line:
+                continue
+
+            if line.startswith("."):
+                section, text_addr = self._directive(
+                    line, lineno, section, text_addr, data)
+                continue
+
+            if section != "text":
+                raise AssemblyError(
+                    "instructions are only allowed in .text", lineno)
+
+            mnemonic, _, rest = line.partition(" ")
+            mnemonic = mnemonic.lower()
+            operands = _split_operands(rest)
+            count = self._instr_length(mnemonic, operands, lineno)
+            for slot in range(count):
+                instrs.append(_PendingInstr(mnemonic, operands, lineno,
+                                            text_addr, slot))
+                text_addr += 4
+        return symbols, instrs, data
+
+    def _directive(self, line: str, lineno: int, section: str,
+                   text_addr: int, data: bytearray):
+        name, _, rest = line.partition(" ")
+        name = name.lower()
+        if name == ".text":
+            return "text", text_addr
+        if name == ".data":
+            return "data", text_addr
+        if name in (".globl", ".global", ".ent", ".end", ".frame"):
+            return section, text_addr
+        if section != "data":
+            raise AssemblyError(
+                f"directive {name} only allowed in .data", lineno)
+        if name == ".quad":
+            for tok in _split_operands(rest):
+                data += struct.pack("<q", _parse_imm(tok, lineno))
+        elif name == ".long":
+            for tok in _split_operands(rest):
+                data += struct.pack("<i", _parse_imm(tok, lineno))
+        elif name == ".byte":
+            for tok in _split_operands(rest):
+                data += struct.pack("<B", _parse_imm(tok, lineno) & 0xFF)
+        elif name == ".double":
+            for tok in _split_operands(rest):
+                try:
+                    data += struct.pack("<d", float(tok))
+                except ValueError:
+                    raise AssemblyError(
+                        f"bad float '{tok}'", lineno) from None
+        elif name == ".space":
+            data += bytes(_parse_imm(rest, lineno))
+        elif name == ".align":
+            boundary = 1 << _parse_imm(rest, lineno)
+            while len(data) % boundary:
+                data += b"\x00"
+        elif name == ".asciiz":
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblyError("string must be double-quoted", lineno)
+            data += text[1:-1].encode("utf-8").decode(
+                "unicode_escape").encode("latin-1") + b"\x00"
+        else:
+            raise AssemblyError(f"unknown directive {name}", lineno)
+        return section, text_addr
+
+    # -- pass 2: encoding -----------------------------------------------------
+
+    def _pass2(self, instrs: list[_PendingInstr],
+               symbols: dict[str, int]) -> list[int]:
+        words: list[int] = []
+        index = 0
+        while index < len(instrs):
+            pending = instrs[index]
+            count = self._instr_length(pending.mnemonic, pending.operands,
+                                       pending.lineno)
+            group = instrs[index:index + count]
+            words.extend(self._encode(pending, symbols,
+                                      [g.addr for g in group]))
+            index += count
+        return words
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in ("#", ";"):
+            # Do not strip markers inside string literals.
+            if '"' in line:
+                quote_end = line.rfind('"')
+                pos = line.find(marker, quote_end + 1)
+            else:
+                pos = line.find(marker)
+            if pos != -1:
+                line = line[:pos]
+        return line
+
+    @staticmethod
+    def _is_symbol(token: str) -> bool:
+        return bool(token) and (token[0].isalpha() or token[0] in "._") \
+            and all(c.isalnum() or c in "._$" for c in token)
+
+    def _instr_length(self, mnemonic: str, operands: list[str],
+                      lineno: int) -> int:
+        if mnemonic in ("ldi", "la"):
+            return 2
+        if mnemonic in self._known_mnemonics():
+            return 1
+        raise AssemblyError(f"unknown mnemonic '{mnemonic}'", lineno)
+
+    _KNOWN: set[str] | None = None
+
+    @classmethod
+    def _known_mnemonics(cls) -> set[str]:
+        if cls._KNOWN is None:
+            cls._KNOWN = (
+                set(_OPERATE_MNEMONICS) | set(_FP_OPERATE_MNEMONICS)
+                | set(_MEM_MNEMONICS) | set(_BRANCH_MNEMONICS)
+                | set(_FBRANCH_MNEMONICS)
+                | {"lda", "ldah", "jmp", "jsr", "ret", "br", "bsr",
+                   "halt", "callsys", "imb", "nop", "mov", "fmov",
+                   "fneg", "clr", "negq", "not", "sextl", "ftoit",
+                   "itoft", "sextb", "sextw", "fi_activate",
+                   "fi_read_init", "unop"}
+            )
+        return cls._KNOWN
+
+    def _resolve(self, token: str, symbols: dict[str, int],
+                 lineno: int) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token]
+        return _parse_imm(token, lineno)
+
+    def _encode(self, p: _PendingInstr, symbols: dict[str, int],
+                addrs: list[int]) -> list[int]:
+        m, ops, lineno = p.mnemonic, p.operands, p.lineno
+        try:
+            return self._encode_inner(m, ops, symbols, lineno, addrs)
+        except AssemblyError:
+            raise
+        except ValueError as exc:
+            raise AssemblyError(str(exc), lineno) from exc
+
+    def _encode_inner(self, m: str, ops: list[str],
+                      symbols: dict[str, int], lineno: int,
+                      addrs: list[int]) -> list[int]:
+        # Pseudo-instructions first.
+        if m == "nop" or m == "unop":
+            return [ins.NOP_WORD]
+        if m == "clr":
+            rd = parse_int_reg(ops[0], lineno)
+            return [enc.encode_operate(ins.OP_INTL, 31, 31, 0x20, rd)]
+        if m == "mov":
+            rs = parse_int_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            return [enc.encode_operate(ins.OP_INTL, rs, rs, 0x20, rd)]
+        if m == "fmov":
+            fs = parse_fp_reg(ops[0], lineno)
+            fd = parse_fp_reg(ops[1], lineno)
+            return [enc.encode_fp_operate(ins.OP_FLTL, fs, fs, 0x020, fd)]
+        if m == "fneg":
+            fs = parse_fp_reg(ops[0], lineno)
+            fd = parse_fp_reg(ops[1], lineno)
+            return [enc.encode_fp_operate(ins.OP_FLTL, fs, fs, 0x021, fd)]
+        if m == "negq":
+            rs = parse_int_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            return [enc.encode_operate(ins.OP_INTA, 31, rs, 0x29, rd)]
+        if m == "not":
+            rs = parse_int_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            return [enc.encode_operate(ins.OP_INTL, 31, rs, 0x28, rd)]
+        if m == "sextl":
+            rs = parse_int_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            return [enc.encode_operate(ins.OP_INTA, 31, rs, 0x00, rd)]
+        if m in ("sextb", "sextw"):
+            rs = parse_int_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            fn = 0x000 if m == "sextb" else 0x001
+            return [enc.encode_fp_operate(ins.OP_FTOIX, 31, rs, fn, rd)]
+        if m in ("ldi", "la"):
+            rd = parse_int_reg(ops[0], lineno)
+            value = self._resolve(ops[1], symbols, lineno)
+            if not -(1 << 31) <= value < (1 << 31):
+                raise AssemblyError(
+                    f"{m} immediate {value} outside 32-bit signed range "
+                    "(use a constant pool)", lineno)
+            hi, lo = _ldi_parts(value)
+            return [enc.encode_memory(ins.OP_LDAH, rd, 31, hi),
+                    enc.encode_memory(ins.OP_LDA, rd, rd, lo)]
+        if m == "halt":
+            return [enc.encode_palcode(ins.OP_PAL, ins.PAL_HALT)]
+        if m == "callsys":
+            return [enc.encode_palcode(ins.OP_PAL, ins.PAL_CALLSYS)]
+        if m == "imb":
+            return [enc.encode_palcode(ins.OP_PAL, ins.PAL_IMB)]
+        if m == "fi_activate":
+            return [enc.encode_palcode(ins.OP_FI, ins.FI_ACTIVATE)]
+        if m == "fi_read_init":
+            return [enc.encode_palcode(ins.OP_FI, ins.FI_READ_INIT)]
+        if m == "ftoit":
+            fs = parse_fp_reg(ops[0], lineno)
+            rd = parse_int_reg(ops[1], lineno)
+            return [enc.encode_fp_operate(ins.OP_FTOIX, fs, 31, 0x070, rd)]
+        if m == "itoft":
+            rs = parse_int_reg(ops[0], lineno)
+            fd = parse_fp_reg(ops[1], lineno)
+            return [enc.encode_fp_operate(ins.OP_ITFP, rs, 31, 0x024, fd)]
+
+        if m in ("lda", "ldah"):
+            ra = parse_int_reg(ops[0], lineno)
+            disp, rb = _parse_mem_operand(ops[1], lineno)
+            op = ins.OP_LDA if m == "lda" else ins.OP_LDAH
+            return [enc.encode_memory(op, ra, rb, disp)]
+
+        if m in _MEM_MNEMONICS:
+            opcode = _MEM_MNEMONICS[m]
+            is_fp = m in ("ldt", "stt")
+            ra = (parse_fp_reg if is_fp else parse_int_reg)(ops[0], lineno)
+            disp, rb = _parse_mem_operand(ops[1], lineno)
+            return [enc.encode_memory(opcode, ra, rb, disp)]
+
+        if m == "jmp" or m == "jsr":
+            ra = parse_int_reg(ops[0], lineno)
+            disp, rb = _parse_mem_operand(ops[1], lineno)
+            return [enc.encode_memory(ins.OP_JMP, ra, rb, disp)]
+        if m == "ret":
+            rb = parse_int_reg(ops[0], lineno) if ops else 26
+            if ops and "(" in ops[0]:
+                _, rb = _parse_mem_operand(ops[0], lineno)
+            return [enc.encode_memory(ins.OP_JMP, 31, rb, 0)]
+
+        if m in ("br", "bsr"):
+            if len(ops) == 1:
+                ra = 31 if m == "br" else 26
+                target_tok = ops[0]
+            else:
+                ra = parse_int_reg(ops[0], lineno)
+                target_tok = ops[1]
+            target = self._resolve(target_tok, symbols, lineno)
+            disp = self._branch_disp(target, addrs[0], lineno)
+            op = ins.OP_BR if m == "br" else ins.OP_BSR
+            return [enc.encode_branch(op, ra, disp)]
+
+        if m in _BRANCH_MNEMONICS or m in _FBRANCH_MNEMONICS:
+            is_fp = m in _FBRANCH_MNEMONICS
+            opcode = (_FBRANCH_MNEMONICS if is_fp
+                      else _BRANCH_MNEMONICS)[m]
+            ra = (parse_fp_reg if is_fp else parse_int_reg)(ops[0], lineno)
+            target = self._resolve(ops[1], symbols, lineno)
+            disp = self._branch_disp(target, addrs[0], lineno)
+            return [enc.encode_branch(opcode, ra, disp)]
+
+        if m in _OPERATE_MNEMONICS:
+            opcode, func = _OPERATE_MNEMONICS[m]
+            ra = parse_int_reg(ops[0], lineno)
+            rc = parse_int_reg(ops[2], lineno)
+            b_tok = ops[1].strip()
+            if self._looks_like_int_reg(b_tok):
+                rb = parse_int_reg(b_tok, lineno)
+                return [enc.encode_operate(opcode, ra, rb, func, rc)]
+            lit = _parse_imm(b_tok, lineno)
+            if not 0 <= lit < 256:
+                raise AssemblyError(
+                    f"operate literal {lit} outside [0,255]", lineno)
+            return [enc.encode_operate_lit(opcode, ra, lit, func, rc)]
+
+        if m in _FP_OPERATE_MNEMONICS:
+            opcode, func = _FP_OPERATE_MNEMONICS[m]
+            if m in ("sqrtt", "cvttq", "cvtqt"):
+                # Single-source forms: Fb -> Fc.
+                fb = parse_fp_reg(ops[0], lineno)
+                fc = parse_fp_reg(ops[1], lineno)
+                return [enc.encode_fp_operate(opcode, 31, fb, func, fc)]
+            fa = parse_fp_reg(ops[0], lineno)
+            fb = parse_fp_reg(ops[1], lineno)
+            fc = parse_fp_reg(ops[2], lineno)
+            return [enc.encode_fp_operate(opcode, fa, fb, func, fc)]
+
+        raise AssemblyError(f"unknown mnemonic '{m}'", lineno)
+
+    @staticmethod
+    def _looks_like_int_reg(token: str) -> bool:
+        token = token.strip().lower()
+        if token.startswith("$"):
+            token = token[1:]
+        return token in INT_NAME_TO_INDEX
+
+    @staticmethod
+    def _branch_disp(target: int, pc: int, lineno: int) -> int:
+        delta = target - (pc + 4)
+        if delta % 4:
+            raise AssemblyError(
+                f"branch target 0x{target:x} not word aligned", lineno)
+        disp = delta // 4
+        if not -(1 << 20) <= disp < (1 << 20):
+            raise AssemblyError(f"branch displacement {disp} too far",
+                                lineno)
+        return disp
+
+
+def assemble(source: str, entry_symbol: str = "main",
+             text_base: int = TEXT_BASE, data_base: int = DATA_BASE) -> Image:
+    """Convenience one-shot assembly helper."""
+    return Assembler(text_base=text_base,
+                     data_base=data_base).assemble(source, entry_symbol)

@@ -1,0 +1,72 @@
+"""Disassembler for postmortem fault reports.
+
+When GemFI injects a fault it logs the affected instruction; the paper
+uses this information postmortem to correlate faults with outcomes
+(Section IV.B.1).  This module renders decoded instructions in the same
+textual form the assembler accepts.
+"""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .instructions import Decoded
+from .registers import fp_reg_name, int_reg_name
+from .traps import IllegalInstruction
+
+_KIND_RENDERERS = {}
+
+
+def disassemble_word(word: int, pc: int | None = None) -> str:
+    """Disassemble a raw 32-bit word; illegal words render as ``.illegal``."""
+    try:
+        decoded = ins.decode(word)
+    except IllegalInstruction:
+        return f".illegal 0x{word:08x}"
+    return disassemble(decoded, pc=pc)
+
+
+def disassemble(d: Decoded, pc: int | None = None) -> str:
+    """Render a decoded instruction as assembly text."""
+    k = d.kind
+    if k in (ins.KIND_ALU, ins.KIND_CMOV):
+        if d.name in ("sextb", "sextw"):
+            return f"{d.name} {int_reg_name(d.rb)}, {int_reg_name(d.rc)}"
+        b_part = str(d.lit) if d.lit is not None else int_reg_name(d.rb)
+        return f"{d.name} {int_reg_name(d.ra)}, {b_part}, " \
+               f"{int_reg_name(d.rc)}"
+    if k in (ins.KIND_FPALU, ins.KIND_FCMOV):
+        if d.name in ("sqrtt", "cvttq", "cvtqt"):
+            return f"{d.name} {fp_reg_name(d.rb)}, {fp_reg_name(d.rc)}"
+        if d.name in ("sextb", "sextw"):
+            return f"{d.name} {int_reg_name(d.rb)}, {int_reg_name(d.rc)}"
+        return f"{d.name} {fp_reg_name(d.ra)}, {fp_reg_name(d.rb)}, " \
+               f"{fp_reg_name(d.rc)}"
+    if k == ins.KIND_ITOF:
+        return f"itoft {int_reg_name(d.ra)}, {fp_reg_name(d.rc)}"
+    if k == ins.KIND_FTOI:
+        if d.name in ("sextb", "sextw"):
+            return f"{d.name} {int_reg_name(d.rb)}, {int_reg_name(d.rc)}"
+        return f"ftoit {fp_reg_name(d.ra)}, {int_reg_name(d.rc)}"
+    if k in (ins.KIND_LOAD, ins.KIND_STORE, ins.KIND_LDA):
+        return f"{d.name} {int_reg_name(d.ra)}, {d.disp}" \
+               f"({int_reg_name(d.rb)})"
+    if k in (ins.KIND_FLOAD, ins.KIND_FSTORE):
+        return f"{d.name} {fp_reg_name(d.ra)}, {d.disp}" \
+               f"({int_reg_name(d.rb)})"
+    if k == ins.KIND_JUMP:
+        return f"jmp {int_reg_name(d.ra)}, ({int_reg_name(d.rb)})"
+    if k in (ins.KIND_BR, ins.KIND_BRANCH):
+        target = _branch_target(d, pc)
+        return f"{d.name} {int_reg_name(d.ra)}, {target}"
+    if k == ins.KIND_FBRANCH:
+        target = _branch_target(d, pc)
+        return f"{d.name} {fp_reg_name(d.ra)}, {target}"
+    if k in (ins.KIND_PAL, ins.KIND_FI):
+        return d.name
+    return f".unknown 0x{d.word:08x}"  # pragma: no cover - defensive
+
+
+def _branch_target(d: Decoded, pc: int | None) -> str:
+    if pc is None:
+        return f".{d.disp:+d}"
+    return f"0x{pc + 4 + 4 * d.disp:x}"

@@ -1,0 +1,262 @@
+"""Bit-exact 32-bit instruction encodings (Alpha instruction formats).
+
+This module implements Table I of the paper — the four Alpha instruction
+formats — at the bit level, because the paper's fetch-stage fault analysis
+correlates the *bit position* of an injected flip with the instruction
+field it lands in (opcode, Ra, Rb, Rc, function, displacement, literal,
+or unused/SBZ bits).
+
+Formats (bit 31 is the MSB):
+
+=========  =====================================================
+PALcode    ``opcode[31:26]  palcode_function[25:0]``
+Branch     ``opcode[31:26]  Ra[25:21]  displacement[20:0]``
+Memory     ``opcode[31:26]  Ra[25:21]  Rb[20:16]  displacement[15:0]``
+Operate    register form:
+           ``opcode[31:26] Ra[25:21] Rb[20:16] SBZ[15:13] 0[12]
+           function[11:5] Rc[4:0]``
+           literal form:
+           ``opcode[31:26] Ra[25:21] literal[20:13] 1[12]
+           function[11:5] Rc[4:0]``
+FP Operate ``opcode[31:26]  Fa[25:21]  Fb[20:16]  function[15:5]
+           Fc[4:0]``
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+MASK32 = (1 << 32) - 1
+
+OPCODE_SHIFT = 26
+RA_SHIFT = 21
+RB_SHIFT = 16
+RC_SHIFT = 0
+
+BRANCH_DISP_BITS = 21
+MEM_DISP_BITS = 16
+OPERATE_FUNC_SHIFT = 5
+OPERATE_FUNC_BITS = 7
+FP_FUNC_SHIFT = 5
+FP_FUNC_BITS = 11
+LIT_FLAG_BIT = 12
+LIT_SHIFT = 13
+LIT_BITS = 8
+PAL_FUNC_BITS = 26
+
+
+class Format(Enum):
+    """The Alpha instruction formats of Table I."""
+
+    PALCODE = "palcode"
+    BRANCH = "branch"
+    MEMORY = "memory"
+    OPERATE = "operate"
+    FP_OPERATE = "fp_operate"
+
+
+class Field(Enum):
+    """Instruction-word fields, used to classify injected fetch-bit flips."""
+
+    OPCODE = "opcode"
+    RA = "ra"
+    RB = "rb"
+    RC = "rc"
+    FUNCTION = "function"
+    DISPLACEMENT = "displacement"
+    LITERAL = "literal"
+    LIT_FLAG = "lit_flag"
+    UNUSED = "unused"          # SBZ bits of the register-operate form
+    PAL_FUNCTION = "pal_function"
+
+
+def opcode_of(word: int) -> int:
+    """Extract the 6-bit major opcode from an instruction word."""
+    return (word >> OPCODE_SHIFT) & 0x3F
+
+
+def ra_of(word: int) -> int:
+    return (word >> RA_SHIFT) & 0x1F
+
+
+def rb_of(word: int) -> int:
+    return (word >> RB_SHIFT) & 0x1F
+
+
+def rc_of(word: int) -> int:
+    return word & 0x1F
+
+
+def branch_disp_of(word: int) -> int:
+    """Signed 21-bit branch displacement (in instructions)."""
+    disp = word & ((1 << BRANCH_DISP_BITS) - 1)
+    if disp & (1 << (BRANCH_DISP_BITS - 1)):
+        disp -= 1 << BRANCH_DISP_BITS
+    return disp
+
+
+def mem_disp_of(word: int) -> int:
+    """Signed 16-bit memory displacement (in bytes)."""
+    disp = word & ((1 << MEM_DISP_BITS) - 1)
+    if disp & (1 << (MEM_DISP_BITS - 1)):
+        disp -= 1 << MEM_DISP_BITS
+    return disp
+
+
+def operate_func_of(word: int) -> int:
+    return (word >> OPERATE_FUNC_SHIFT) & ((1 << OPERATE_FUNC_BITS) - 1)
+
+
+def fp_func_of(word: int) -> int:
+    return (word >> FP_FUNC_SHIFT) & ((1 << FP_FUNC_BITS) - 1)
+
+
+def is_literal_form(word: int) -> bool:
+    return bool((word >> LIT_FLAG_BIT) & 1)
+
+
+def literal_of(word: int) -> int:
+    """The 8-bit zero-extended literal of a literal-form operate."""
+    return (word >> LIT_SHIFT) & ((1 << LIT_BITS) - 1)
+
+
+def pal_func_of(word: int) -> int:
+    return word & ((1 << PAL_FUNC_BITS) - 1)
+
+
+def encode_palcode(opcode: int, func: int) -> int:
+    _check_range(opcode, 6, "opcode")
+    _check_range(func, PAL_FUNC_BITS, "pal function")
+    return ((opcode << OPCODE_SHIFT) | func) & MASK32
+
+
+def encode_branch(opcode: int, ra: int, disp: int) -> int:
+    _check_range(opcode, 6, "opcode")
+    _check_range(ra, 5, "Ra")
+    _check_signed_range(disp, BRANCH_DISP_BITS, "branch displacement")
+    return (
+        (opcode << OPCODE_SHIFT)
+        | (ra << RA_SHIFT)
+        | (disp & ((1 << BRANCH_DISP_BITS) - 1))
+    ) & MASK32
+
+
+def encode_memory(opcode: int, ra: int, rb: int, disp: int) -> int:
+    _check_range(opcode, 6, "opcode")
+    _check_range(ra, 5, "Ra")
+    _check_range(rb, 5, "Rb")
+    _check_signed_range(disp, MEM_DISP_BITS, "memory displacement")
+    return (
+        (opcode << OPCODE_SHIFT)
+        | (ra << RA_SHIFT)
+        | (rb << RB_SHIFT)
+        | (disp & ((1 << MEM_DISP_BITS) - 1))
+    ) & MASK32
+
+
+def encode_operate(opcode: int, ra: int, rb: int, func: int, rc: int) -> int:
+    """Register-form integer operate instruction (SBZ bits are zero)."""
+    _check_range(opcode, 6, "opcode")
+    _check_range(ra, 5, "Ra")
+    _check_range(rb, 5, "Rb")
+    _check_range(func, OPERATE_FUNC_BITS, "function")
+    _check_range(rc, 5, "Rc")
+    return (
+        (opcode << OPCODE_SHIFT)
+        | (ra << RA_SHIFT)
+        | (rb << RB_SHIFT)
+        | (func << OPERATE_FUNC_SHIFT)
+        | rc
+    ) & MASK32
+
+
+def encode_operate_lit(opcode: int, ra: int, lit: int, func: int,
+                       rc: int) -> int:
+    """Literal-form integer operate instruction (LIT flag set)."""
+    _check_range(opcode, 6, "opcode")
+    _check_range(ra, 5, "Ra")
+    _check_range(lit, LIT_BITS, "literal")
+    _check_range(func, OPERATE_FUNC_BITS, "function")
+    _check_range(rc, 5, "Rc")
+    return (
+        (opcode << OPCODE_SHIFT)
+        | (ra << RA_SHIFT)
+        | (lit << LIT_SHIFT)
+        | (1 << LIT_FLAG_BIT)
+        | (func << OPERATE_FUNC_SHIFT)
+        | rc
+    ) & MASK32
+
+
+def encode_fp_operate(opcode: int, fa: int, fb: int, func: int,
+                      fc: int) -> int:
+    _check_range(opcode, 6, "opcode")
+    _check_range(fa, 5, "Fa")
+    _check_range(fb, 5, "Fb")
+    _check_range(func, FP_FUNC_BITS, "function")
+    _check_range(fc, 5, "Fc")
+    return (
+        (opcode << OPCODE_SHIFT)
+        | (fa << RA_SHIFT)
+        | (fb << RB_SHIFT)
+        | (func << FP_FUNC_SHIFT)
+        | fc
+    ) & MASK32
+
+
+def field_of_bit(fmt: Format, bit: int, word: int = 0) -> Field:
+    """Which instruction field does *bit* (0 = LSB) fall into?
+
+    For the OPERATE format the answer depends on the LIT flag of the
+    concrete *word*, because the literal form re-purposes bits 20:13.
+    This classification drives the Table I fetch-stage analysis.
+    """
+    if not 0 <= bit < 32:
+        raise ValueError(f"bit index {bit} outside instruction word")
+    if bit >= OPCODE_SHIFT:
+        return Field.OPCODE
+    if fmt is Format.PALCODE:
+        return Field.PAL_FUNCTION
+    if fmt is Format.BRANCH:
+        return Field.RA if bit >= RA_SHIFT else Field.DISPLACEMENT
+    if fmt is Format.MEMORY:
+        if bit >= RA_SHIFT:
+            return Field.RA
+        if bit >= RB_SHIFT:
+            return Field.RB
+        return Field.DISPLACEMENT
+    if fmt is Format.FP_OPERATE:
+        if bit >= RA_SHIFT:
+            return Field.RA
+        if bit >= RB_SHIFT:
+            return Field.RB
+        if bit >= FP_FUNC_SHIFT:
+            return Field.FUNCTION
+        return Field.RC
+    # Integer operate: layout depends on the literal flag.
+    if bit >= RA_SHIFT:
+        return Field.RA
+    if is_literal_form(word):
+        if bit >= LIT_SHIFT:
+            return Field.LITERAL
+    else:
+        if bit >= RB_SHIFT:
+            return Field.RB
+        if bit > LIT_FLAG_BIT:
+            return Field.UNUSED
+    if bit == LIT_FLAG_BIT:
+        return Field.LIT_FLAG
+    if bit >= OPERATE_FUNC_SHIFT:
+        return Field.FUNCTION
+    return Field.RC
+
+
+def _check_range(value: int, bits: int, what: str) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{what} {value} does not fit in {bits} bits")
+
+
+def _check_signed_range(value: int, bits: int, what: str) -> None:
+    if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+        raise ValueError(f"{what} {value} does not fit in signed {bits} bits")

@@ -1,0 +1,808 @@
+"""Instruction set definition and decoder for the Alpha-like ISA.
+
+The instruction set is a faithful subset of DEC Alpha (the ISA the paper
+evaluates): memory, branch, operate, FP-operate and PALcode formats with
+real Alpha opcode/function numbers wherever the subset overlaps.  Two
+deviations are documented:
+
+* ``DIVQ``/``REMQ`` exist as hardware instructions (real Alpha compilers
+  emit a software divide); they live in the INTM opcode group.
+* Opcode ``0x01`` hosts the GemFI pseudo-instructions
+  (``fi_activate_inst`` / ``fi_read_init_all``), mirroring gem5's use of a
+  reserved opcode for its m5 pseudo-ops.
+
+Decoding is bit-exact: any fetched 32-bit word is decoded through this
+module, so fetch-stage bit flips injected by GemFI produce exactly the
+failure modes the paper analyses (illegal opcodes, corrupted
+displacements, changed register selections, flipped literal bits...).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from . import encoding as enc
+from .encoding import Field, Format
+from .registers import MASK64, sign_extend
+from .traps import ArithmeticTrap, IllegalInstruction
+
+# --------------------------------------------------------------------------
+# Execution kinds (coarse classes shared by every CPU model).
+# --------------------------------------------------------------------------
+KIND_ALU = 0        # int Ra, Rb/lit -> int Rc
+KIND_CMOV = 1       # int Ra (cond), Rb/lit, old Rc -> int Rc
+KIND_FPALU = 2      # fp Fa, Fb -> fp Fc (raw-bits in, raw-bits out)
+KIND_FCMOV = 3      # fp Fa (cond), Fb, old Fc -> fp Fc
+KIND_LOAD = 4       # int Ra <- mem[Rb + disp]
+KIND_STORE = 5      # mem[Rb + disp] <- int Ra
+KIND_FLOAD = 6      # fp Fa <- mem[Rb + disp]
+KIND_FSTORE = 7     # mem[Rb + disp] <- fp Fa
+KIND_LDA = 8        # int Ra <- Rb + disp (LDA / LDAH)
+KIND_BRANCH = 9     # conditional branch on int Ra
+KIND_FBRANCH = 10   # conditional branch on fp Fa
+KIND_BR = 11        # unconditional branch, links PC+4 into Ra
+KIND_JUMP = 12      # memory-format jump: Ra <- PC+4, PC <- Rb & ~3
+KIND_PAL = 13       # CALL_PAL: halt / callsys / imb
+KIND_FI = 14        # GemFI pseudo-instruction
+KIND_ITOF = 15      # move int Ra raw bits -> fp Fc
+KIND_FTOI = 16      # move fp Fa raw bits -> int Rc
+
+# Major opcodes (real Alpha numbering).
+OP_PAL = 0x00
+OP_FI = 0x01
+OP_LDA = 0x08
+OP_LDAH = 0x09
+OP_LDBU = 0x0A
+OP_STB = 0x0E
+OP_INTA = 0x10
+OP_INTL = 0x11
+OP_INTS = 0x12
+OP_INTM = 0x13
+OP_ITFP = 0x14
+OP_FLTI = 0x16
+OP_FLTL = 0x17
+OP_JMP = 0x1A
+OP_FTOIX = 0x1C
+OP_LDT = 0x23
+OP_STT = 0x27
+OP_LDL = 0x28
+OP_LDQ = 0x29
+OP_STL = 0x2C
+OP_STQ = 0x2D
+OP_BR = 0x30
+OP_FBEQ = 0x31
+OP_FBLT = 0x32
+OP_FBLE = 0x33
+OP_BSR = 0x34
+OP_FBNE = 0x35
+OP_FBGE = 0x36
+OP_FBGT = 0x37
+OP_BLBC = 0x38
+OP_BEQ = 0x39
+OP_BLT = 0x3A
+OP_BLE = 0x3B
+OP_BLBS = 0x3C
+OP_BNE = 0x3D
+OP_BGE = 0x3E
+OP_BGT = 0x3F
+
+# PALcode functions.
+PAL_HALT = 0x0000
+PAL_CALLSYS = 0x0083
+PAL_IMB = 0x0086
+
+# GemFI pseudo-instruction functions (opcode 0x01).
+FI_ACTIVATE = 0x0000
+FI_READ_INIT = 0x0001
+
+
+def _s64(v: int) -> int:
+    v &= MASK64
+    return v - (1 << 64) if v >= 1 << 63 else v
+
+
+def _f(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def _fb(value: float) -> int:
+    try:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    except (OverflowError, ValueError):
+        # Overflow to infinity, preserving sign, like IEEE-754 round-to-even.
+        return struct.unpack(
+            "<Q", struct.pack("<d", math.inf if value > 0 else -math.inf)
+        )[0]
+
+
+# --- integer operate semantics ---------------------------------------------
+
+def _addl(a: int, b: int) -> int:
+    return sign_extend(a + b, 32)
+
+
+def _subl(a: int, b: int) -> int:
+    return sign_extend(a - b, 32)
+
+
+def _addq(a: int, b: int) -> int:
+    return (a + b) & MASK64
+
+
+def _subq(a: int, b: int) -> int:
+    return (a - b) & MASK64
+
+
+def _s4addq(a: int, b: int) -> int:
+    return (a * 4 + b) & MASK64
+
+
+def _s8addq(a: int, b: int) -> int:
+    return (a * 8 + b) & MASK64
+
+
+def _cmpeq(a: int, b: int) -> int:
+    return 1 if a == b else 0
+
+
+def _cmplt(a: int, b: int) -> int:
+    return 1 if _s64(a) < _s64(b) else 0
+
+
+def _cmple(a: int, b: int) -> int:
+    return 1 if _s64(a) <= _s64(b) else 0
+
+
+def _cmpult(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def _cmpule(a: int, b: int) -> int:
+    return 1 if a <= b else 0
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _bic(a: int, b: int) -> int:
+    return a & ~b & MASK64
+
+
+def _bis(a: int, b: int) -> int:
+    return a | b
+
+
+def _ornot(a: int, b: int) -> int:
+    return (a | ~b) & MASK64
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _eqv(a: int, b: int) -> int:
+    return (a ^ ~b) & MASK64
+
+
+def _sll(a: int, b: int) -> int:
+    return (a << (b & 63)) & MASK64
+
+
+def _srl(a: int, b: int) -> int:
+    return (a & MASK64) >> (b & 63)
+
+
+def _sra(a: int, b: int) -> int:
+    return (_s64(a) >> (b & 63)) & MASK64
+
+
+def _mull(a: int, b: int) -> int:
+    return sign_extend(a * b, 32)
+
+
+def _mulq(a: int, b: int) -> int:
+    return (a * b) & MASK64
+
+
+def _divq(a: int, b: int) -> int:
+    sb = _s64(b)
+    if sb == 0:
+        raise ArithmeticTrap("integer divide by zero")
+    sa = _s64(a)
+    # Truncate toward zero, matching C semantics the workloads expect.
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & MASK64
+
+
+def _remq(a: int, b: int) -> int:
+    sb = _s64(b)
+    if sb == 0:
+        raise ArithmeticTrap("integer remainder by zero")
+    sa = _s64(a)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & MASK64
+
+
+def _sextb(a: int, b: int) -> int:
+    return sign_extend(b, 8)
+
+
+def _sextw(a: int, b: int) -> int:
+    return sign_extend(b, 16)
+
+
+# --- floating-point operate semantics (raw bits in, raw bits out) ----------
+
+def _addt(a: int, b: int) -> int:
+    return _fb(_f(a) + _f(b))
+
+
+def _subt(a: int, b: int) -> int:
+    return _fb(_f(a) - _f(b))
+
+
+def _mult(a: int, b: int) -> int:
+    return _fb(_f(a) * _f(b))
+
+
+def _divt(a: int, b: int) -> int:
+    fb_val = _f(b)
+    if fb_val == 0.0:
+        fa_val = _f(a)
+        if fa_val == 0.0 or math.isnan(fa_val):
+            return _fb(math.nan)
+        sign = -1.0 if (fa_val < 0) != (math.copysign(1.0, fb_val) < 0) else 1.0
+        return _fb(sign * math.inf)
+    return _fb(_f(a) / fb_val)
+
+
+def _sqrtt(a: int, b: int) -> int:
+    v = _f(b)
+    if v < 0.0:
+        return _fb(math.nan)
+    return _fb(math.sqrt(v))
+
+
+def _cmpteq(a: int, b: int) -> int:
+    return _fb(2.0 if _f(a) == _f(b) else 0.0)
+
+
+def _cmptlt(a: int, b: int) -> int:
+    return _fb(2.0 if _f(a) < _f(b) else 0.0)
+
+
+def _cmptle(a: int, b: int) -> int:
+    return _fb(2.0 if _f(a) <= _f(b) else 0.0)
+
+
+def _cvttq(a: int, b: int) -> int:
+    """FP -> integer, truncating; out-of-range saturates (no trap)."""
+    v = _f(b)
+    if math.isnan(v) or math.isinf(v):
+        return 0
+    iv = int(v)
+    return iv & MASK64
+
+
+def _cvtqt(a: int, b: int) -> int:
+    return _fb(float(_s64(b)))
+
+
+def _cpys(a: int, b: int) -> int:
+    return (a & (1 << 63)) | (b & ((1 << 63) - 1))
+
+
+def _cpysn(a: int, b: int) -> int:
+    return ((a ^ (1 << 63)) & (1 << 63)) | (b & ((1 << 63) - 1))
+
+
+# --- branch conditions ------------------------------------------------------
+
+def _beq(a: int) -> bool:
+    return a == 0
+
+
+def _bne(a: int) -> bool:
+    return a != 0
+
+
+def _blt(a: int) -> bool:
+    return _s64(a) < 0
+
+
+def _ble(a: int) -> bool:
+    return _s64(a) <= 0
+
+
+def _bge(a: int) -> bool:
+    return _s64(a) >= 0
+
+
+def _bgt(a: int) -> bool:
+    return _s64(a) > 0
+
+
+def _blbc(a: int) -> bool:
+    return (a & 1) == 0
+
+
+def _blbs(a: int) -> bool:
+    return (a & 1) == 1
+
+
+def _fbeq(a: int) -> bool:
+    return _f(a) == 0.0
+
+
+def _fbne(a: int) -> bool:
+    return _f(a) != 0.0
+
+
+def _fblt(a: int) -> bool:
+    return _f(a) < 0.0
+
+
+def _fble(a: int) -> bool:
+    return _f(a) <= 0.0
+
+
+def _fbge(a: int) -> bool:
+    return _f(a) >= 0.0
+
+
+def _fbgt(a: int) -> bool:
+    return _f(a) > 0.0
+
+
+# --- conditional-move conditions (reuse branch predicates on Ra) ------------
+
+_CMOV_CONDS = {
+    0x24: _beq,   # CMOVEQ
+    0x26: _bne,   # CMOVNE
+    0x44: _blt,   # CMOVLT
+    0x46: _bge,   # CMOVGE
+    0x64: _ble,   # CMOVLE
+    0x66: _bgt,   # CMOVGT
+}
+
+_FCMOV_CONDS = {
+    0x02A: _fbeq,  # FCMOVEQ
+    0x02B: _fbne,  # FCMOVNE
+}
+
+# Function tables: opcode -> {function -> (name, op)}.
+INTA_FUNCS = {
+    0x00: ("addl", _addl),
+    0x09: ("subl", _subl),
+    0x1D: ("cmpult", _cmpult),
+    0x20: ("addq", _addq),
+    0x22: ("s4addq", _s4addq),
+    0x29: ("subq", _subq),
+    0x2D: ("cmpeq", _cmpeq),
+    0x32: ("s8addq", _s8addq),
+    0x3D: ("cmpule", _cmpule),
+    0x4D: ("cmplt", _cmplt),
+    0x6D: ("cmple", _cmple),
+}
+
+INTL_FUNCS = {
+    0x00: ("and", _and),
+    0x08: ("bic", _bic),
+    0x20: ("bis", _bis),
+    0x28: ("ornot", _ornot),
+    0x40: ("xor", _xor),
+    0x48: ("eqv", _eqv),
+}
+
+INTS_FUNCS = {
+    0x34: ("srl", _srl),
+    0x39: ("sll", _sll),
+    0x3C: ("sra", _sra),
+}
+
+INTM_FUNCS = {
+    0x00: ("mull", _mull),
+    0x20: ("mulq", _mulq),
+    0x40: ("divq", _divq),
+    0x60: ("remq", _remq),
+}
+
+FLTI_FUNCS = {
+    0x0A0: ("addt", _addt),
+    0x0A1: ("subt", _subt),
+    0x0A2: ("mult", _mult),
+    0x0A3: ("divt", _divt),
+    0x0A5: ("cmpteq", _cmpteq),
+    0x0A6: ("cmptlt", _cmptlt),
+    0x0A7: ("cmptle", _cmptle),
+    0x0AF: ("cvttq", _cvttq),
+    0x0BE: ("cvtqt", _cvtqt),
+}
+
+FLTL_FUNCS = {
+    0x020: ("cpys", _cpys),
+    0x021: ("cpysn", _cpysn),
+}
+
+ITFP_FUNCS = {
+    0x024: ("itoft", None),
+    0x0AB: ("sqrtt", _sqrtt),
+}
+
+FTOIX_FUNCS = {
+    0x000: ("sextb", _sextb),
+    0x001: ("sextw", _sextw),
+    0x070: ("ftoit", None),
+}
+
+BRANCH_CONDS = {
+    OP_BEQ: ("beq", _beq),
+    OP_BNE: ("bne", _bne),
+    OP_BLT: ("blt", _blt),
+    OP_BLE: ("ble", _ble),
+    OP_BGE: ("bge", _bge),
+    OP_BGT: ("bgt", _bgt),
+    OP_BLBC: ("blbc", _blbc),
+    OP_BLBS: ("blbs", _blbs),
+}
+
+FBRANCH_CONDS = {
+    OP_FBEQ: ("fbeq", _fbeq),
+    OP_FBNE: ("fbne", _fbne),
+    OP_FBLT: ("fblt", _fblt),
+    OP_FBLE: ("fble", _fble),
+    OP_FBGE: ("fbge", _fbge),
+    OP_FBGT: ("fbgt", _fbgt),
+}
+
+# Load/store descriptors: opcode -> (name, kind, size, signed).
+MEM_OPS = {
+    OP_LDBU: ("ldbu", KIND_LOAD, 1, False),
+    OP_STB: ("stb", KIND_STORE, 1, False),
+    OP_LDL: ("ldl", KIND_LOAD, 4, True),
+    OP_LDQ: ("ldq", KIND_LOAD, 8, False),
+    OP_STL: ("stl", KIND_STORE, 4, False),
+    OP_STQ: ("stq", KIND_STORE, 8, False),
+    OP_LDT: ("ldt", KIND_FLOAD, 8, False),
+    OP_STT: ("stt", KIND_FSTORE, 8, False),
+}
+
+
+class Decoded:
+    """A decoded instruction — the shared currency of all CPU models.
+
+    Decode-stage fault injection replaces register-selection fields
+    (``ra``/``rb``/``rc``) on a *copy* of the decoded instruction; cached
+    instances are never mutated.
+    """
+
+    __slots__ = (
+        "word", "name", "fmt", "kind", "opcode", "func",
+        "ra", "rb", "rc", "lit", "disp", "op", "size", "signed",
+    )
+
+    def __init__(self, word: int, name: str, fmt: Format, kind: int,
+                 opcode: int, func: int = 0, ra: int = 31, rb: int = 31,
+                 rc: int = 31, lit: int | None = None, disp: int = 0,
+                 op=None, size: int = 0, signed: bool = False) -> None:
+        self.word = word
+        self.name = name
+        self.fmt = fmt
+        self.kind = kind
+        self.opcode = opcode
+        self.func = func
+        self.ra = ra
+        self.rb = rb
+        self.rc = rc
+        self.lit = lit
+        self.disp = disp
+        self.op = op
+        self.size = size
+        self.signed = signed
+
+    def copy(self) -> "Decoded":
+        clone = Decoded.__new__(Decoded)
+        for slot in Decoded.__slots__:
+            setattr(clone, slot, getattr(self, slot))
+        return clone
+
+    def is_mem(self) -> bool:
+        return self.kind in (KIND_LOAD, KIND_STORE, KIND_FLOAD, KIND_FSTORE)
+
+    def is_control(self) -> bool:
+        return self.kind in (KIND_BRANCH, KIND_FBRANCH, KIND_BR, KIND_JUMP)
+
+    def src_regs(self) -> list[tuple[str, int]]:
+        """Source registers as (class, index) pairs, for decode-stage FI."""
+        k = self.kind
+        if k in (KIND_ALU, KIND_CMOV):
+            srcs = [("int", self.ra)]
+            if self.lit is None:
+                srcs.append(("int", self.rb))
+            if k == KIND_CMOV:
+                srcs.append(("int", self.rc))
+            return srcs
+        if k in (KIND_FPALU, KIND_FCMOV):
+            srcs = [("fp", self.ra), ("fp", self.rb)]
+            if k == KIND_FCMOV:
+                srcs.append(("fp", self.rc))
+            return srcs
+        if k in (KIND_LOAD, KIND_FLOAD, KIND_LDA):
+            return [("int", self.rb)]
+        if k == KIND_STORE:
+            return [("int", self.ra), ("int", self.rb)]
+        if k == KIND_FSTORE:
+            return [("fp", self.ra), ("int", self.rb)]
+        if k == KIND_BRANCH:
+            return [("int", self.ra)]
+        if k == KIND_FBRANCH:
+            return [("fp", self.ra)]
+        if k == KIND_JUMP:
+            return [("int", self.rb)]
+        if k == KIND_ITOF:
+            return [("int", self.ra)]
+        if k == KIND_FTOI:
+            return [("fp", self.rb)] if self.op else [("fp", self.ra)]
+        return []
+
+    def dest_regs(self) -> list[tuple[str, int]]:
+        """Destination registers as (class, index) pairs."""
+        k = self.kind
+        if k in (KIND_ALU, KIND_CMOV, KIND_FTOI):
+            return [("int", self.rc)]
+        if k in (KIND_FPALU, KIND_FCMOV, KIND_ITOF):
+            return [("fp", self.rc)]
+        if k in (KIND_LOAD, KIND_LDA, KIND_BR, KIND_JUMP):
+            return [("int", self.ra)]
+        if k == KIND_FLOAD:
+            return [("fp", self.ra)]
+        return []
+
+    def src_reg_fields(self) -> list[str]:
+        """Names of the Decoded attributes holding *source* register
+        selections, aligned with :meth:`src_regs`.  Decode-stage fault
+        injection rewrites these attributes on a copy."""
+        k = self.kind
+        if k in (KIND_ALU, KIND_CMOV):
+            fields = ["ra"]
+            if self.lit is None:
+                fields.append("rb")
+            if k == KIND_CMOV:
+                fields.append("rc")
+            return fields
+        if k in (KIND_FPALU, KIND_FCMOV):
+            fields = ["ra", "rb"]
+            if k == KIND_FCMOV:
+                fields.append("rc")
+            return fields
+        if k in (KIND_LOAD, KIND_FLOAD, KIND_LDA):
+            return ["rb"]
+        if k in (KIND_STORE, KIND_FSTORE):
+            return ["ra", "rb"]
+        if k in (KIND_BRANCH, KIND_FBRANCH):
+            return ["ra"]
+        if k == KIND_JUMP:
+            return ["rb"]
+        if k == KIND_ITOF:
+            return ["ra"]
+        if k == KIND_FTOI:
+            return ["rb"] if self.op else ["ra"]
+        return []
+
+    def dest_reg_fields(self) -> list[str]:
+        """Names of the Decoded attributes holding *destination* register
+        selections, aligned with :meth:`dest_regs`."""
+        k = self.kind
+        if k in (KIND_ALU, KIND_CMOV, KIND_FTOI, KIND_FPALU, KIND_FCMOV,
+                 KIND_ITOF):
+            return ["rc"]
+        if k in (KIND_LOAD, KIND_FLOAD, KIND_LDA, KIND_BR, KIND_JUMP):
+            return ["ra"]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Decoded {self.name} word=0x{self.word:08x}>"
+
+
+def decode(word: int) -> Decoded:
+    """Decode a raw 32-bit instruction word.
+
+    Raises :class:`IllegalInstruction` for unimplemented opcodes/functions —
+    the architectural behaviour the paper observes when fetch-stage faults
+    corrupt the opcode or function field.
+    """
+    word &= enc.MASK32
+    opcode = enc.opcode_of(word)
+
+    if opcode == OP_PAL:
+        func = enc.pal_func_of(word)
+        if func not in (PAL_HALT, PAL_CALLSYS, PAL_IMB):
+            raise IllegalInstruction(word)
+        name = {PAL_HALT: "halt", PAL_CALLSYS: "callsys",
+                PAL_IMB: "imb"}[func]
+        return Decoded(word, name, Format.PALCODE, KIND_PAL, opcode,
+                       func=func)
+
+    if opcode == OP_FI:
+        func = enc.pal_func_of(word)
+        if func not in (FI_ACTIVATE, FI_READ_INIT):
+            raise IllegalInstruction(word)
+        name = "fi_activate_inst" if func == FI_ACTIVATE else \
+            "fi_read_init_all"
+        return Decoded(word, name, Format.PALCODE, KIND_FI, opcode,
+                       func=func)
+
+    if opcode in (OP_LDA, OP_LDAH):
+        disp = enc.mem_disp_of(word)
+        if opcode == OP_LDAH:
+            disp *= 65536
+        return Decoded(word, "lda" if opcode == OP_LDA else "ldah",
+                       Format.MEMORY, KIND_LDA, opcode,
+                       ra=enc.ra_of(word), rb=enc.rb_of(word), disp=disp)
+
+    if opcode in MEM_OPS:
+        name, kind, size, signed = MEM_OPS[opcode]
+        return Decoded(word, name, Format.MEMORY, kind, opcode,
+                       ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       disp=enc.mem_disp_of(word), size=size, signed=signed)
+
+    if opcode == OP_JMP:
+        return Decoded(word, "jmp", Format.MEMORY, KIND_JUMP, opcode,
+                       ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       disp=enc.mem_disp_of(word))
+
+    if opcode in (OP_BR, OP_BSR):
+        return Decoded(word, "br" if opcode == OP_BR else "bsr",
+                       Format.BRANCH, KIND_BR, opcode, ra=enc.ra_of(word),
+                       disp=enc.branch_disp_of(word))
+
+    if opcode in BRANCH_CONDS:
+        name, cond = BRANCH_CONDS[opcode]
+        return Decoded(word, name, Format.BRANCH, KIND_BRANCH, opcode,
+                       ra=enc.ra_of(word), disp=enc.branch_disp_of(word),
+                       op=cond)
+
+    if opcode in FBRANCH_CONDS:
+        name, cond = FBRANCH_CONDS[opcode]
+        return Decoded(word, name, Format.BRANCH, KIND_FBRANCH, opcode,
+                       ra=enc.ra_of(word), disp=enc.branch_disp_of(word),
+                       op=cond)
+
+    if opcode in (OP_INTA, OP_INTL, OP_INTS, OP_INTM):
+        func = enc.operate_func_of(word)
+        table = {OP_INTA: INTA_FUNCS, OP_INTL: INTL_FUNCS,
+                 OP_INTS: INTS_FUNCS, OP_INTM: INTM_FUNCS}[opcode]
+        lit = enc.literal_of(word) if enc.is_literal_form(word) else None
+        if opcode == OP_INTL and func in _CMOV_CONDS:
+            cmov_names = {0x24: "cmoveq", 0x26: "cmovne", 0x44: "cmovlt",
+                          0x46: "cmovge", 0x64: "cmovle", 0x66: "cmovgt"}
+            return Decoded(word, cmov_names[func], Format.OPERATE,
+                           KIND_CMOV, opcode, func=func,
+                           ra=enc.ra_of(word), rb=enc.rb_of(word),
+                           rc=enc.rc_of(word), lit=lit,
+                           op=_CMOV_CONDS[func])
+        if func not in table:
+            raise IllegalInstruction(word)
+        name, op = table[func]
+        return Decoded(word, name, Format.OPERATE, KIND_ALU, opcode,
+                       func=func, ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       rc=enc.rc_of(word), lit=lit, op=op)
+
+    if opcode == OP_FLTI:
+        func = enc.fp_func_of(word)
+        if func not in FLTI_FUNCS:
+            raise IllegalInstruction(word)
+        name, op = FLTI_FUNCS[func]
+        return Decoded(word, name, Format.FP_OPERATE, KIND_FPALU, opcode,
+                       func=func, ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       rc=enc.rc_of(word), op=op)
+
+    if opcode == OP_FLTL:
+        func = enc.fp_func_of(word)
+        if func in _FCMOV_CONDS:
+            name = "fcmoveq" if func == 0x02A else "fcmovne"
+            return Decoded(word, name, Format.FP_OPERATE, KIND_FCMOV,
+                           opcode, func=func, ra=enc.ra_of(word),
+                           rb=enc.rb_of(word), rc=enc.rc_of(word),
+                           op=_FCMOV_CONDS[func])
+        if func not in FLTL_FUNCS:
+            raise IllegalInstruction(word)
+        name, op = FLTL_FUNCS[func]
+        return Decoded(word, name, Format.FP_OPERATE, KIND_FPALU, opcode,
+                       func=func, ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       rc=enc.rc_of(word), op=op)
+
+    if opcode == OP_ITFP:
+        func = enc.fp_func_of(word)
+        if func not in ITFP_FUNCS:
+            raise IllegalInstruction(word)
+        name, op = ITFP_FUNCS[func]
+        if name == "itoft":
+            return Decoded(word, name, Format.FP_OPERATE, KIND_ITOF,
+                           opcode, func=func, ra=enc.ra_of(word),
+                           rc=enc.rc_of(word))
+        return Decoded(word, name, Format.FP_OPERATE, KIND_FPALU, opcode,
+                       func=func, ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       rc=enc.rc_of(word), op=op)
+
+    if opcode == OP_FTOIX:
+        func = enc.fp_func_of(word)
+        if func not in FTOIX_FUNCS:
+            raise IllegalInstruction(word)
+        name, op = FTOIX_FUNCS[func]
+        if name == "ftoit":
+            return Decoded(word, name, Format.FP_OPERATE, KIND_FTOI,
+                           opcode, func=func, ra=enc.ra_of(word),
+                           rc=enc.rc_of(word))
+        # sextb/sextw are integer operate-style, Rb -> Rc.
+        lit = None
+        return Decoded(word, name, Format.FP_OPERATE, KIND_ALU, opcode,
+                       func=func, ra=enc.ra_of(word), rb=enc.rb_of(word),
+                       rc=enc.rc_of(word), lit=lit, op=op)
+
+    raise IllegalInstruction(word)
+
+
+def format_of_opcode(opcode: int) -> Format | None:
+    """The instruction format a major opcode belongs to, or None."""
+    if opcode in (OP_PAL, OP_FI):
+        return Format.PALCODE
+    if opcode in (OP_BR, OP_BSR) or opcode in BRANCH_CONDS \
+            or opcode in FBRANCH_CONDS:
+        return Format.BRANCH
+    if opcode in MEM_OPS or opcode in (OP_LDA, OP_LDAH, OP_JMP):
+        return Format.MEMORY
+    if opcode in (OP_INTA, OP_INTL, OP_INTS, OP_INTM):
+        return Format.OPERATE
+    if opcode in (OP_FLTI, OP_FLTL, OP_ITFP, OP_FTOIX):
+        return Format.FP_OPERATE
+    return None
+
+
+def field_of_fetch_bit(word: int, bit: int) -> Field:
+    """Classify which field of the *original* word a fetch-stage bit flip
+    hits (Table I analysis).  Unknown opcodes classify by opcode bits only.
+    """
+    fmt = format_of_opcode(enc.opcode_of(word))
+    if fmt is None:
+        return Field.OPCODE if bit >= enc.OPCODE_SHIFT else Field.UNUSED
+    return enc.field_of_bit(fmt, bit, word)
+
+
+# A canonical NOP: BIS r31, r31, r31.
+NOP_WORD = enc.encode_operate(OP_INTL, 31, 31, 0x20, 31)
+
+
+class DecodeCache:
+    """Memoizing decoder shared by CPU models.
+
+    Decoding is pure (word -> Decoded), so entries are cached by word.
+    Fault injection never mutates cached entries: fetch faults produce a
+    different word (a different cache key) and decode faults copy the
+    entry first.  The campaign ablation bench can disable the cache to
+    measure its contribution.
+    """
+
+    __slots__ = ("enabled", "_cache")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._cache: dict[int, Decoded] = {}
+
+    def decode(self, word: int) -> Decoded:
+        if not self.enabled:
+            return decode(word)
+        hit = self._cache.get(word)
+        if hit is None:
+            hit = decode(word)
+            self._cache[word] = hit
+        return hit
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,10 @@
+"""Classic memory system: sparse main memory + cache hierarchy."""
+
+from .cache import Cache, CacheConfig, CacheStats
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .mainmem import PAGE_SIZE, MainMemory, Region
+
+__all__ = [
+    "Cache", "CacheConfig", "CacheStats", "HierarchyConfig",
+    "MainMemory", "MemoryHierarchy", "PAGE_SIZE", "Region",
+]

@@ -1,0 +1,158 @@
+"""Set-associative cache model (gem5 "classic" memory system analogue).
+
+Caches here are *tag-only* timing models: they track which lines are
+resident (for hit/miss accounting and latency) while data always lives in
+:class:`~repro.memory.mainmem.MainMemory`.  This is the standard
+functional-first simulation split and keeps coherence trivial for the
+single-core configurations the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int = 32 * 1024
+    assoc: int = 2
+    line_bytes: int = 64
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size must be a multiple of assoc*line")
+        self.num_sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of 2")
+
+
+@dataclass
+class CacheStats:
+    """Per-cache statistics, included in the gem5-style stats dump."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "writebacks": self.writebacks,
+            "miss_rate": round(self.miss_rate, 6),
+        }
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "lru")
+
+    def __init__(self, tag: int, lru: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.lru = lru
+
+
+class Cache:
+    """One level of a write-back, write-allocate, LRU cache."""
+
+    def __init__(self, config: CacheConfig,
+                 next_level: "Cache | None" = None,
+                 memory_latency: int = 100) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.memory_latency = memory_latency
+        self.stats = CacheStats()
+        self._sets: list[dict[int, _Line]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._clock = 0
+
+    def access(self, addr: int, write: bool = False) -> int:
+        """Model one access; returns the latency in ticks."""
+        self._clock += 1
+        cfg = self.config
+        line_addr = addr // cfg.line_bytes
+        set_index = line_addr & (cfg.num_sets - 1)
+        tag = line_addr >> cfg.num_sets.bit_length() - 1
+        lines = self._sets[set_index]
+
+        line = lines.get(tag)
+        if line is not None:
+            self.stats.hits += 1
+            line.lru = self._clock
+            if write:
+                line.dirty = True
+            return cfg.hit_latency
+
+        self.stats.misses += 1
+        fill_latency = (self.next_level.access(addr, write=False)
+                        if self.next_level is not None
+                        else self.memory_latency)
+        if len(lines) >= cfg.assoc:
+            victim_tag = min(lines, key=lambda t: lines[t].lru)
+            victim = lines.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                if self.next_level is not None:
+                    fill_latency += self.next_level.access(
+                        self._addr_of(victim_tag, set_index), write=True)
+                else:
+                    fill_latency += self.memory_latency
+        new_line = _Line(tag, self._clock)
+        new_line.dirty = write
+        lines[tag] = new_line
+        return cfg.hit_latency + fill_latency
+
+    def contains(self, addr: int) -> bool:
+        cfg = self.config
+        line_addr = addr // cfg.line_bytes
+        set_index = line_addr & (cfg.num_sets - 1)
+        tag = line_addr >> cfg.num_sets.bit_length() - 1
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        """Invalidate every line (used across checkpoint restores)."""
+        self._sets = [{} for _ in range(self.config.num_sets)]
+
+    def _addr_of(self, tag: int, set_index: int) -> int:
+        cfg = self.config
+        line_addr = (tag << (cfg.num_sets.bit_length() - 1)) | set_index
+        return line_addr * cfg.line_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "clock": self._clock,
+            "stats": vars(self.stats).copy(),
+            "sets": [
+                [(tag, line.dirty, line.lru)
+                 for tag, line in lines.items()]
+                for lines in self._sets
+            ],
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._clock = snap["clock"]
+        for key, value in snap["stats"].items():
+            setattr(self.stats, key, value)
+        self._sets = []
+        for entries in snap["sets"]:
+            lines: dict[int, _Line] = {}
+            for tag, dirty, lru in entries:
+                line = _Line(tag, lru)
+                line.dirty = dirty
+                lines[tag] = line
+            self._sets.append(lines)

@@ -1,0 +1,77 @@
+"""The validation-platform memory hierarchy of Section IV.
+
+The paper's simulated system couples each core with an L1 instruction
+cache, an L1 data cache and a *unified* L2.  This module wires the cache
+levels together over :class:`MainMemory` and exposes the interface the
+timing CPU models consume: every access returns both the value and the
+modelled latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import Cache, CacheConfig
+from .mainmem import MainMemory
+
+
+@dataclass
+class HierarchyConfig:
+    """Cache geometry for the whole hierarchy (paper Section IV defaults)."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "l1i", size_bytes=32 * 1024, assoc=2, line_bytes=64, hit_latency=1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "l1d", size_bytes=64 * 1024, assoc=2, line_bytes=64, hit_latency=1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "l2", size_bytes=2 * 1024 * 1024, assoc=8, line_bytes=64,
+        hit_latency=10))
+    memory_latency: int = 100
+
+
+class MemoryHierarchy:
+    """L1I + L1D over a unified L2 over DRAM."""
+
+    def __init__(self, memory: MainMemory,
+                 config: HierarchyConfig | None = None) -> None:
+        self.memory = memory
+        self.config = config or HierarchyConfig()
+        self.l2 = Cache(self.config.l2,
+                        memory_latency=self.config.memory_latency)
+        self.l1i = Cache(self.config.l1i, next_level=self.l2)
+        self.l1d = Cache(self.config.l1d, next_level=self.l2)
+
+    # -- functional + timing access paths -------------------------------------
+
+    def fetch(self, pc: int) -> tuple[int, int]:
+        """Instruction fetch: returns (word, latency)."""
+        word = self.memory.fetch(pc)
+        return word, self.l1i.access(pc)
+
+    def read(self, addr: int, size: int,
+             pc: int | None = None) -> tuple[int, int]:
+        value = self.memory.read(addr, size, pc=pc)
+        return value, self.l1d.access(addr)
+
+    def write(self, addr: int, size: int, value: int,
+              pc: int | None = None) -> int:
+        self.memory.write(addr, size, value, pc=pc)
+        return self.l1d.access(addr, write=True)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "l1i": self.l1i.stats.as_dict(),
+            "l1d": self.l1d.stats.as_dict(),
+            "l2": self.l2.stats.as_dict(),
+        }
+
+    def snapshot(self) -> dict:
+        return {"l1i": self.l1i.snapshot(), "l1d": self.l1d.snapshot(),
+                "l2": self.l2.snapshot()}
+
+    def restore(self, snap: dict) -> None:
+        self.l1i.restore(snap["l1i"])
+        self.l1d.restore(snap["l1d"])
+        self.l2.restore(snap["l2"])

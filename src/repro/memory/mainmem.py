@@ -1,0 +1,168 @@
+"""Sparse paged physical memory.
+
+The simulated machine exposes a 64-bit address space backed by 4 KiB
+pages that are allocated on demand, but only inside regions explicitly
+mapped by the kernel (text, data, heap, stack).  Accesses outside mapped
+regions raise :class:`UnmappedAccess` and misaligned accesses raise
+:class:`MisalignedAccess` — exactly the architectural behaviour that turns
+fault-corrupted addresses into the *Crashed* outcome class of the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..isa.traps import MisalignedAccess, UnmappedAccess
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+_STRUCT_BY_SIZE = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+
+class Region:
+    """A mapped address-space region with a human-readable name."""
+
+    __slots__ = ("name", "start", "end", "writable")
+
+    def __init__(self, name: str, start: int, end: int,
+                 writable: bool = True) -> None:
+        if end <= start:
+            raise ValueError(f"empty region {name}")
+        self.name = name
+        self.start = start
+        self.end = end
+        self.writable = writable
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Region {self.name} 0x{self.start:x}-0x{self.end:x}"
+                f"{'' if self.writable else ' ro'}>")
+
+
+class MainMemory:
+    """Byte-addressable sparse memory with region-based protection."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._regions: list[Region] = []
+
+    # -- region management ----------------------------------------------------
+
+    def map_region(self, name: str, start: int, size: int,
+                   writable: bool = True) -> Region:
+        """Map *size* bytes starting at *start*; overlaps are rejected."""
+        region = Region(name, start, start + size, writable)
+        for existing in self._regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError(
+                    f"region {name} overlaps {existing.name}")
+        self._regions.append(region)
+        return region
+
+    def unmap_region(self, name: str) -> None:
+        self._regions = [r for r in self._regions if r.name != name]
+
+    def region_of(self, addr: int) -> Region | None:
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def grow_region(self, name: str, new_end: int) -> None:
+        """Extend a region (the ``brk`` syscall uses this for the heap)."""
+        for region in self._regions:
+            if region.name == name:
+                if new_end < region.end:
+                    raise ValueError("regions never shrink")
+                region.end = new_end
+                return
+        raise KeyError(name)
+
+    # -- raw access -----------------------------------------------------------
+
+    def read(self, addr: int, size: int, pc: int | None = None) -> int:
+        self._check(addr, size, write=False, pc=pc)
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return struct.unpack_from(_STRUCT_BY_SIZE[size], page,
+                                  addr & PAGE_MASK)[0]
+
+    def write(self, addr: int, size: int, value: int,
+              pc: int | None = None) -> None:
+        self._check(addr, size, write=True, pc=pc)
+        index = addr >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        struct.pack_into(_STRUCT_BY_SIZE[size], page, addr & PAGE_MASK,
+                         value & ((1 << (8 * size)) - 1))
+
+    def fetch(self, pc: int) -> int:
+        """Instruction fetch: a 4-byte aligned read from an executable
+        region.  PC corruption (a GemFI fault location) lands here."""
+        return self.read(pc, 4, pc=pc)
+
+    # -- bulk helpers (loader / checkpointing / workload I/O) -----------------
+
+    def write_bytes(self, addr: int, blob: bytes) -> None:
+        for offset, byte in enumerate(blob):
+            self.write(addr + offset, 1, byte)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return bytes(self.read(addr + i, 1) for i in range(length))
+
+    def peek_bytes(self, addr: int, length: int) -> bytes:
+        """Postmortem read that bypasses region protection (missing pages
+        read as zeros).  Campaign classifiers use this to extract output
+        arrays after the process has exited and been unmapped."""
+        out = bytearray()
+        while length > 0:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            offset = addr & PAGE_MASK
+            chunk = min(length, PAGE_SIZE - offset)
+            if page is None:
+                out += bytes(chunk)
+            else:
+                out += page[offset:offset + chunk]
+            addr += chunk
+            length -= chunk
+        return bytes(out)
+
+    # -- internals ------------------------------------------------------------
+
+    def _check(self, addr: int, size: int, write: bool,
+               pc: int | None) -> None:
+        if size not in _STRUCT_BY_SIZE:
+            raise ValueError(f"unsupported access size {size}")
+        if addr % size:
+            raise MisalignedAccess(addr, size, pc=pc)
+        if addr < 0 or addr >= 1 << 64:
+            raise UnmappedAccess(addr & ((1 << 64) - 1), pc=pc)
+        region = self.region_of(addr)
+        if region is None:
+            raise UnmappedAccess(addr, pc=pc)
+        if write and not region.writable:
+            raise UnmappedAccess(addr, pc=pc)
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "pages": {idx: bytes(page) for idx, page in self._pages.items()},
+            "regions": [(r.name, r.start, r.end, r.writable)
+                        for r in self._regions],
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._pages = {idx: bytearray(page)
+                       for idx, page in snap["pages"].items()}
+        self._regions = [
+            Region(name, start, end, writable)
+            for name, start, end, writable in snap["regions"]
+        ]

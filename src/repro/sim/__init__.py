@@ -1,0 +1,18 @@
+"""Simulation driver: configuration, run loop, stats, checkpointing."""
+
+from .checkpoint import (
+    CheckpointError,
+    dumps_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+    snapshot_state,
+)
+from .config import SimConfig
+from .simulator import RunResult, Simulator
+from . import stats
+
+__all__ = [
+    "CheckpointError", "RunResult", "SimConfig", "Simulator",
+    "dumps_checkpoint", "restore_checkpoint", "save_checkpoint",
+    "snapshot_state", "stats",
+]

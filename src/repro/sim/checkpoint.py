@@ -1,0 +1,113 @@
+"""Whole-simulator checkpointing (the DMTCP substitute, Section III.D).
+
+The paper checkpoints the *Linux process running the simulator* with
+DMTCP rather than using gem5's internal checkpoints (which either force a
+pipeline-flushing model switch or require the slow MOESI-hammer ruby
+model).  The Python equivalent of a process-level checkpoint is a
+complete snapshot of the simulator object graph: memory pages, caches,
+architectural state, kernel state, predictor tables and the tick clock.
+
+Restoring re-parses the fault configuration (``FaultInjector.reset`` +
+``load_faults``), so one checkpoint fast-forwards *every* experiment of a
+campaign past boot + application initialisation (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+from ..core.fault import Fault
+from ..core.injector import FaultInjector
+from .config import SimConfig
+from .simulator import Simulator
+
+FORMAT_VERSION = 3
+
+
+class CheckpointError(Exception):
+    """Raised for version or content mismatches on restore."""
+
+
+def snapshot_state(sim: Simulator) -> dict:
+    """Capture everything needed to resume *sim* exactly where it is."""
+    return {
+        "version": FORMAT_VERSION,
+        "config": sim.config,
+        "tick": sim.tick,
+        "instructions": sim.instructions,
+        "memory": sim.memory.snapshot(),
+        "hierarchy": sim.hierarchy.snapshot(),
+        "core": sim.core.snapshot(),
+        "cpu_model": sim.cpu.model_name,
+        "cpu": sim.cpu.snapshot(),
+        "system": sim.system.snapshot(),
+        "program_sources": dict(sim.program_sources),
+    }
+
+
+def save_checkpoint(sim: Simulator, path) -> None:
+    """Serialise a checkpoint to *path*."""
+    with open(path, "wb") as handle:
+        pickle.dump(snapshot_state(sim), handle,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def dumps_checkpoint(sim: Simulator) -> bytes:
+    """Serialise a checkpoint to bytes (in-memory campaigns)."""
+    buffer = io.BytesIO()
+    pickle.dump(snapshot_state(sim), buffer,
+                protocol=pickle.HIGHEST_PROTOCOL)
+    return buffer.getvalue()
+
+
+def restore_checkpoint(source, faults: list[Fault] | None = None,
+                       config_override: SimConfig | None = None
+                       ) -> Simulator:
+    """Rebuild a simulator from a checkpoint.
+
+    ``source`` is a path or a bytes blob.  ``faults`` installs a fresh
+    fault configuration (the per-experiment input file); the injector is
+    always reset, matching ``fi_read_init_all`` semantics.
+    ``config_override`` lets campaigns restore into a different CPU model
+    (e.g. the detailed O3 model for the injection window).
+    """
+    if isinstance(source, (bytes, bytearray)):
+        state = pickle.loads(bytes(source))
+    else:
+        with open(source, "rb") as handle:
+            state = pickle.load(handle)
+    if state.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {state.get('version')} != "
+            f"{FORMAT_VERSION}")
+
+    config = config_override or state["config"]
+    injector = FaultInjector(faults or [])
+    sim = Simulator(config=config, injector=injector)
+
+    # Blow away the fresh platform state and install the snapshot.
+    sim.tick = state["tick"]
+    sim.instructions = state["instructions"]
+    sim.memory.restore(state["memory"])
+    sim.hierarchy.restore(state["hierarchy"])
+    sim.core.restore(state["core"])
+    sim.system.restore(state["system"])
+    sim.program_sources = dict(state["program_sources"])
+
+    # CPU model: honour the override, otherwise resume the stored model.
+    target_model = config.cpu_model if config_override is not None \
+        else state["cpu_model"]
+    if sim.cpu.model_name != target_model:
+        from ..cpu import CPU_MODELS
+        sim.cpu = CPU_MODELS[target_model](sim.core)
+    if sim.cpu.model_name == state["cpu_model"]:
+        sim.cpu.restore(state["cpu"])
+
+    # The restored core must point at the (restored) injector state.
+    injector.reset()
+    if sim.system.current_pid is not None:
+        current = sim.system.processes[sim.system.current_pid]
+        sim.core.pcb_addr = current.pcb_addr
+    sim.core.fi_thread = None
+    return sim

@@ -1,0 +1,206 @@
+"""The simulator: assembles the platform and owns the run loop.
+
+Responsibilities mirroring gem5 + the GemFI extensions:
+
+* build memory, caches, core, CPU model, kernel from a :class:`SimConfig`;
+* run the fetch-decode-execute loop with scheduler quanta and watchdog;
+* service ``fi_read_init_all`` checkpoint requests (DMTCP substitute);
+* switch CPU models mid-run (detailed -> atomic once the fault committed,
+  the campaign methodology of Section IV.B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.injector import FaultInjector
+from ..cpu import CPU_MODELS
+from ..cpu.base import CheckpointRequested, Core
+from ..isa.instructions import DecodeCache
+from ..isa.traps import HaltRequest, SimTrap
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.mainmem import MainMemory
+from ..system.kernel import System
+from ..system.process import Process
+from ..system.syscalls import ProcessExited
+from .config import SimConfig
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Simulator.run` call."""
+
+    status: str                 # "completed" | "limit" | "halted"
+    instructions: int
+    ticks: int
+    checkpoint_taken: bool = False
+
+    @property
+    def hit_limit(self) -> bool:
+        return self.status == "limit"
+
+
+class Simulator:
+    """A complete simulated machine."""
+
+    def __init__(self, config: SimConfig | None = None,
+                 injector: FaultInjector | None = None) -> None:
+        self.config = config or SimConfig()
+        self.tick = 0
+        self.instructions = 0
+        self.memory = MainMemory()
+        self.hierarchy = MemoryHierarchy(self.memory,
+                                         self.config.hierarchy)
+        self.injector = injector
+        if injector is not None:
+            injector.clock = lambda: self.tick
+        self.system = System(self.memory, clock=lambda: self.tick,
+                             quantum=self.config.quantum)
+        self.core = Core(
+            self.config.core_name, self.hierarchy, injector=injector,
+            decode_cache=DecodeCache(enabled=self.config.decode_cache))
+        self.core.system = self.system
+        self.core.fi_hash_lookup = \
+            self.config.fi_hash_lookup_per_instruction
+        self.cpu = CPU_MODELS[self.config.cpu_model](self.core)
+        self.checkpoint_path = None
+        self.checkpoint_taken = False
+        self.on_checkpoint = None        # callable(sim) -> None
+        self._switched_to_atomic = False
+        self._quantum_counter = 0
+        # Kept so checkpoints can re-create processes: pid -> (asm, name).
+        self.program_sources: dict[int, tuple[str, str]] = {}
+
+    # -- program loading -----------------------------------------------------------
+
+    def load(self, asm_source: str, name: str = "app",
+             entry_symbol: str = "main") -> Process:
+        """Load a program; the first loaded process runs first."""
+        process = self.system.spawn(asm_source, name,
+                                    entry_symbol=entry_symbol)
+        self.program_sources[process.pid] = (asm_source, name)
+        return process
+
+    # -- the run loop ------------------------------------------------------------------
+
+    def run(self, max_instructions: int | None = None,
+            until_checkpoint: bool = False) -> RunResult:
+        """Simulate until every process finishes, the watchdog fires, a
+        ``halt`` executes, or (optionally) a checkpoint is taken."""
+        limit = max_instructions or self.config.max_instructions
+        system = self.system
+        core = self.core
+        config = self.config
+        poll = config.poll_interval
+        next_poll = self.instructions + poll
+
+        if system.current_pid is None or \
+                not system.processes[system.current_pid].alive:
+            if system.schedule(core) is None:
+                return self._result("completed")
+
+        status = "completed"
+        while True:
+            try:
+                ticks, committed = self.cpu.step()
+            except ProcessExited as exited:
+                self.cpu.drain()
+                system.on_exit(core, exited)
+                if not system.any_alive:
+                    status = "completed"
+                    break
+                continue
+            except CheckpointRequested as request:
+                # Complete the fi_read_init_all instruction by hand, then
+                # snapshot: the checkpoint lands exactly between it and
+                # the following instruction.
+                self.cpu.drain()
+                core.arch.pc = request.next_pc
+                core.committed += 1
+                self.tick += 1
+                self.instructions += 1
+                if self.injector is not None:
+                    self.injector.checkpoint_requested = False
+                self._take_checkpoint()
+                if until_checkpoint:
+                    status = "completed"
+                    break
+                continue
+            except HaltRequest:
+                status = "halted"
+                break
+            except SimTrap as trap:
+                self.cpu.drain()
+                system.on_crash(core, trap)
+                if not system.any_alive:
+                    status = "completed"
+                    break
+                continue
+
+            self.tick += ticks
+            self.instructions += committed
+            self._quantum_counter += committed
+
+            if self.instructions >= next_poll:
+                next_poll = self.instructions + poll
+                injector = self.injector
+                if injector is not None:
+                    if (config.switch_to_atomic_after_fi
+                            and not self._switched_to_atomic
+                            and injector.injection_happened
+                            and injector.all_faults_done):
+                        self.switch_model("atomic")
+                if limit is not None and self.instructions >= limit:
+                    status = "limit"
+                    break
+                if system.yield_requested or (
+                        self._quantum_counter >= system.quantum
+                        and len(system.runnable) > 1):
+                    system.yield_requested = False
+                    self._quantum_counter = 0
+                    self.cpu.drain()
+                    system.schedule(core)
+        return self._result(status)
+
+    def _result(self, status: str) -> RunResult:
+        return RunResult(status=status, instructions=self.instructions,
+                         ticks=self.tick,
+                         checkpoint_taken=self.checkpoint_taken)
+
+    # -- CPU model switching --------------------------------------------------------------
+
+    def switch_model(self, model_name: str) -> None:
+        """Drain the pipeline and swap CPU models (O3 -> atomic in the
+        campaign methodology)."""
+        if self.cpu.model_name == model_name:
+            self._switched_to_atomic = model_name == "atomic"
+            return
+        self.cpu.drain()
+        self.cpu = CPU_MODELS[model_name](self.core)
+        if model_name == "atomic":
+            self._switched_to_atomic = True
+
+    # -- checkpointing ------------------------------------------------------------------------
+
+    def _take_checkpoint(self) -> None:
+        from . import checkpoint as ckpt
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self)
+            self.checkpoint_taken = True
+        elif self.checkpoint_path is not None:
+            ckpt.save_checkpoint(self, self.checkpoint_path)
+            self.checkpoint_taken = True
+        # With no checkpoint sink configured the request is a no-op, like
+        # running the binary outside a campaign.
+
+    # -- convenience accessors -------------------------------------------------------------------
+
+    def console_text(self, pid: int = 0) -> str:
+        return self.system.processes[pid].console_text()
+
+    def process(self, pid: int = 0) -> Process:
+        return self.system.processes[pid]
+
+    def stats_dump(self) -> str:
+        from . import stats
+        return stats.dump(self)

@@ -1,0 +1,26 @@
+"""Full-system substrate: processes, loader, syscalls, OS-lite kernel."""
+
+from .kernel import System
+from .loader import load_image, load_program, unload_process
+from .process import Process, ProcessState, pcb_address
+from .syscalls import (
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_PRINT_CHAR,
+    SYS_PRINT_FLOAT,
+    SYS_PRINT_INT,
+    SYS_TICKS,
+    SYS_WRITE,
+    SYS_YIELD,
+    BadSyscall,
+    ProcessExited,
+)
+
+__all__ = [
+    "BadSyscall", "Process", "ProcessExited", "ProcessState", "System",
+    "SYS_BRK", "SYS_EXIT", "SYS_GETPID", "SYS_PRINT_CHAR",
+    "SYS_PRINT_FLOAT", "SYS_PRINT_INT", "SYS_TICKS", "SYS_WRITE",
+    "SYS_YIELD", "load_image", "load_program", "pcb_address",
+    "unload_process",
+]

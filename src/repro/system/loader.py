@@ -1,0 +1,77 @@
+"""Program loader: assemble into a process slot and map its memory.
+
+Programs are carried around as assembly source (the compiler's output),
+because the ISA uses absolute addressing: the loader (re)assembles each
+program with the text/data bases of the process slot it lands in — the
+moral equivalent of the paper's step of copying cross-compiled binaries
+into the simulator's disk image.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Assembler, Image
+from ..isa.registers import REG_GP, REG_RA, REG_SP
+from ..memory.mainmem import MainMemory
+from . import process as proc_mod
+from .process import Process
+
+
+def load_program(memory: MainMemory, asm_source: str, pid: int,
+                 name: str, entry_symbol: str = "main") -> Process:
+    """Assemble *asm_source* into the slot of *pid*, map and populate its
+    regions, and return a ready-to-run Process."""
+    assembler = Assembler(text_base=proc_mod.text_base(pid),
+                          data_base=proc_mod.data_base(pid))
+    image = assembler.assemble(asm_source, entry_symbol=entry_symbol)
+    return load_image(memory, image, pid, name)
+
+
+def load_image(memory: MainMemory, image: Image, pid: int,
+               name: str) -> Process:
+    """Map text/data/stack regions for *image* and create the Process."""
+    prefix = f"p{pid}"
+    text_len = _page_round(max(len(image.text), 4))
+    memory.map_region(f"{prefix}.text", image.text_base, text_len,
+                      writable=True)
+    # Text is written once by the loader, then write-protected:
+    # fault-corrupted stores into code pages segfault like a real OS.
+    memory.write_bytes(image.text_base, image.text)
+    memory.region_of(image.text_base).writable = False
+
+    data_len = _page_round(max(len(image.data), 1) + 4096)
+    memory.map_region(f"{prefix}.data", image.data_base, data_len)
+    if image.data:
+        memory.write_bytes(image.data_base, image.data)
+
+    top = proc_mod.stack_top(pid)
+    memory.map_region(f"{prefix}.stack", top - proc_mod.STACK_SIZE,
+                      proc_mod.STACK_SIZE)
+
+    process = Process(pid=pid, name=name, entry=image.entry)
+    process.symbols = dict(image.symbols)
+    process.brk = image.data_base + data_len
+    process.context = _initial_context(process, image)
+    return process
+
+
+def unload_process(memory: MainMemory, process: Process) -> None:
+    """Unmap every region of a finished process."""
+    prefix = f"p{process.pid}"
+    for suffix in ("text", "data", "stack", "heap"):
+        memory.unmap_region(f"{prefix}.{suffix}")
+
+
+def _initial_context(process: Process, image: Image) -> dict:
+    """Architectural register state at process start (ABI entry state)."""
+    intregs = [0] * 32
+    intregs[REG_SP] = proc_mod.stack_top(process.pid) - 64
+    intregs[REG_GP] = image.data_base
+    # Returning from main() without an exit syscall jumps to a halt-like
+    # sentinel inside unmapped space -> treated as a crash; programs are
+    # expected to call exit().  The compiler's prologue sets RA properly.
+    intregs[REG_RA] = 0
+    return {"int": intregs, "fp": [0] * 32, "pc": process.entry}
+
+
+def _page_round(n: int) -> int:
+    return (n + 4095) & ~4095

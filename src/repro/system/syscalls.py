@@ -1,0 +1,135 @@
+"""System-call layer (the ``callsys`` PALcode trap).
+
+Convention (Alpha/OSF-ish): the syscall number is in ``v0`` (r0),
+arguments in ``a0..a2`` (r16..r18), result returned in ``v0``.
+
+Numeric formatting syscalls (PRINT_INT / PRINT_FLOAT) take the role of
+libc's printf: the simulated libc is thin, so the kernel renders numbers
+for the console.  Fault-corrupted values still flow through unchanged —
+formatting happens on whatever bit pattern the program hands over
+(NaN/inf float patterns print as such).
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import bits_to_float, to_signed64
+
+SYS_EXIT = 0
+SYS_WRITE = 1
+SYS_BRK = 2
+SYS_GETPID = 3
+SYS_YIELD = 4
+SYS_PRINT_INT = 5
+SYS_PRINT_FLOAT = 6
+SYS_PRINT_CHAR = 7
+SYS_TICKS = 8
+SYS_SPAWN = 9
+SYS_JOIN = 10
+
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit", SYS_WRITE: "write", SYS_BRK: "brk",
+    SYS_GETPID: "getpid", SYS_YIELD: "yield",
+    SYS_PRINT_INT: "print_int", SYS_PRINT_FLOAT: "print_float",
+    SYS_PRINT_CHAR: "print_char", SYS_TICKS: "ticks",
+    SYS_SPAWN: "spawn", SYS_JOIN: "join",
+}
+
+MAX_WRITE_LEN = 1 << 20
+
+
+class ProcessExited(Exception):
+    """Control-flow signal: the current process called exit()."""
+
+    def __init__(self, pid: int, code: int) -> None:
+        super().__init__(f"process {pid} exited with code {code}")
+        self.pid = pid
+        self.code = code
+
+
+class BadSyscall(Exception):
+    """An unknown syscall number — fault-corrupted v0 lands here; the
+    kernel treats it as a crash (like a real OS delivering SIGSYS)."""
+
+    def __init__(self, number: int) -> None:
+        super().__init__(f"bad syscall number {number}")
+        self.number = number
+
+
+def dispatch(system, core, process) -> None:
+    """Execute the syscall currently requested by *core*'s registers."""
+    regs = core.arch.intregs
+    number = to_signed64(regs.read(0))
+    a0 = regs.read(16)
+    a1 = regs.read(17)
+    a2 = regs.read(18)
+
+    if number == SYS_EXIT:
+        raise ProcessExited(process.pid, to_signed64(a0) & 0xFF)
+
+    if number == SYS_WRITE:
+        length = min(a2, MAX_WRITE_LEN)
+        blob = system.memory.read_bytes(a1 & ((1 << 64) - 1), length)
+        process.console += blob
+        regs.write(0, length)
+        return
+
+    if number == SYS_BRK:
+        if a0 == 0:
+            regs.write(0, process.brk)
+            return
+        new_brk = a0
+        if new_brk > process.brk:
+            system.memory.grow_region(f"p{process.pid}.data", new_brk)
+            process.brk = new_brk
+        regs.write(0, process.brk)
+        return
+
+    if number == SYS_GETPID:
+        regs.write(0, process.pid)
+        return
+
+    if number == SYS_YIELD:
+        system.yield_requested = True
+        regs.write(0, 0)
+        return
+
+    if number == SYS_PRINT_INT:
+        process.console += str(to_signed64(a0)).encode()
+        regs.write(0, 0)
+        return
+
+    if number == SYS_PRINT_FLOAT:
+        value = bits_to_float(a0)
+        process.console += format(value, ".12g").encode()
+        regs.write(0, 0)
+        return
+
+    if number == SYS_PRINT_CHAR:
+        process.console += bytes([a0 & 0xFF])
+        regs.write(0, 0)
+        return
+
+    if number == SYS_TICKS:
+        regs.write(0, system.clock())
+        return
+
+    if number == SYS_SPAWN:
+        # spawn(entry_pc, argument) -> thread pid.  The new thread
+        # shares the caller's address space but has its own stack,
+        # PCB and scheduler entry (the paper's multithreaded-
+        # application support, thread-targetable via
+        # fi_activate_inst).
+        child = system.spawn_thread(process, entry_pc=a0,
+                                    argument=a1)
+        regs.write(0, child.pid)
+        return
+
+    if number == SYS_JOIN:
+        # join(pid) -> 1 when the target finished, else 0 (poll with
+        # sched_yield in between).
+        target = system.processes.get(a0)
+        finished = target is not None and not target.alive
+        regs.write(0, 1 if finished else 0)
+        return
+
+    raise BadSyscall(number)

@@ -1,0 +1,20 @@
+"""The six benchmark applications of Section IV, written in MiniC."""
+
+from .quality import (
+    Outputs,
+    decimal_digits_match,
+    extract_outputs,
+    is_permutation,
+    parse_floats,
+    psnr,
+    read_float_array,
+    read_int_array,
+)
+from .registry import WORKLOAD_NAMES, build, build_all
+from .spec import WorkloadSpec
+
+__all__ = [
+    "Outputs", "WORKLOAD_NAMES", "WorkloadSpec", "build", "build_all",
+    "decimal_digits_match", "extract_outputs", "is_permutation",
+    "parse_floats", "psnr", "read_float_array", "read_int_array",
+]

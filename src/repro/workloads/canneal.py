@@ -1,0 +1,163 @@
+"""Canneal: simulated-annealing netlist placement (PARSEC kernel).
+
+Minimises the routing cost of a chip by randomly swapping the locations
+of netlist elements, accepting all improving swaps plus — early in the
+schedule — some worsening ones (threshold annealing: a worsening swap is
+accepted while its cost delta is below the current temperature, a
+standard exp-free formulation).
+
+Acceptance follows the paper: "correct Canneal executions are those that
+reduce the total cost of routing and produce a correct chip" — the final
+placement must be a valid permutation (every element placed exactly
+once) and the final cost must not exceed the initial cost.
+"""
+
+from __future__ import annotations
+
+from .quality import Outputs, is_permutation
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 12000, "nets": 12, "fanout": 2, "steps": 120},
+    "small": {"boot": 30000, "nets": 24, "fanout": 2, "steps": 400},
+    "medium": {"boot": 80000, "nets": 48, "fanout": 3, "steps": 1500},
+    "paper": {"boot": 900000, "nets": 100, "fanout": 3, "steps": 10000},
+}
+
+
+def netlist(nets: int, fanout: int) -> list[int]:
+    """Deterministic netlist: net i connects to `fanout` pseudo-random
+    other nets.  Flattened to an int array of size nets*fanout."""
+    edges = []
+    for i in range(nets):
+        for k in range(fanout):
+            edges.append((i * 31 + k * 17 + 7) % nets)
+    return edges
+
+
+def _minic_source(nets: int, fanout: int, steps: int,
+                  boot_n: int) -> str:
+    grid = 1
+    while grid * grid < nets:
+        grid += 1
+    edges = ", ".join(str(v) for v in netlist(nets, fanout))
+    return f'''
+BOOT_N = {boot_n}
+NETS = {nets}
+FANOUT = {fanout}
+STEPS = {steps}
+GRID = {grid}
+EDGES = iarray_init([{edges}])
+PLACE = iarray({nets})
+COST_OUT = iarray(2)
+RNG = iarray(1)
+
+
+def rng_next() -> int:
+    RNG[0] = RNG[0] * 6364136223846793005 + 1442695040888963407
+    return (RNG[0] >> 33) & 2147483647
+
+
+def dist(a, b) -> int:
+    ax = PLACE[a] % GRID
+    ay = PLACE[a] // GRID
+    bx = PLACE[b] % GRID
+    by = PLACE[b] // GRID
+    dx = ax - bx
+    if dx < 0:
+        dx = -dx
+    dy = ay - by
+    if dy < 0:
+        dy = -dy
+    return dx + dy
+
+
+def net_cost(i) -> int:
+    total = 0
+    for k in range(FANOUT):
+        total += dist(i, EDGES[i * FANOUT + k])
+    return total
+
+
+def total_cost() -> int:
+    total = 0
+    for i in range(NETS):
+        total += net_cost(i)
+    return total
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    RNG[0] = 987654321
+    for i in range(NETS):
+        PLACE[i] = i
+    initial = total_cost()
+    fi_read_init_all()
+    fi_activate_inst(0)
+    temperature = initial // 4 + 2
+    for step in range(STEPS):
+        a = rng_next() % NETS
+        b = rng_next() % NETS
+        if a != b:
+            before = net_cost(a) + net_cost(b)
+            tmp = PLACE[a]
+            PLACE[a] = PLACE[b]
+            PLACE[b] = tmp
+            after = net_cost(a) + net_cost(b)
+            delta = after - before
+            if delta > 0 and delta >= temperature:
+                tmp = PLACE[a]
+                PLACE[a] = PLACE[b]
+                PLACE[b] = tmp
+        if step % 16 == 15 and temperature > 0:
+            temperature -= 1
+    fi_activate_inst(0)
+    final = total_cost()
+    COST_OUT[0] = initial
+    COST_OUT[1] = final
+    print_str("cost ")
+    print_int(initial)
+    print_str(" -> ")
+    print_int(final)
+    print_char(10)
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+    nets = params["nets"]
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        place = test.arrays.get("PLACE")
+        costs = test.arrays.get("COST_OUT")
+        if place is None or costs is None:
+            return False
+        if not is_permutation(place, nets):
+            return False  # not "a correct chip"
+        initial, final = costs
+        golden_initial = golden.arrays["COST_OUT"][0]
+        return initial == golden_initial and final <= initial
+
+    return WorkloadSpec(
+        name="canneal",
+        source=_minic_source(nets, params["fanout"], params["steps"],
+                             params["boot"]),
+        output_arrays=[("PLACE", nets, "int"), ("COST_OUT", 2, "int")],
+        accept=accept,
+        description=f"simulated-annealing placement of {nets} nets, "
+                    f"{params['steps']} swap steps (paper: 100 nets); "
+                    f"correct iff the placement is a valid permutation "
+                    f"and routing cost did not increase",
+        uses_fp=False,
+        scale=scale,
+    )

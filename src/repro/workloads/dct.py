@@ -1,0 +1,188 @@
+"""DCT: the JPEG compression kernel of Section IV.
+
+Forward 8x8 two-dimensional DCT plus quantisation over a synthetic
+grayscale image (the paper uses a 512x512 photo; we synthesise a smooth
+gradient with block texture at a configurable, smaller size — the kernel
+structure, loop nests and FP behaviour are identical).
+
+Acceptance (Fig. 4): the classifier dequantises and inverse-transforms
+the produced coefficients in Python and computes the PSNR against the
+original input image; outputs above 30 dB are *correct* ("typical PSNR
+values in lossy image and video compression range between 30 and 50 dB").
+"""
+
+from __future__ import annotations
+
+import math
+
+from .quality import Outputs, psnr
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 18000, "width": 8, "height": 8},
+    "small": {"boot": 40000, "width": 16, "height": 16},
+    "medium": {"boot": 120000, "width": 32, "height": 32},
+    "paper": {"boot": 2000000, "width": 512, "height": 512},
+}
+
+PSNR_THRESHOLD_DB = 30.0
+
+# Standard JPEG luminance quantisation table.
+QUANT_TABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def cosine_table() -> list[float]:
+    """C[u*8+x] = c(u) * cos((2x+1) u pi / 16)."""
+    table = []
+    for u in range(8):
+        cu = math.sqrt(0.25) if u else math.sqrt(0.125)
+        for x in range(8):
+            table.append(cu * math.cos((2 * x + 1) * u * math.pi / 16.0))
+    return table
+
+
+def input_image(width: int, height: int) -> list[int]:
+    """Deterministic synthetic grayscale image: smooth gradient plus an
+    8x8 block texture (so the DCT has both DC and AC energy)."""
+    img = []
+    for y in range(height):
+        for x in range(width):
+            gradient = (x * 255 // max(width - 1, 1)
+                        + y * 255 // max(height - 1, 1)) // 2
+            texture = 24 if ((x // 4) + (y // 4)) % 2 else 0
+            ripple = (x * 13 + y * 7 + x * y) % 17
+            img.append(min(255, gradient + texture + ripple))
+    return img
+
+
+def decode(coeffs, width: int, height: int) -> list[float]:
+    """Dequantise + inverse 8x8 DCT (Python-side, used for PSNR)."""
+    table = cosine_table()
+    out = [0.0] * (width * height)
+    for by in range(height // 8):
+        for bx in range(width // 8):
+            block = [0.0] * 64
+            for v in range(8):
+                for u in range(8):
+                    index = ((by * 8 + v) * width) + bx * 8 + u
+                    block[v * 8 + u] = (float(coeffs[index])
+                                        * QUANT_TABLE[v * 8 + u])
+            for y in range(8):
+                for x in range(8):
+                    acc = 0.0
+                    for v in range(8):
+                        for u in range(8):
+                            acc += (table[u * 8 + x] * table[v * 8 + y]
+                                    * block[v * 8 + u])
+                    out[(by * 8 + y) * width + bx * 8 + x] = acc + 128.0
+    return out
+
+
+def _minic_source(width: int, height: int, boot_n: int) -> str:
+    size = width * height
+    cos_values = ", ".join(repr(v) for v in cosine_table())
+    quant = ", ".join(str(v) for v in QUANT_TABLE)
+    return f'''
+BOOT_N = {boot_n}
+W = {width}
+H = {height}
+IMG = iarray({size})
+OUT = iarray({size})
+COS = farray_init([{cos_values}])
+QT = iarray_init([{quant}])
+BLK = farray(64)
+TMP = farray(64)
+
+
+def init_input():
+    for y in range(H):
+        for x in range(W):
+            gradient = (x * 255 // (W - 1) + y * 255 // (H - 1)) // 2
+            texture = 0
+            if ((x // 4) + (y // 4)) % 2 == 1:
+                texture = 24
+            ripple = (x * 13 + y * 7 + x * y) % 17
+            value = gradient + texture + ripple
+            if value > 255:
+                value = 255
+            IMG[y * W + x] = value
+
+
+def dct_block(bx, by):
+    for y in range(8):
+        for x in range(8):
+            BLK[y * 8 + x] = float(IMG[(by * 8 + y) * W + bx * 8 + x]
+                                   - 128)
+    for u in range(8):
+        for y in range(8):
+            acc = 0.0
+            for x in range(8):
+                acc = acc + COS[u * 8 + x] * BLK[y * 8 + x]
+            TMP[y * 8 + u] = acc
+    for v in range(8):
+        for u in range(8):
+            acc = 0.0
+            for y in range(8):
+                acc = acc + COS[v * 8 + y] * TMP[y * 8 + u]
+            q = acc / float(QT[v * 8 + u])
+            if q >= 0.0:
+                OUT[(by * 8 + v) * W + bx * 8 + u] = int(q + 0.5)
+            else:
+                OUT[(by * 8 + v) * W + bx * 8 + u] = -int(0.5 - q)
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    init_input()
+    fi_read_init_all()
+    fi_activate_inst(0)
+    for by in range(H // 8):
+        for bx in range(W // 8):
+            dct_block(bx, by)
+    fi_activate_inst(0)
+    print_str("dct done\\n")
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+    width, height = params["width"], params["height"]
+    original = input_image(width, height)
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        coeffs = test.arrays.get("OUT")
+        if coeffs is None:
+            return False
+        decoded = decode(coeffs, width, height)
+        return psnr(original, decoded) > PSNR_THRESHOLD_DB
+
+    return WorkloadSpec(
+        name="dct",
+        source=_minic_source(width, height, params["boot"]),
+        output_arrays=[("OUT", width * height, "int")],
+        accept=accept,
+        description=f"JPEG forward DCT + quantisation, {width}x{height} "
+                    f"grayscale (paper: 512x512); correct iff decoded "
+                    f"PSNR > {PSNR_THRESHOLD_DB} dB",
+        uses_fp=True,
+        scale=scale,
+    )

@@ -1,0 +1,147 @@
+"""Deblocking: the AVS video-decoder in-loop filter kernel.
+
+Smooths the artificial discontinuities at 8x8 block boundaries of a
+decoded frame.  Pure integer arithmetic — the paper highlights that this
+benchmark has *no floating point operations* and therefore shows 100%
+strict correctness under FP-register faults.
+
+Acceptance: PSNR of the filtered output versus the error-free filtered
+output above 80 dB (the paper's threshold for this kernel).
+"""
+
+from __future__ import annotations
+
+from .quality import Outputs, psnr
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 25000, "width": 16, "height": 8},
+    "small": {"boot": 60000, "width": 48, "height": 16},
+    "medium": {"boot": 150000, "width": 96, "height": 32},
+    "paper": {"boot": 4000000, "width": 720, "height": 240},
+}
+
+PSNR_THRESHOLD_DB = 80.0
+ALPHA = 22    # edge-activity thresholds of the AVS filter
+BETA = 6
+
+
+def input_frame(width: int, height: int) -> list[int]:
+    """A blocky frame: per-8x8-block DC level plus deterministic noise,
+    i.e. what a coarse quantiser produces before deblocking."""
+    img = []
+    for y in range(height):
+        for x in range(width):
+            block_dc = (((x // 8) * 37 + (y // 8) * 59) % 12) * 16 + 40
+            noise = (x * 3 + y * 5 + (x * y) % 7) % 5
+            img.append(min(255, block_dc + noise))
+    return img
+
+
+def _minic_source(width: int, height: int, boot_n: int) -> str:
+    size = width * height
+    return f'''
+BOOT_N = {boot_n}
+W = {width}
+H = {height}
+ALPHA = {ALPHA}
+BETA = {BETA}
+IMG = iarray({size})
+OUT = iarray({size})
+
+
+def init_input():
+    for y in range(H):
+        for x in range(W):
+            block_dc = (((x // 8) * 37 + (y // 8) * 59) % 12) * 16 + 40
+            noise = (x * 3 + y * 5 + (x * y) % 7) % 5
+            value = block_dc + noise
+            if value > 255:
+                value = 255
+            IMG[y * W + x] = value
+
+
+def absdiff(a, b) -> int:
+    d = a - b
+    if d < 0:
+        d = -d
+    return d
+
+
+def filter_vertical_edge(ex, y):
+    p1 = OUT[y * W + ex - 2]
+    p0 = OUT[y * W + ex - 1]
+    q0 = OUT[y * W + ex]
+    q1 = OUT[y * W + ex + 1]
+    if absdiff(p0, q0) < ALPHA and absdiff(p1, p0) < BETA and \\
+            absdiff(q1, q0) < BETA:
+        OUT[y * W + ex - 1] = (p1 + 2 * p0 + q0 + 2) // 4
+        OUT[y * W + ex] = (p0 + 2 * q0 + q1 + 2) // 4
+
+
+def filter_horizontal_edge(x, ey):
+    p1 = OUT[(ey - 2) * W + x]
+    p0 = OUT[(ey - 1) * W + x]
+    q0 = OUT[ey * W + x]
+    q1 = OUT[(ey + 1) * W + x]
+    if absdiff(p0, q0) < ALPHA and absdiff(p1, p0) < BETA and \\
+            absdiff(q1, q0) < BETA:
+        OUT[(ey - 1) * W + x] = (p1 + 2 * p0 + q0 + 2) // 4
+        OUT[ey * W + x] = (p0 + 2 * q0 + q1 + 2) // 4
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    init_input()
+    for i in range(W * H):
+        OUT[i] = IMG[i]
+    fi_read_init_all()
+    fi_activate_inst(0)
+    ex = 8
+    while ex < W:
+        for y in range(H):
+            filter_vertical_edge(ex, y)
+        ex += 8
+    ey = 8
+    while ey < H:
+        for x in range(W):
+            filter_horizontal_edge(x, ey)
+        ey += 8
+    fi_activate_inst(0)
+    print_str("deblock done\\n")
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+    width, height = params["width"], params["height"]
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        golden_out = golden.arrays.get("OUT")
+        test_out = test.arrays.get("OUT")
+        if golden_out is None or test_out is None:
+            return False
+        return psnr(golden_out, test_out) > PSNR_THRESHOLD_DB
+
+    return WorkloadSpec(
+        name="deblocking",
+        source=_minic_source(width, height, params["boot"]),
+        output_arrays=[("OUT", width * height, "int")],
+        accept=accept,
+        description=f"AVS deblocking filter on a {width}x{height} frame "
+                    f"(paper: 720x240); correct iff PSNR vs the "
+                    f"error-free output exceeds {PSNR_THRESHOLD_DB} dB; "
+                    f"integer-only kernel",
+        uses_fp=False,
+        scale=scale,
+    )

@@ -1,0 +1,137 @@
+"""Jacobi: iterative solver on a diagonally dominant system.
+
+The paper applies Jacobi to a diagonally dominant 64x64 matrix and
+classifies as *correct* any run that converges to the same (bit-exact)
+solution as the golden model "after a potentially different number of
+iterations" — a fault that perturbs intermediate data is repaired by the
+contraction mapping, at the cost of extra iterations.
+
+The MiniC kernel iterates until the max component delta drops below a
+threshold, rounds the solution to a fixed number of decimals (so the
+converged fixed point is bit-stable) and reports the iteration count on
+the console.
+"""
+
+from __future__ import annotations
+
+from .quality import Outputs
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 8000, "n": 6, "max_iters": 60},
+    "small": {"boot": 25000, "n": 12, "max_iters": 120},
+    "medium": {"boot": 60000, "n": 24, "max_iters": 200},
+    "paper": {"boot": 800000, "n": 64, "max_iters": 500},
+}
+
+EPSILON = 1e-9
+ROUND_SCALE = 1e6     # solution rounded to 6 decimals before output
+
+
+def matrix(n: int) -> list[int]:
+    """Deterministic diagonally dominant integer matrix."""
+    a = []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                a.append(4 * n)
+            else:
+                a.append((i * 7 + j * 3) % 4)
+    return a
+
+
+def rhs(n: int) -> list[int]:
+    return [(i * 5) % 11 + 1 for i in range(n)]
+
+
+def _minic_source(n: int, max_iters: int, boot_n: int) -> str:
+    a_values = ", ".join(str(v) for v in matrix(n))
+    b_values = ", ".join(str(v) for v in rhs(n))
+    return f'''
+BOOT_N = {boot_n}
+N = {n}
+MAX_ITERS = {max_iters}
+A = iarray_init([{a_values}])
+B = iarray_init([{b_values}])
+X = farray({n})
+XNEW = farray({n})
+XOUT = farray({n})
+
+
+def sweep() -> float:
+    delta = 0.0
+    for i in range(N):
+        acc = 0.0
+        for j in range(N):
+            if j != i:
+                acc = acc + float(A[i * N + j]) * X[j]
+        value = (float(B[i]) - acc) / float(A[i * N + i])
+        XNEW[i] = value
+        d = value - X[i]
+        if d < 0.0:
+            d = -d
+        if d > delta:
+            delta = d
+    for i in range(N):
+        X[i] = XNEW[i]
+    return delta
+
+
+def roundout():
+    for i in range(N):
+        v = X[i] * {ROUND_SCALE!r}
+        if v >= 0.0:
+            XOUT[i] = float(int(v + 0.5)) / {ROUND_SCALE!r}
+        else:
+            XOUT[i] = -(float(int(0.5 - v)) / {ROUND_SCALE!r})
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    for i in range(N):
+        X[i] = 0.0
+    fi_read_init_all()
+    fi_activate_inst(0)
+    iters = 0
+    delta = 1.0
+    while delta > {EPSILON!r} and iters < MAX_ITERS:
+        delta = sweep()
+        iters += 1
+    fi_activate_inst(0)
+    roundout()
+    print_str("iters ")
+    print_int(iters)
+    print_char(10)
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+    n, max_iters = params["n"], params["max_iters"]
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        # Bit-exact converged solution; the iteration count (printed on
+        # the console) is allowed to differ.
+        return test.arrays.get("XOUT") == golden.arrays.get("XOUT")
+
+    return WorkloadSpec(
+        name="jacobi",
+        source=_minic_source(n, max_iters, params["boot"]),
+        output_arrays=[("XOUT", n, "float")],
+        accept=accept,
+        description=f"Jacobi on a diagonally dominant {n}x{n} system "
+                    f"(paper: 64x64); correct iff the rounded converged "
+                    f"solution is bit-exact, iterations may differ",
+        uses_fp=True,
+        scale=scale,
+    )

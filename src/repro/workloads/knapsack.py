@@ -1,0 +1,170 @@
+"""Knapsack: 0/1 knapsack solved with a genetic algorithm.
+
+Mirrors the paper's benchmark (24 items, weight limit 500, GA) at a
+configurable size.  Chromosomes are bit masks; fitness is the packed
+value (zero when overweight); selection is 2-way tournament, crossover is
+single-point, mutation flips one bit — all randomness from an in-kernel
+LCG so faults can hit the GA state.
+
+The paper observes that *later* faults are increasingly harmless: a
+corrupted individual that does not move toward the optimum is discarded
+by the next selection round (Fig. 6).  Acceptance: the reported best
+value equals the golden run's best value.
+"""
+
+from __future__ import annotations
+
+from .quality import Outputs
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 6000, "items": 8, "pop": 8, "gens": 10, "limit": 120},
+    "small": {"boot": 20000, "items": 12, "pop": 16, "gens": 18, "limit": 180},
+    "medium": {"boot": 50000, "items": 16, "pop": 24, "gens": 30, "limit": 260},
+    "paper": {"boot": 500000, "items": 24, "pop": 64, "gens": 100, "limit": 500},
+}
+
+
+def item_weights(n: int) -> list[int]:
+    return [(i * 29 + 17) % 53 + 5 for i in range(n)]
+
+
+def item_values(n: int) -> list[int]:
+    return [(i * 41 + 13) % 67 + 3 for i in range(n)]
+
+
+def _minic_source(n: int, pop: int, gens: int, limit: int,
+                  boot_n: int) -> str:
+    weights = ", ".join(str(v) for v in item_weights(n))
+    values = ", ".join(str(v) for v in item_values(n))
+    return f'''
+BOOT_N = {boot_n}
+NITEMS = {n}
+POP = {pop}
+GENS = {gens}
+LIMIT = {limit}
+WEIGHTS = iarray_init([{weights}])
+VALUES = iarray_init([{values}])
+POPULATION = iarray({pop})
+NEXTGEN = iarray({pop})
+BEST = iarray(2)
+RNG = iarray(1)
+
+
+def rng_next() -> int:
+    RNG[0] = RNG[0] * 6364136223846793005 + 1442695040888963407
+    return (RNG[0] >> 33) & 2147483647
+
+
+def fitness(mask) -> int:
+    weight = 0
+    value = 0
+    for i in range(NITEMS):
+        if (mask >> i) & 1:
+            weight += WEIGHTS[i]
+            value += VALUES[i]
+    if weight > LIMIT:
+        return 0
+    return value
+
+
+def tournament() -> int:
+    a = rng_next() % POP
+    b = rng_next() % POP
+    fa = fitness(POPULATION[a])
+    fb = fitness(POPULATION[b])
+    if fa >= fb:
+        return POPULATION[a]
+    return POPULATION[b]
+
+
+def evolve():
+    for k in range(POP):
+        p1 = tournament()
+        p2 = tournament()
+        point = rng_next() % NITEMS
+        low_mask = (1 << point) - 1
+        child = (p1 & low_mask) | (p2 & ~low_mask)
+        if rng_next() % 8 == 0:
+            child = child ^ (1 << (rng_next() % NITEMS))
+        child = child & ((1 << NITEMS) - 1)
+        NEXTGEN[k] = child
+    for k in range(POP):
+        POPULATION[k] = NEXTGEN[k]
+
+
+def track_best():
+    for k in range(POP):
+        f = fitness(POPULATION[k])
+        if f > BEST[0]:
+            BEST[0] = f
+            BEST[1] = POPULATION[k]
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    RNG[0] = 123456789
+    for k in range(POP):
+        POPULATION[k] = rng_next() & ((1 << NITEMS) - 1)
+    BEST[0] = 0
+    BEST[1] = 0
+    fi_read_init_all()
+    fi_activate_inst(0)
+    for g in range(GENS):
+        evolve()
+        track_best()
+    fi_activate_inst(0)
+    print_str("best ")
+    print_int(BEST[0])
+    print_str(" mask ")
+    print_int(BEST[1])
+    print_char(10)
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        golden_best = golden.arrays.get("BEST")
+        test_best = test.arrays.get("BEST")
+        if not golden_best or not test_best:
+            return False
+        # Same best value, and the reported mask must actually achieve
+        # it within the weight limit (guards against corrupted BEST[0]).
+        n = params["items"]
+        weights = item_weights(n)
+        values = item_values(n)
+        mask = test_best[1]
+        if not 0 <= mask < (1 << n):
+            return False
+        weight = sum(weights[i] for i in range(n) if (mask >> i) & 1)
+        value = sum(values[i] for i in range(n) if (mask >> i) & 1)
+        return (test_best[0] == golden_best[0]
+                and weight <= params["limit"]
+                and value == test_best[0])
+
+    return WorkloadSpec(
+        name="knapsack",
+        source=_minic_source(params["items"], params["pop"],
+                             params["gens"], params["limit"],
+                             params["boot"]),
+        output_arrays=[("BEST", 2, "int")],
+        accept=accept,
+        description=f"0/1 knapsack GA: {params['items']} items, "
+                    f"pop {params['pop']}, {params['gens']} generations "
+                    f"(paper: 24 items, limit 500); correct iff the best "
+                    f"value matches the golden run and the mask is valid",
+        uses_fp=False,
+        scale=scale,
+    )

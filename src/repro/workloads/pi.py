@@ -1,0 +1,101 @@
+"""Monte Carlo PI estimation.
+
+Randomly samples points in the unit square and counts those inside the
+inscribed quarter circle.  The paper uses 10^5 points and accepts runs
+"that have computed the first two decimal points correctly, since this is
+the accuracy expected by the error-free execution"; at smaller sample
+counts the expected accuracy shrinks accordingly (documented per scale).
+
+Randomness comes from a 64-bit LCG implemented *in MiniC*, so injected
+faults can corrupt the generator state itself — exactly the exposure the
+real benchmark has.
+"""
+
+from __future__ import annotations
+
+from .quality import Outputs, decimal_digits_match, parse_floats
+from .spec import WorkloadSpec
+
+SCALES = {
+    "tiny": {"boot": 50000, "points": 500, "digits": 1},
+    "small": {"boot": 120000, "points": 2000, "digits": 1},
+    "medium": {"boot": 400000, "points": 20000, "digits": 2},
+    "paper": {"boot": 3000000, "points": 100000, "digits": 2},
+}
+
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+TWO53 = float(1 << 53)
+
+
+def _minic_source(points: int, boot_n: int) -> str:
+    return f'''
+BOOT_N = {boot_n}
+NPOINTS = {points}
+SEED = 88172645463325252
+RESULT = farray(1)
+
+
+def lcg_next(state) -> int:
+    return state * {LCG_MUL} + {LCG_ADD}
+
+
+def to_unit(state) -> float:
+    return float((state >> 11) & {(1 << 53) - 1}) / {TWO53!r}
+
+
+
+def boot_warmup() -> int:
+    # Models OS boot + application initialisation (the pre-checkpoint
+    # phase that Fig. 8's fast-forwarding skips).
+    x = 1
+    for i in range(BOOT_N):
+        x = x + ((x >> 3) ^ i)
+    return x
+
+def main():
+    boot_warmup()
+    fi_read_init_all()
+    fi_activate_inst(0)
+    state = SEED
+    inside = 0
+    for i in range(NPOINTS):
+        state = lcg_next(state)
+        x = to_unit(state)
+        state = lcg_next(state)
+        y = to_unit(state)
+        if x * x + y * y <= 1.0:
+            inside += 1
+    estimate = 4.0 * float(inside) / float(NPOINTS)
+    fi_activate_inst(0)
+    RESULT[0] = estimate
+    print_str("pi ")
+    print_float(estimate)
+    print_char(10)
+    exit(0)
+'''
+
+
+def build(scale: str = "small") -> WorkloadSpec:
+    params = SCALES[scale]
+    points, digits = params["points"], params["digits"]
+
+    def accept(golden: Outputs, test: Outputs) -> bool:
+        golden_values = parse_floats(golden.console)
+        test_values = parse_floats(test.console)
+        if len(test_values) != 1 or len(golden_values) != 1:
+            return False
+        return decimal_digits_match(test_values[0], golden_values[0],
+                                    digits)
+
+    return WorkloadSpec(
+        name="pi",
+        source=_minic_source(points, params["boot"]),
+        output_arrays=[("RESULT", 1, "float")],
+        accept=accept,
+        description=f"Monte Carlo PI with {points} points (paper: 1e5); "
+                    f"correct iff the first {digits} decimal(s) match "
+                    f"the error-free estimate",
+        uses_fp=True,
+        scale=scale,
+    )

@@ -1,0 +1,100 @@
+"""Output extraction and quality metrics for the benchmark workloads.
+
+Implements the per-application acceptance criteria of Section IV.B.1:
+PSNR thresholds for the image kernels, decimal-digit accuracy for PI,
+converged-solution equality for Jacobi, routing-cost validity for
+Canneal and solution-value equality for Knapsack.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Outputs:
+    """Everything a workload produced: console text + named arrays."""
+
+    console: str = ""
+    arrays: dict[str, tuple] = field(default_factory=dict)
+
+    def __eq__(self, other) -> bool:  # bit-exact comparison
+        return (isinstance(other, Outputs)
+                and self.console == other.console
+                and self.arrays == other.arrays)
+
+
+def read_int_array(memory, base: int, count: int) -> tuple:
+    blob = memory.peek_bytes(base, 8 * count)
+    return struct.unpack(f"<{count}q", blob)
+
+
+def read_float_array(memory, base: int, count: int) -> tuple:
+    blob = memory.peek_bytes(base, 8 * count)
+    return struct.unpack(f"<{count}d", blob)
+
+
+def extract_outputs(spec, sim, process) -> Outputs:
+    """Pull a workload's outputs from a finished simulation."""
+    outputs = Outputs(console=process.console_text())
+    for symbol, count, kind in spec.output_arrays:
+        base = process.symbol(f"g_{symbol}")
+        reader = read_int_array if kind == "int" else read_float_array
+        outputs.arrays[symbol] = reader(sim.memory, base, count)
+    return outputs
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def psnr(reference, test, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; +inf for identical signals."""
+    if len(reference) != len(test):
+        return 0.0
+    if not reference:
+        return math.inf
+    mse = 0.0
+    for ref_value, test_value in zip(reference, test):
+        if isinstance(test_value, float) and not math.isfinite(test_value):
+            return 0.0
+        diff = float(ref_value) - float(test_value)
+        mse += diff * diff
+    mse /= len(reference)
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def is_permutation(values, size: int) -> bool:
+    """True when *values* is a permutation of 0..size-1 (Canneal's
+    "correct chip" check: every net placed exactly once)."""
+    if len(values) != size:
+        return False
+    seen = [False] * size
+    for value in values:
+        if not 0 <= value < size or seen[value]:
+            return False
+        seen[value] = True
+    return True
+
+
+def decimal_digits_match(a: float, b: float, digits: int) -> bool:
+    """Do two values agree in their first *digits* decimal places?"""
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return False
+    scale = 10 ** digits
+    return math.floor(a * scale) == math.floor(b * scale)
+
+
+def parse_floats(console: str) -> list[float]:
+    """Parse every float-looking token from console output; malformed
+    tokens (from corrupted output paths) simply do not parse."""
+    values = []
+    for token in console.split():
+        try:
+            values.append(float(token))
+        except ValueError:
+            continue
+    return values

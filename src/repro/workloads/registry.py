@@ -1,0 +1,31 @@
+"""Uniform access to the six benchmark workloads of Section IV."""
+
+from __future__ import annotations
+
+from . import canneal, dct, deblocking, jacobi, knapsack, pi
+from .spec import WorkloadSpec
+
+_BUILDERS = {
+    "dct": dct.build,
+    "jacobi": jacobi.build,
+    "pi": pi.build,
+    "knapsack": knapsack.build,
+    "deblocking": deblocking.build,
+    "canneal": canneal.build,
+}
+
+WORKLOAD_NAMES = tuple(_BUILDERS)
+
+
+def build(name: str, scale: str = "small") -> WorkloadSpec:
+    """Build one workload at the requested scale
+    (tiny / small / medium / paper)."""
+    if name not in _BUILDERS:
+        raise KeyError(
+            f"unknown workload '{name}'; available: {WORKLOAD_NAMES}")
+    return _BUILDERS[name](scale)
+
+
+def build_all(scale: str = "small") -> dict[str, WorkloadSpec]:
+    """Build every paper workload at one scale."""
+    return {name: build(name, scale) for name in WORKLOAD_NAMES}

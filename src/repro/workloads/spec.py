@@ -1,0 +1,31 @@
+"""Workload specification shared by all six benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .quality import Outputs
+
+
+@dataclass
+class WorkloadSpec:
+    """A runnable benchmark: MiniC source + outputs + acceptance rule.
+
+    ``accept(golden, test)`` implements the application's *relaxed
+    correctness* criterion from Section IV.B.1 (PSNR threshold, decimal
+    digits, converged solution, valid chip...).  Bit-exact equality
+    (strict correctness) is checked generically by the campaign
+    classifier and never reaches ``accept``.
+    """
+
+    name: str
+    source: str
+    # (symbol, element_count, "int"|"float") triples read postmortem.
+    output_arrays: list[tuple[str, int, str]] = field(default_factory=list)
+    accept: Callable[[Outputs, Outputs], bool] = lambda g, t: False
+    description: str = ""
+    uses_fp: bool = True
+    scale: str = "small"
+    # Rough golden instruction count, filled in lazily by campaigns.
+    golden_instructions: int | None = None

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator
+
+
+def run_asm(asm: str, model: str = "atomic", faults_text: str = "",
+            max_instructions: int = 2_000_000, with_injector: bool = True,
+            config: SimConfig | None = None):
+    """Assemble-load-run helper; returns (sim, run_result)."""
+    injector = FaultInjector.from_text(faults_text) if with_injector \
+        else None
+    sim = Simulator(config or SimConfig(cpu_model=model),
+                    injector=injector)
+    sim.load(asm, "test")
+    result = sim.run(max_instructions=max_instructions)
+    return sim, result
+
+
+def run_minic(source: str, model: str = "atomic", faults_text: str = "",
+              max_instructions: int = 2_000_000,
+              with_injector: bool = True,
+              config: SimConfig | None = None):
+    """Compile-load-run helper for MiniC sources."""
+    return run_asm(compile_source(source), model=model,
+                   faults_text=faults_text,
+                   max_instructions=max_instructions,
+                   with_injector=with_injector, config=config)
+
+
+# A tiny program exercising ALU, memory, branches, calls and FP.
+MIXED_PROGRAM = """
+A = iarray(8)
+
+def accumulate(n) -> int:
+    total = 0
+    for i in range(n):
+        A[i % 8] = A[i % 8] + i
+        total += A[i % 8]
+    return total
+
+def froot(x: float) -> float:
+    return sqrt(x) + 0.5
+
+def main():
+    t = accumulate(25)
+    print_int(t)
+    print_char(10)
+    print_float(froot(2.25))
+    print_char(10)
+    exit(0)
+"""
+
+
+@pytest.fixture(scope="session")
+def mixed_asm() -> str:
+    return compile_source(MIXED_PROGRAM)
+
+
+@pytest.fixture(scope="session")
+def mixed_golden_console(mixed_asm) -> str:
+    sim, result = run_asm(mixed_asm)
+    assert result.status == "completed"
+    return sim.console_text()

@@ -1,0 +1,138 @@
+"""Tournament branch predictor unit tests."""
+
+from repro.cpu.branch_pred import TournamentPredictor, _CounterTable
+from repro.isa import encoding as enc, instructions as ins
+
+
+def _cond_branch(disp=-1):
+    return ins.decode(enc.encode_branch(ins.OP_BNE, 1, disp))
+
+
+def _uncond(disp=4):
+    return ins.decode(enc.encode_branch(ins.OP_BR, 31, disp))
+
+
+def _jump():
+    return ins.decode(enc.encode_memory(ins.OP_JMP, 26, 27, 0))
+
+
+def _ret():
+    return ins.decode(enc.encode_memory(ins.OP_JMP, 31, 26, 0))
+
+
+def _bsr():
+    return ins.decode(enc.encode_branch(ins.OP_BSR, 26, 8))
+
+
+class TestCounterTable:
+    def test_saturation(self):
+        table = _CounterTable(4, init=0)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.counters[0] == 3
+        for _ in range(10):
+            table.update(0, False)
+        assert table.counters[0] == 0
+
+    def test_threshold(self):
+        table = _CounterTable(4, init=1)
+        assert not table.taken(0)
+        table.update(0, True)
+        assert table.taken(0)
+
+
+class TestPrediction:
+    def test_learns_always_taken_loop(self):
+        predictor = TournamentPredictor()
+        pc = 0x1000
+        branch = _cond_branch()
+        target = pc + 4 + 4 * branch.disp
+        # Warmup covers the global-history register saturating to
+        # all-ones (12 bits) plus counter training.
+        for _ in range(40):
+            _, predicted = predictor.predict(pc, branch)
+            predictor.update(pc, branch, True, target, predicted)
+        taken, predicted = predictor.predict(pc, branch)
+        assert taken and predicted == target
+
+    def test_learns_never_taken(self):
+        predictor = TournamentPredictor()
+        pc = 0x2000
+        branch = _cond_branch()
+        for _ in range(8):
+            _, predicted = predictor.predict(pc, branch)
+            predictor.update(pc, branch, False, pc + 4, predicted)
+        taken, predicted = predictor.predict(pc, branch)
+        assert not taken and predicted == pc + 4
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = TournamentPredictor()
+        pc = 0x3000
+        branch = _cond_branch()
+        target = pc + 4 + 4 * branch.disp
+        outcomes = [True, False] * 64
+        correct_tail = 0
+        for index, taken in enumerate(outcomes):
+            _, predicted = predictor.predict(pc, branch)
+            actual = target if taken else pc + 4
+            if index >= 100 and predicted == actual:
+                correct_tail += 1
+            predictor.update(pc, branch, taken, actual, predicted)
+        assert correct_tail >= 24   # of the last 28: history learned
+
+    def test_unconditional_branch_always_taken(self):
+        predictor = TournamentPredictor()
+        taken, target = predictor.predict(0x100, _uncond(disp=4))
+        assert taken and target == 0x100 + 4 + 16
+
+    def test_jump_uses_btb_after_training(self):
+        predictor = TournamentPredictor()
+        jump = _jump()
+        _, first = predictor.predict(0x500, jump)
+        assert first == 0x504       # cold BTB falls through
+        predictor.update(0x500, jump, True, 0x9000, first)
+        predictor.ras.clear()
+        _, second = predictor.predict(0x500, jump)
+        assert second == 0x9000
+
+    def test_return_address_stack(self):
+        predictor = TournamentPredictor()
+        predictor.predict(0x100, _bsr())      # pushes 0x104
+        taken, target = predictor.predict(0x800, _ret())
+        assert taken and target == 0x104
+
+    def test_ras_depth_bounded(self):
+        predictor = TournamentPredictor(ras_depth=4)
+        for index in range(10):
+            predictor.predict(0x100 + 8 * index, _bsr())
+        assert len(predictor.ras) == 4
+
+    def test_btb_capacity_bounded(self):
+        predictor = TournamentPredictor(btb_size=8)
+        branch = _cond_branch()
+        for index in range(20):
+            pc = 0x1000 + 4 * index
+            predictor.update(pc, branch, True, 0x2000, 0)
+        assert len(predictor.btb) <= 8
+
+    def test_mispredict_accounting(self):
+        predictor = TournamentPredictor()
+        branch = _cond_branch()
+        _, predicted = predictor.predict(0x100, branch)
+        predictor.update(0x100, branch, True, 0xDEAD00, predicted)
+        assert predictor.mispredicts >= 1
+        assert 0.0 <= predictor.mispredict_rate <= 1.0
+
+    def test_snapshot_restore_roundtrip(self):
+        predictor = TournamentPredictor()
+        branch = _cond_branch()
+        for index in range(16):
+            _, predicted = predictor.predict(0x100, branch)
+            predictor.update(0x100, branch, index % 2 == 0,
+                             0x200, predicted)
+        snap = predictor.snapshot()
+        other = TournamentPredictor()
+        other.restore(snap)
+        assert other.global_history == predictor.global_history
+        assert other.btb == predictor.btb
+        assert other.mispredicts == predictor.mispredicts

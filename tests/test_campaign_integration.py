@@ -1,0 +1,75 @@
+"""End-to-end campaign integration across every paper workload."""
+
+import pytest
+
+from repro.campaign import CampaignRunner, Outcome, SEUGenerator, summary
+from repro.core import LocationKind, parse_fault_line
+from repro.workloads import WORKLOAD_NAMES, build
+
+
+@pytest.fixture(scope="module")
+def runners():
+    return {name: CampaignRunner(build(name, "tiny"))
+            for name in WORKLOAD_NAMES}
+
+
+class TestEveryWorkloadCampaign:
+    def test_golden_artifacts_complete(self, runners):
+        for name, runner in runners.items():
+            golden = runner.golden
+            assert golden.checkpoint is not None, name
+            assert golden.profile.committed > 500, name
+            assert golden.boot_instructions > 1000, name
+            assert golden.outputs.arrays or golden.outputs.console, name
+
+    def test_small_mixed_campaign_classifies(self, runners):
+        for name, runner in runners.items():
+            generator = SEUGenerator(runner.golden.profile,
+                                     seed=500 + len(name))
+            results = runner.run_campaign(generator.batch(6))
+            dist = summary(results)
+            assert dist.total == 6, name
+            # Every outcome must be one of the five classes.
+            assert set(dist.counts) <= set(Outcome), name
+
+    def test_pc_fault_fatal_everywhere(self, runners):
+        for name, runner in runners.items():
+            half = runner.golden.profile.committed // 2
+            fault = parse_fault_line(
+                f"PCInjectedFault Inst:{half} Flip:40 Threadid:0 "
+                "system.cpu0 occ:1")
+            result = runner.run_experiment(fault)
+            assert result.outcome is Outcome.CRASHED, \
+                f"{name}: high-bit PC flip must be fatal"
+
+    def test_fp_fault_harmless_in_integer_apps(self, runners):
+        for name in ("deblocking", "knapsack", "canneal"):
+            runner = runners[name]
+            half = runner.golden.profile.committed // 2
+            fault = parse_fault_line(
+                f"RegisterInjectedFault Inst:{half} Flip:30 Threadid:0 "
+                "system.cpu0 occ:1 fp 5")
+            result = runner.run_experiment(fault)
+            assert result.outcome in (Outcome.NON_PROPAGATED,
+                                      Outcome.STRICTLY_CORRECT), \
+                f"{name}: FP fault in an integer-only kernel must mask"
+
+    def test_fault_after_window_is_non_propagated(self, runners):
+        for name, runner in runners.items():
+            fault = parse_fault_line(
+                "ExecutionStageInjectedFault Inst:999999999 Flip:0 "
+                "Threadid:0 system.cpu0 occ:1")
+            result = runner.run_experiment(fault)
+            assert result.outcome is Outcome.NON_PROPAGATED, name
+            assert not result.injected, name
+
+    def test_checkpoint_reuse_across_experiments(self, runners):
+        """One checkpoint, many experiments — each starts from the same
+        state (deterministic outcome for a deterministic fault)."""
+        runner = runners["jacobi"]
+        fault = parse_fault_line(
+            "ExecutionStageInjectedFault Inst:123 Flip:3 Threadid:0 "
+            "system.cpu0 occ:1")
+        outcomes = {runner.run_experiment(fault).outcome
+                    for _ in range(3)}
+        assert len(outcomes) == 1

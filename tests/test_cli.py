@@ -1,0 +1,107 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+MINIC = """
+def main():
+    fi_read_init_all()
+    fi_activate_inst(0)
+    s = 0
+    for i in range(30):
+        s += i
+    fi_activate_inst(0)
+    print_int(s)
+    exit(0)
+"""
+
+ASM = """
+main:
+    ldi a0, 7
+    ldi v0, 5
+    callsys
+    ldi v0, 0
+    ldi a0, 0
+    callsys
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(MINIC)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_plain_run(self, minic_file, capsys):
+        assert main(["run", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "status      : completed" in out
+        assert "435" in out
+
+    def test_assembly_input(self, tmp_path, capsys):
+        path = tmp_path / "prog.s"
+        path.write_text(ASM)
+        assert main(["run", str(path)]) == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_inline_fault(self, minic_file, capsys):
+        code = main(["run", minic_file, "--fault",
+                     "ExecutionStageInjectedFault Inst:10 All1 "
+                     "Threadid:0 system.cpu0 occ:1"])
+        out = capsys.readouterr().out
+        assert "--- injections ---" in out
+        assert code in (0, 1)
+
+    def test_fault_file_and_stats(self, minic_file, tmp_path, capsys):
+        faults = tmp_path / "faults.txt"
+        faults.write_text(
+            "PCInjectedFault Inst:10 Flip:30 Threadid:0 "
+            "system.cpu0 occ:1\n")
+        stats = tmp_path / "stats.txt"
+        code = main(["run", minic_file, "--fault-file", str(faults),
+                     "--stats", str(stats)])
+        assert code == 1  # PC fault crashes
+        assert "crashed" in capsys.readouterr().out
+        assert "sim.instructions" in stats.read_text()
+
+    def test_cpu_model_selection(self, minic_file, capsys):
+        assert main(["run", minic_file, "--cpu", "o3",
+                     "--switch-to-atomic"]) == 0
+        assert "435" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dct", "jacobi", "pi", "knapsack", "deblocking",
+                     "canneal"):
+            assert name in out
+
+    def test_sample_size(self, capsys):
+        assert main(["sample-size", "--confidence", "0.99",
+                     "--margin", "0.0258"]) == 0
+        assert "n=2492" in capsys.readouterr().out
+
+    def test_sample_size_finite_population(self, capsys):
+        assert main(["sample-size", "--population", "1000"]) == 0
+        assert "n=" in capsys.readouterr().out
+
+    def test_campaign_smoke(self, capsys):
+        assert main(["campaign", "--workload", "pi", "--scale", "tiny",
+                     "-n", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 experiments" in out
+        assert "ALL" in out
+
+    def test_campaign_pinned_location(self, capsys):
+        assert main(["campaign", "--workload", "pi", "--scale", "tiny",
+                     "-n", "3", "--location", "pc"]) == 0
+        assert "pc" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,533 @@
+"""MiniC compiler tests: language features and error reporting."""
+
+import pytest
+
+from repro.compiler import CompileError, compile_source, parse_program
+
+from conftest import run_minic
+
+
+def output_of(source, **kwargs):
+    sim, result = run_minic(source, **kwargs)
+    process = sim.process(0)
+    assert process.state.value == "exited", process.crash_reason
+    assert process.exit_code == 0
+    return sim.console_text()
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert output_of("""
+def main():
+    print_int(7 + 3 * 4 - 5)
+    print_char(32)
+    print_int(17 // 5)
+    print_char(32)
+    print_int(17 % 5)
+    print_char(32)
+    print_int((1 << 10) >> 3)
+    print_char(32)
+    print_int(12 & 10)
+    print_char(32)
+    print_int(12 | 3)
+    print_char(32)
+    print_int(12 ^ 10)
+    exit(0)
+""") == "14 3 2 128 8 15 6"
+
+    def test_negative_division_truncates(self):
+        # C-style semantics, documented deviation from Python floor-div.
+        assert output_of("""
+def main():
+    a = -7
+    print_int(a // 2)
+    print_char(32)
+    print_int(a % 2)
+    exit(0)
+""") == "-3 -1"
+
+    def test_unary_ops(self):
+        assert output_of("""
+def main():
+    x = 5
+    print_int(-x)
+    print_char(32)
+    print_int(~x)
+    print_char(32)
+    print_int(not x)
+    print_char(32)
+    print_int(not 0)
+    exit(0)
+""") == "-5 -6 0 1"
+
+    def test_float_arithmetic(self):
+        assert output_of("""
+def main():
+    print_float(1.5 * 4.0 - 0.25)
+    print_char(32)
+    print_float(7.0 / 2.0)
+    exit(0)
+""") == "5.75 3.5"
+
+    def test_mixed_int_float_promotes(self):
+        assert output_of("""
+def main():
+    x = 3
+    print_float(x + 0.5)
+    print_char(32)
+    print_float(x / 2)
+    exit(0)
+""") == "3.5 1.5"
+
+    def test_large_int_constants(self):
+        assert output_of(f"""
+def main():
+    print_int({1 << 62})
+    exit(0)
+""") == str(1 << 62)
+
+    def test_conversions(self):
+        assert output_of("""
+def main():
+    print_int(int(3.99))
+    print_char(32)
+    print_int(int(-3.99))
+    print_char(32)
+    print_float(float(7))
+    exit(0)
+""") == "3 -3 7"
+
+    def test_sqrt_and_abs(self):
+        assert output_of("""
+def main():
+    print_float(sqrt(16.0))
+    print_char(32)
+    print_int(abs(-9))
+    print_char(32)
+    print_float(abs(-2.5))
+    exit(0)
+""") == "4 9 2.5"
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        assert output_of("""
+def grade(x) -> int:
+    if x > 80:
+        return 3
+    elif x > 50:
+        return 2
+    else:
+        return 1
+
+def main():
+    print_int(grade(90))
+    print_int(grade(60))
+    print_int(grade(10))
+    exit(0)
+""") == "321"
+
+    def test_while_with_break_continue(self):
+        assert output_of("""
+def main():
+    i = 0
+    total = 0
+    while 1:
+        i += 1
+        if i > 100:
+            break
+        if i % 2 == 0:
+            continue
+        total += i
+    print_int(total)
+    exit(0)
+""") == "2500"
+
+    def test_for_range_variants(self):
+        assert output_of("""
+def main():
+    a = 0
+    for i in range(5):
+        a += i
+    b = 0
+    for i in range(2, 7):
+        b += i
+    c = 0
+    for i in range(10, 0, -2):
+        c += i
+    print_int(a)
+    print_char(32)
+    print_int(b)
+    print_char(32)
+    print_int(c)
+    exit(0)
+""") == "10 20 30"
+
+    def test_boolean_short_circuit(self):
+        # The right operand of `and` must not evaluate when the left is
+        # false: division by zero would crash.
+        assert output_of("""
+def main():
+    x = 0
+    if x != 0 and 10 // x > 0:
+        print_int(1)
+    else:
+        print_int(2)
+    if x == 0 or 10 // x > 0:
+        print_int(3)
+    exit(0)
+""") == "23"
+
+    def test_bool_as_value(self):
+        assert output_of("""
+def main():
+    a = 3 < 5
+    b = 5 < 3
+    c = a and not b
+    print_int(a + b * 10 + c * 100)
+    exit(0)
+""") == "101"
+
+    def test_float_comparisons(self):
+        assert output_of("""
+def main():
+    x = 1.5
+    print_int(x < 2.0)
+    print_int(x <= 1.5)
+    print_int(x > 2.0)
+    print_int(x != 1.5)
+    print_int(x == 1.5)
+    exit(0)
+""") == "11001"
+
+    def test_ifexp(self):
+        assert output_of("""
+def main():
+    x = 7
+    print_int(1 if x > 5 else 0)
+    print_float(2.5 if x < 5 else 0.5)
+    exit(0)
+""") == "10.5"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert output_of("""
+def fib(n) -> int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def main():
+    print_int(fib(12))
+    exit(0)
+""") == "144"
+
+    def test_six_arguments(self):
+        assert output_of("""
+def weigh(a, b, c, d, e, f) -> int:
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f
+
+def main():
+    print_int(weigh(1, 2, 3, 4, 5, 6))
+    exit(0)
+""") == "91"
+
+    def test_float_params_and_return(self):
+        assert output_of("""
+def mix(a: float, k, b: float) -> float:
+    return a * float(k) + b
+
+def main():
+    print_float(mix(1.5, 4, 0.25))
+    exit(0)
+""") == "6.25"
+
+    def test_nested_calls_preserve_temps(self):
+        assert output_of("""
+def add(a, b) -> int:
+    return a + b
+
+def main():
+    print_int(add(add(1, 2), add(3, add(4, 5))) * 2)
+    exit(0)
+""") == "30"
+
+    def test_many_locals_spill_to_stack(self):
+        # More locals than callee-saved registers.
+        decls = "\n    ".join(f"v{i} = {i} * 3" for i in range(12))
+        total = " + ".join(f"v{i}" for i in range(12))
+        assert output_of(f"""
+def main():
+    {decls}
+    print_int({total})
+    exit(0)
+""") == str(sum(i * 3 for i in range(12)))
+
+
+class TestGlobalsAndArrays:
+    def test_global_scalars(self):
+        assert output_of("""
+N = 5
+X = 2.5
+
+def bump():
+    pass
+
+def main():
+    print_int(N * 2)
+    print_float(X + 0.5)
+    exit(0)
+""") == "103"
+
+    def test_global_scalar_assignment(self):
+        assert output_of("""
+COUNTER = 0
+
+def tick():
+    COUNTER = COUNTER + 1
+
+def main():
+    tick()
+    tick()
+    tick()
+    print_int(COUNTER)
+    exit(0)
+""") == "3"
+
+    def test_int_and_float_arrays(self):
+        assert output_of("""
+A = iarray(4)
+B = farray(4)
+
+def main():
+    for i in range(4):
+        A[i] = i * i
+        B[i] = float(i) / 2.0
+    print_int(A[3])
+    print_float(B[3])
+    exit(0)
+""") == "91.5"
+
+    def test_initialised_arrays(self):
+        assert output_of("""
+A = iarray_init([10, 20, 30])
+B = farray_init([0.5, -1.5])
+
+def main():
+    print_int(A[0] + A[1] + A[2])
+    print_float(B[0] + B[1])
+    exit(0)
+""") == "60-1"
+
+    def test_augmented_array_element(self):
+        assert output_of("""
+A = iarray(2)
+
+def main():
+    A[1] = 5
+    A[1] += 37
+    print_int(A[1])
+    exit(0)
+""") == "42"
+
+    def test_out_of_bounds_index_hits_adjacent_memory_or_crashes(self):
+        # No bounds checks (C semantics): a huge index segfaults.
+        sim, _ = run_minic("""
+A = iarray(2)
+
+def main():
+    i = 100000000
+    A[i] = 1
+    exit(0)
+""")
+        assert sim.process(0).state.value == "crashed"
+
+
+class TestCompileErrors:
+    def test_missing_main(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_source("def helper():\n    pass\n")
+
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError, match="unknown variable"):
+            compile_source("def main():\n    print_int(nope)\n")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("def main():\n    zorp(1)\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="argument"):
+            compile_source("""
+def f(a, b) -> int:
+    return a
+
+def main():
+    f(1)
+""")
+
+    def test_bad_annotation(self):
+        with pytest.raises(CompileError, match="annotations"):
+            compile_source("def main():\n    pass\n"
+                           "def f(x: str) -> int:\n    return 0\n")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError, match="integer operands"):
+            compile_source("def main():\n    x = 1.5 % 2\n")
+
+    def test_array_without_index(self):
+        with pytest.raises(CompileError, match="index"):
+            compile_source("A = iarray(4)\ndef main():\n"
+                           "    print_int(A)\n")
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(CompileError, match="chained"):
+            compile_source("def main():\n    x = 1 < 2 < 3\n")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(CompileError, match="line 3"):
+            compile_source("def main():\n    x = 1\n    y = nope\n")
+
+    def test_parse_program_collects_symbols(self):
+        program = parse_program("""
+N = 3
+A = farray(8)
+
+def f(x: float) -> float:
+    return x
+
+def main():
+    pass
+""")
+        assert program.globals["N"].type == "int"
+        assert program.arrays["A"].elem_type == "float"
+        assert program.functions["f"].ret_type == "float"
+        assert program.functions["f"].params == [("x", "float")]
+
+
+class TestLocalArrays:
+    def test_basic_store_load(self):
+        assert output_of("""
+def main():
+    buf = ilocal(4)
+    buf[0] = 7
+    buf[3] = buf[0] * 6
+    print_int(buf[3])
+    exit(0)
+""") == "42"
+
+    def test_zero_initialised(self):
+        assert output_of("""
+def scribble():
+    junk = ilocal(6)
+    for i in range(6):
+        junk[i] = 999
+
+def clean() -> int:
+    buf = ilocal(6)
+    total = 0
+    for i in range(6):
+        total += buf[i]
+    return total
+
+def main():
+    scribble()
+    print_int(clean())
+    exit(0)
+""") == "0"
+
+    def test_large_array_loop_init(self):
+        assert output_of("""
+def main():
+    buf = ilocal(64)
+    total = 0
+    for i in range(64):
+        total += buf[i]
+    buf[63] = 5
+    print_int(total + buf[63])
+    exit(0)
+""") == "5"
+
+    def test_float_local_array(self):
+        assert output_of("""
+def main():
+    f = flocal(3)
+    f[1] = 1.25
+    print_float(f[0] + f[1] * 2.0)
+    exit(0)
+""") == "2.5"
+
+    def test_recursion_gets_fresh_arrays(self):
+        assert output_of("""
+def depth(n) -> int:
+    buf = ilocal(4)
+    buf[0] = n
+    if n > 0:
+        depth(n - 1)
+    return buf[0]
+
+def main():
+    print_int(depth(5))
+    exit(0)
+""") == "5"
+
+    def test_reassignment_rejected(self):
+        with pytest.raises(CompileError, match="reassign"):
+            compile_source("""
+def main():
+    buf = ilocal(4)
+    buf = 5
+""")
+
+    def test_shadowing_global_rejected(self):
+        with pytest.raises(CompileError, match="shadows"):
+            compile_source("""
+A = iarray(4)
+
+def main():
+    A = ilocal(4)
+""")
+
+    def test_size_bounds(self):
+        with pytest.raises(CompileError, match="size"):
+            compile_source("def main():\n    b = ilocal(0)\n")
+        with pytest.raises(CompileError, match="size"):
+            compile_source("def main():\n    b = ilocal(100000)\n")
+
+    def test_bare_name_rejected(self):
+        with pytest.raises(CompileError, match="without an index"):
+            compile_source("""
+def main():
+    buf = ilocal(4)
+    print_int(buf)
+""")
+
+
+class TestMinMax:
+    def test_int_min_max(self):
+        assert output_of("""
+def main():
+    print_int(min(-5, 3))
+    print_char(32)
+    print_int(max(-5, 3))
+    print_char(32)
+    print_int(min(7, 7))
+    exit(0)
+""") == "-5 3 7"
+
+    def test_float_min_max(self):
+        assert output_of("""
+def main():
+    print_float(min(2.5, -1.0))
+    print_char(32)
+    print_float(max(2.5, -1.0))
+    exit(0)
+""") == "-1 2.5"
+
+    def test_mixed_promotes_to_float(self):
+        assert output_of("""
+def main():
+    print_float(max(2, 2.5))
+    exit(0)
+""") == "2.5"

@@ -1,0 +1,95 @@
+"""Fault model and behaviour tests (Section III.A)."""
+
+import pytest
+
+from repro.core import (
+    Behavior,
+    BehaviorKind,
+    Fault,
+    LocationKind,
+    PERMANENT,
+    Stage,
+    TimeMode,
+)
+
+
+class TestBehaviors:
+    def test_immediate_assigns_value(self):
+        behavior = Behavior(BehaviorKind.IMMEDIATE, operand=0xDEAD)
+        assert behavior.apply(12345) == 0xDEAD
+
+    def test_immediate_masks_to_width(self):
+        behavior = Behavior(BehaviorKind.IMMEDIATE, operand=0x1FF)
+        assert behavior.apply(0, width=8) == 0xFF
+
+    def test_xor_with_constant(self):
+        behavior = Behavior(BehaviorKind.XOR, operand=0b1010)
+        assert behavior.apply(0b0110) == 0b1100
+
+    def test_single_bit_flip(self):
+        behavior = Behavior(BehaviorKind.FLIP, bits=(21,))
+        assert behavior.apply(0) == 1 << 21
+        assert behavior.apply(1 << 21) == 0
+
+    def test_multiple_bit_flips(self):
+        behavior = Behavior(BehaviorKind.FLIP, bits=(0, 1, 63))
+        assert behavior.apply(0) == (1 << 63) | 3
+
+    def test_flip_beyond_width_is_ignored(self):
+        behavior = Behavior(BehaviorKind.FLIP, bits=(40,))
+        assert behavior.apply(0, width=32) == 0
+
+    def test_all_zero_and_all_one(self):
+        assert Behavior(BehaviorKind.ALL_ZERO).apply(0xFF) == 0
+        assert Behavior(BehaviorKind.ALL_ONE).apply(0, width=32) == \
+            0xFFFFFFFF
+
+    def test_flip_is_involution(self):
+        behavior = Behavior(BehaviorKind.FLIP, bits=(7, 13))
+        value = 0x123456789ABCDEF0
+        assert behavior.apply(behavior.apply(value)) == value
+
+
+class TestFaultDescribe:
+    def test_register_fault_round_trip_text(self):
+        fault = Fault(location=LocationKind.INT_REG,
+                      time_mode=TimeMode.INSTRUCTIONS, time=2457,
+                      behavior=Behavior(BehaviorKind.FLIP, bits=(21,)),
+                      thread_id=0, cpu="system.cpu1", reg_index=1)
+        text = fault.describe()
+        assert "RegisterInjectedFault" in text
+        assert "Inst:2457" in text
+        assert "Flip:21" in text
+        assert "system.cpu1" in text
+        assert text.endswith("int 1")
+
+    def test_stage_mapping(self):
+        cases = {
+            LocationKind.FETCH: Stage.FETCH,
+            LocationKind.DECODE: Stage.DECODE,
+            LocationKind.EXECUTE: Stage.EXECUTE,
+            LocationKind.MEM: Stage.MEM,
+            LocationKind.INT_REG: Stage.REGFILE,
+            LocationKind.FP_REG: Stage.REGFILE,
+            LocationKind.PC: Stage.REGFILE,
+        }
+        for location, stage in cases.items():
+            fault = Fault(location=location,
+                          time_mode=TimeMode.INSTRUCTIONS, time=1,
+                          behavior=Behavior(BehaviorKind.ALL_ZERO))
+            assert fault.stage is stage
+
+    def test_permanent_occ_renders(self):
+        fault = Fault(location=LocationKind.PC,
+                      time_mode=TimeMode.TICKS, time=10,
+                      behavior=Behavior(BehaviorKind.ALL_ONE,
+                                        occ=PERMANENT))
+        assert "occ:permanent" in fault.describe()
+        assert "Tick:10" in fault.describe()
+
+    def test_decode_fault_describe(self):
+        fault = Fault(location=LocationKind.DECODE,
+                      time_mode=TimeMode.INSTRUCTIONS, time=5,
+                      behavior=Behavior(BehaviorKind.FLIP, bits=(2,)),
+                      operand_role="dst", operand_index=1)
+        assert fault.describe().endswith("dst 1")

@@ -1,0 +1,292 @@
+"""End-to-end fault-injection tests through real simulations.
+
+Each location kind of Section III.A.1 is exercised, plus thread toggling,
+context-switch tracking, occurrence spans (transient -> permanent) and
+propagation bookkeeping.
+"""
+
+import pytest
+
+from repro.core import FaultInjector, LocationKind, Stage
+from repro.sim import SimConfig, Simulator
+
+from conftest import run_asm
+
+# A deterministic straight-line program with a clear FI window:
+#   t0 = 5; t1 = 7; t2 = t0+t1 (=12); A[0] = t2; t3 = A[0]*2 (=24)
+WINDOW_ASM = """
+main:
+    ldi a0, 0
+    fi_activate
+    ldi t0, 5
+    ldi t1, 7
+    addq t0, t1, t2
+    la t3, out
+    stq t2, 0(t3)
+    ldq t4, 0(t3)
+    addq t4, t4, t5
+    fi_activate
+    mov t5, a0
+    ldi v0, 5
+    callsys
+    ldi v0, 0
+    ldi a0, 0
+    callsys
+    .data
+out: .space 8
+"""
+# Instruction indices after activation (counted from 1):
+#   1-2: ldi t0 (ldah+lda)   3-4: ldi t1   5: addq -> t2
+#   6-7: la t3   8: stq   9: ldq   10: addq t4,t4,t5
+
+GOLDEN = "24"
+
+
+def run_window(fault_line, model="atomic"):
+    sim, result = run_asm(WINDOW_ASM, model=model,
+                          faults_text=fault_line,
+                          max_instructions=100_000)
+    return sim, result
+
+
+class TestRegisterFaults:
+    def test_flip_live_register_changes_output(self):
+        # Corrupt t2 (r3) right after instruction 5 computed it.
+        sim, _ = run_window(
+            "RegisterInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1 int 3")
+        assert sim.console_text() == "26"   # (12^1)*2
+        record = sim.injector.records[0]
+        assert record.propagated is True
+
+    def test_flip_dead_register_not_propagated(self):
+        # r20 is never used by this program.
+        sim, _ = run_window(
+            "RegisterInjectedFault Inst:5 Flip:7 Threadid:0 "
+            "system.cpu0 occ:1 int 20")
+        assert sim.console_text() == GOLDEN
+        assert sim.injector.records[0].propagated is not True
+
+    def test_overwritten_register_not_propagated(self):
+        # t4 (r22... actually t4 = r5) is loaded at instruction 9,
+        # corrupting it at 8 gets overwritten by the ldq.
+        sim, _ = run_window(
+            "RegisterInjectedFault Inst:8 Flip:3 Threadid:0 "
+            "system.cpu0 occ:1 int 5")
+        assert sim.console_text() == GOLDEN
+        assert sim.injector.records[0].propagated is False
+
+    def test_fp_register_fault_harmless_in_int_program(self):
+        sim, _ = run_window(
+            "RegisterInjectedFault Inst:5 Flip:62 Threadid:0 "
+            "system.cpu0 occ:1 fp 4")
+        assert sim.console_text() == GOLDEN
+
+    def test_zero_register_fault_is_masked_architecturally(self):
+        sim, _ = run_window(
+            "RegisterInjectedFault Inst:5 All1 Threadid:0 "
+            "system.cpu0 occ:1 int 31")
+        assert sim.console_text() == GOLDEN
+
+    def test_sp_corruption_usually_crashes(self):
+        asm = WINDOW_ASM.replace("addq t4, t4, t5",
+                                 "stq t4, 0(sp)\n    addq t4, t4, t5")
+        sim, _ = run_asm(
+            asm,
+            faults_text="RegisterInjectedFault Inst:9 Flip:40 "
+                        "Threadid:0 system.cpu0 occ:1 int 30",
+            max_instructions=100_000)
+        assert sim.process(0).state.value == "crashed"
+
+
+class TestPCFaults:
+    def test_pc_fault_crashes(self):
+        sim, _ = run_window(
+            "PCInjectedFault Inst:5 Flip:30 Threadid:0 system.cpu0 occ:1")
+        assert sim.process(0).state.value == "crashed"
+        assert sim.injector.records[0].propagated is True
+
+    def test_small_pc_nudge_can_survive(self):
+        # Flipping bit 2 jumps one instruction; skipping "ldi t1, 7"'s
+        # second half leaves t1 partially set -> output changes but no
+        # crash (the skipped instruction is within mapped text).
+        sim, _ = run_window(
+            "PCInjectedFault Inst:3 Flip:2 Threadid:0 system.cpu0 occ:1")
+        assert sim.process(0).state.value in ("exited", "crashed")
+
+
+class TestFetchFaults:
+    def test_unused_bit_flip_strictly_masked(self):
+        # Instruction 5 is register-form addq: bits 13-15 are SBZ.
+        sim, _ = run_window(
+            "FetchStageInjectedFault Inst:5 Flip:14 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == GOLDEN
+        assert sim.injector.records[0].propagated is False
+
+    def test_opcode_corruption_to_illegal_crashes(self):
+        # addq opcode 0x10 = 0b010000; flipping bit 31 gives 0b110000
+        # (0x30=BR)... flip bit 27 gives 0b010010? pick bit 26 ->
+        # 0b010001 = 0x11 INTL func 0x20 = bis (legal!).  Use bit 28:
+        # 0b010100 = 0x14 ITFP with func 0x20 -> illegal.
+        sim, _ = run_window(
+            "FetchStageInjectedFault Inst:5 Flip:28 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.process(0).state.value == "crashed"
+        assert "IllegalInstruction" in sim.process(0).crash_reason
+
+    def test_memory_displacement_corruption_crashes(self):
+        # Instruction 8 is stq t2, 0(t3): flipping a high displacement
+        # bit moves the store far away from the mapped data page.
+        sim, _ = run_window(
+            "FetchStageInjectedFault Inst:8 Flip:14 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.process(0).state.value == "crashed"
+
+    def test_register_field_corruption_changes_data(self):
+        # Flip an Ra-field bit of the addq at instruction 5.
+        sim, _ = run_window(
+            "FetchStageInjectedFault Inst:5 Flip:21 Threadid:0 "
+            "system.cpu0 occ:1")
+        process = sim.process(0)
+        assert process.state.value in ("exited", "crashed")
+        if process.state.value == "exited":
+            assert sim.console_text() != GOLDEN or \
+                sim.injector.records[0].propagated is False
+
+
+class TestDecodeFaults:
+    def test_source_selection_changes_operand(self):
+        # At instruction 5 (addq t0, t1, t2), redirect source 0 from
+        # t0 (r1) to r0 (flip bit 0): result = r0 + t1.
+        sim, _ = run_window(
+            "DecodeStageInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1 src 0")
+        assert sim.process(0).state.value == "exited"
+        assert sim.console_text() != GOLDEN
+
+    def test_dest_selection_redirects_write(self):
+        sim, _ = run_window(
+            "DecodeStageInjectedFault Inst:5 Flip:1 Threadid:0 "
+            "system.cpu0 occ:1 dst 0")
+        # t2 was never written -> downstream value is stale (0).
+        assert sim.console_text() != GOLDEN
+
+    def test_branchless_instruction_without_target_noop(self):
+        # fi ops have no register selections; fault reports no effect.
+        sim, _ = run_window(
+            "DecodeStageInjectedFault Inst:10 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1 dst 0")
+        assert sim.process(0).state.value in ("exited", "crashed")
+
+
+class TestExecuteAndMemFaults:
+    def test_execute_result_corruption(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 Flip:1 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == "28"    # (12^2)*2
+
+    def test_effective_address_corruption_crashes(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:8 Flip:30 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.process(0).state.value == "crashed"
+        assert "UnmappedAccess" in sim.process(0).crash_reason
+
+    def test_store_value_corruption(self):
+        # MEM-queue time counts memory *transactions*: the stq is the
+        # window's first memory operation.
+        sim, _ = run_window(
+            "MemoryInjectedFault Inst:1 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == "26"
+
+    def test_load_value_corruption(self):
+        sim, _ = run_window(
+            "MemoryInjectedFault Inst:2 Flip:2 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == "16"    # (12^4)*2
+
+
+class TestOccurrenceSpans:
+    def test_transient_applies_once(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert len(sim.injector.records) == 1
+
+    def test_intermittent_applies_n_times(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 All0 Threadid:0 "
+            "system.cpu0 occ:3")
+        assert len(sim.injector.records) == 3
+
+    def test_permanent_applies_until_window_end(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 All0 Threadid:0 "
+            "system.cpu0 occ:permanent")
+        # Instructions 5..10 pass the execute stage within the window,
+        # but the window closes at the second fi_activate.
+        assert len(sim.injector.records) >= 4
+
+
+class TestThreadTargeting:
+    def test_fault_for_other_thread_never_fires(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 All0 Threadid:9 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == GOLDEN
+        assert not sim.injector.records
+
+    def test_fault_for_other_cpu_never_fires(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:5 All0 Threadid:0 "
+            "system.cpu7 occ:1")
+        assert not sim.injector.records
+
+    def test_fault_outside_window_never_fires(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:500000 Flip:1 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.console_text() == GOLDEN
+        assert not sim.injector.records
+
+    def test_deactivation_records_window(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Inst:500000 Flip:1 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert len(sim.injector.windows) == 1
+        window = sim.injector.windows[0]
+        assert window["thread_id"] == 0
+        assert window["committed"] == 10
+
+
+class TestTickTiming:
+    def test_tick_scheduled_fault_fires(self):
+        sim, _ = run_window(
+            "ExecutionStageInjectedFault Tick:3 All0 Threadid:0 "
+            "system.cpu0 occ:permanent")
+        assert sim.injector.records
+
+
+class TestInjectorLifecycle:
+    def test_reset_rearms_faults(self):
+        injector = FaultInjector.from_text(
+            "ExecutionStageInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        sim = Simulator(SimConfig(), injector=injector)
+        sim.load(WINDOW_ASM, "t")
+        sim.run(max_instructions=100_000)
+        assert injector.records
+        assert injector.all_faults_done
+        injector.reset()
+        assert not injector.records
+        assert not injector.all_faults_done
+        assert injector.queues.pending_count() == 1
+
+    def test_all_faults_done_signals_model_switch_point(self):
+        injector = FaultInjector.from_text(
+            "ExecutionStageInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert not injector.all_faults_done

@@ -1,0 +1,159 @@
+"""Fault-input-file parser tests (Listing 1 syntax)."""
+
+import pytest
+
+from repro.core import (
+    BehaviorKind,
+    FaultParseError,
+    LocationKind,
+    PERMANENT,
+    TimeMode,
+    parse_fault_file,
+    parse_fault_line,
+    render_fault_file,
+)
+
+LISTING_1 = ('"RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 '
+             'system.cpu1 occ:1 int 1"')
+
+
+class TestParseLine:
+    def test_listing_1_example(self):
+        fault = parse_fault_line(LISTING_1.strip('"'))
+        assert fault.location is LocationKind.INT_REG
+        assert fault.time_mode is TimeMode.INSTRUCTIONS
+        assert fault.time == 2457
+        assert fault.behavior.kind is BehaviorKind.FLIP
+        assert fault.behavior.bits == (21,)
+        assert fault.thread_id == 0
+        assert fault.cpu == "system.cpu1"
+        assert fault.behavior.occ == 1
+        assert fault.reg_index == 1
+
+    def test_fp_register(self):
+        fault = parse_fault_line(
+            "RegisterInjectedFault Inst:10 All0 Threadid:2 "
+            "system.cpu0 occ:1 fp 7")
+        assert fault.location is LocationKind.FP_REG
+        assert fault.reg_index == 7
+        assert fault.thread_id == 2
+
+    def test_pc_fault_with_xor(self):
+        fault = parse_fault_line(
+            "PCInjectedFault Tick:10000 Xor:0xff Threadid:0 "
+            "system.cpu0 occ:1")
+        assert fault.location is LocationKind.PC
+        assert fault.time_mode is TimeMode.TICKS
+        assert fault.behavior.kind is BehaviorKind.XOR
+        assert fault.behavior.operand == 0xFF
+
+    def test_stage_faults(self):
+        for head, location in (
+                ("FetchStageInjectedFault", LocationKind.FETCH),
+                ("ExecutionStageInjectedFault", LocationKind.EXECUTE),
+                ("MemoryInjectedFault", LocationKind.MEM)):
+            fault = parse_fault_line(
+                f"{head} Inst:5 Flip:3 Threadid:0 system.cpu0 occ:1")
+            assert fault.location is location
+
+    def test_decode_fault_with_operand_role(self):
+        fault = parse_fault_line(
+            "DecodeStageInjectedFault Inst:100 Flip:2 Threadid:0 "
+            "system.cpu0 occ:1 dst 0")
+        assert fault.location is LocationKind.DECODE
+        assert fault.operand_role == "dst"
+        assert fault.operand_index == 0
+
+    def test_multiple_flip_bits(self):
+        fault = parse_fault_line(
+            "FetchStageInjectedFault Inst:1 Flip:1,2,31 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert fault.behavior.bits == (1, 2, 31)
+
+    def test_permanent_occurrence(self):
+        fault = parse_fault_line(
+            "MemoryInjectedFault Inst:1 All1 Threadid:0 system.cpu0 "
+            "occ:permanent")
+        assert fault.behavior.occ == PERMANENT
+
+    def test_immediate_behavior(self):
+        fault = parse_fault_line(
+            "ExecutionStageInjectedFault Inst:9 Imm:0x42 Threadid:0 "
+            "system.cpu0 occ:3")
+        assert fault.behavior.kind is BehaviorKind.IMMEDIATE
+        assert fault.behavior.operand == 0x42
+        assert fault.behavior.occ == 3
+
+    def test_token_order_is_flexible(self):
+        fault = parse_fault_line(
+            "RegisterInjectedFault int 3 occ:2 system.cpu0 Threadid:1 "
+            "Flip:4 Inst:77")
+        assert fault.reg_index == 3
+        assert fault.time == 77
+
+
+class TestParseErrors:
+    def test_unknown_head(self):
+        with pytest.raises(FaultParseError, match="unknown fault type"):
+            parse_fault_line("BogusFault Inst:1 All0 occ:1")
+
+    def test_missing_time(self):
+        with pytest.raises(FaultParseError, match="time"):
+            parse_fault_line("PCInjectedFault All0 Threadid:0 occ:1")
+
+    def test_missing_behavior(self):
+        with pytest.raises(FaultParseError, match="behavior"):
+            parse_fault_line("PCInjectedFault Inst:1 Threadid:0 occ:1")
+
+    def test_register_fault_requires_class_and_index(self):
+        with pytest.raises(FaultParseError, match="int N"):
+            parse_fault_line(
+                "RegisterInjectedFault Inst:1 All0 Threadid:0 occ:1")
+
+    def test_register_index_range(self):
+        with pytest.raises(FaultParseError, match="outside"):
+            parse_fault_line(
+                "RegisterInjectedFault Inst:1 All0 Threadid:0 occ:1 "
+                "int 32")
+
+    def test_bad_integers(self):
+        with pytest.raises(FaultParseError, match="bad integer"):
+            parse_fault_line("PCInjectedFault Inst:xyz All0 occ:1")
+
+    def test_bad_occ(self):
+        with pytest.raises(FaultParseError, match="occ"):
+            parse_fault_line("PCInjectedFault Inst:1 All0 occ:0")
+
+    def test_bad_decode_role(self):
+        with pytest.raises(FaultParseError, match="src/dst"):
+            parse_fault_line(
+                "DecodeStageInjectedFault Inst:1 Flip:0 occ:1 middle 0")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FaultParseError, match="line 3"):
+            parse_fault_file("# comment\n\nBogus Inst:1 All0\n")
+
+
+class TestFileRoundTrip:
+    def test_file_parse_skips_comments_and_blanks(self):
+        faults = parse_fault_file(
+            "# header\n\n"
+            "PCInjectedFault Inst:1 All0 Threadid:0 occ:1\n"
+            "   \n"
+            "MemoryInjectedFault Inst:2 Flip:5 Threadid:0 occ:1\n")
+        assert len(faults) == 2
+
+    def test_render_then_parse_is_identity(self):
+        lines = [
+            "RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 "
+            "system.cpu1 occ:1 int 1",
+            "PCInjectedFault Tick:999 Xor:0xff Threadid:3 "
+            "system.cpu0 occ:permanent",
+            "DecodeStageInjectedFault Inst:4 Flip:1 Threadid:0 "
+            "system.cpu0 occ:2 dst 1",
+            "FetchStageInjectedFault Inst:7 Imm:0 Threadid:0 "
+            "system.cpu0 occ:1",
+        ]
+        first = parse_fault_file("\n".join(lines))
+        second = parse_fault_file(render_fault_file(first))
+        assert first == second

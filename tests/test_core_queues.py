@@ -1,0 +1,143 @@
+"""Unit tests for the five per-stage fault queues."""
+
+import pytest
+
+from repro.core import (
+    Behavior,
+    BehaviorKind,
+    Fault,
+    FaultQueues,
+    LocationKind,
+    PERMANENT,
+    Stage,
+    TimeMode,
+)
+from repro.core.queues import StageQueue
+from repro.core.thread_state import ThreadEnabledFault
+
+
+def make_fault(time=5, occ=1, mode=TimeMode.INSTRUCTIONS,
+               thread_id=0, cpu="system.cpu0",
+               location=LocationKind.EXECUTE):
+    return Fault(location=location, time_mode=mode, time=time,
+                 behavior=Behavior(BehaviorKind.FLIP, bits=(0,), occ=occ),
+                 thread_id=thread_id, cpu=cpu)
+
+
+def thread(thread_id=0, activation_tick=0):
+    return ThreadEnabledFault(thread_id=thread_id, pcb_addr=0x1000,
+                              activation_tick=activation_tick)
+
+
+class TestStageQueue:
+    def test_not_due_before_time(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=5))
+        assert queue.due(thread(), 4, 0, "system.cpu0") == []
+        assert not queue.empty
+
+    def test_due_exactly_at_time(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=5))
+        hits = queue.due(thread(), 5, 0, "system.cpu0")
+        assert len(hits) == 1
+        assert queue.empty
+
+    def test_due_catches_up_past_time(self):
+        # The >= trigger: a MEM fault scheduled between transactions
+        # fires at the next one.
+        queue = StageQueue(Stage.MEM)
+        queue.insert(make_fault(time=5))
+        hits = queue.due(thread(), 9, 0, "system.cpu0")
+        assert len(hits) == 1
+
+    def test_occurrences_span_consecutive_hits(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=3, occ=3))
+        total = 0
+        for count in range(1, 10):
+            total += len(queue.due(thread(), count, 0, "system.cpu0"))
+        assert total == 3
+        assert queue.empty
+
+    def test_permanent_never_exhausts(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=1, occ=PERMANENT))
+        for count in range(1, 50):
+            assert len(queue.due(thread(), count, 0,
+                                 "system.cpu0")) == 1
+        assert not queue.empty
+
+    def test_wrong_thread_stays_pending(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=1, thread_id=7))
+        assert queue.due(thread(thread_id=0), 100, 0,
+                         "system.cpu0") == []
+        assert not queue.empty
+
+    def test_wrong_cpu_stays_pending(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=1, cpu="system.cpu3"))
+        assert queue.due(thread(), 100, 0, "system.cpu0") == []
+
+    def test_any_cpu_matches(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=1, cpu="any"))
+        assert len(queue.due(thread(), 1, 0, "system.cpu0")) == 1
+
+    def test_tick_mode_uses_elapsed_ticks(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=100, mode=TimeMode.TICKS))
+        t = thread(activation_tick=1000)
+        assert queue.due(t, 1, 1050, "system.cpu0") == []
+        assert len(queue.due(t, 2, 1100, "system.cpu0")) == 1
+
+    def test_tick_mode_occ_expires_by_tick(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=10, occ=20, mode=TimeMode.TICKS))
+        t = thread(activation_tick=0)
+        assert len(queue.due(t, 1, 15, "system.cpu0")) == 1
+        assert len(queue.due(t, 2, 25, "system.cpu0")) == 1
+        # Past expiry (activation + time + occ = 30):
+        assert queue.due(t, 3, 31, "system.cpu0") == []
+        assert queue.empty
+
+    def test_multiple_faults_same_time(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=5))
+        queue.insert(make_fault(time=5))
+        assert len(queue.due(thread(), 5, 0, "system.cpu0")) == 2
+
+    def test_pending_kept_sorted(self):
+        queue = StageQueue(Stage.EXECUTE)
+        queue.insert(make_fault(time=50))
+        queue.insert(make_fault(time=5))
+        queue.insert(make_fault(time=20))
+        assert [f.time for f in queue.pending] == [5, 20, 50]
+
+
+class TestFaultQueues:
+    def test_routing_by_stage(self):
+        queues = FaultQueues([
+            make_fault(location=LocationKind.FETCH),
+            make_fault(location=LocationKind.PC),
+            make_fault(location=LocationKind.INT_REG),
+        ])
+        assert len(queues.queue(Stage.FETCH).pending) == 1
+        assert len(queues.queue(Stage.REGFILE).pending) == 2
+        assert queues.pending_count() == 3
+
+    def test_all_exhausted_lifecycle(self):
+        queues = FaultQueues([make_fault(time=1)])
+        assert not queues.all_exhausted
+        queues.queue(Stage.EXECUTE).due(thread(), 1, 0, "system.cpu0")
+        assert queues.all_exhausted
+
+    def test_reset_rearms_from_initial(self):
+        queues = FaultQueues([make_fault(time=1)])
+        queues.queue(Stage.EXECUTE).due(thread(), 1, 0, "system.cpu0")
+        queues.reset()
+        assert queues.pending_count() == 1
+
+    def test_empty_queues_exhausted(self):
+        assert FaultQueues([]).all_exhausted

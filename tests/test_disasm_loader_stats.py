@@ -1,0 +1,147 @@
+"""Disassembler, loader and statistics-module tests."""
+
+import pytest
+
+from repro.isa import assemble, disassemble, disassemble_word
+from repro.isa import encoding as enc, instructions as ins
+from repro.memory import MainMemory
+from repro.sim import stats as sim_stats
+from repro.system.loader import load_program, unload_process
+from repro.system.process import data_base, stack_top, text_base
+
+from conftest import run_minic
+
+
+class TestDisassembler:
+    def test_illegal_word_renders_gracefully(self):
+        assert disassemble_word(0x07 << 26).startswith(".illegal")
+
+    def test_branch_target_with_and_without_pc(self):
+        word = enc.encode_branch(ins.OP_BEQ, 1, 3)
+        assert disassemble_word(word) == "beq t0, .+3"
+        assert disassemble_word(word, pc=0x1000) == "beq t0, 0x1010"
+
+    def test_memory_operand_rendering(self):
+        word = enc.encode_memory(ins.OP_LDQ, 1, 30, -8)
+        assert disassemble_word(word) == "ldq t0, -8(sp)"
+
+    def test_fp_rendering(self):
+        word = enc.encode_fp_operate(ins.OP_FLTI, 1, 2, 0x0A0, 3)
+        assert disassemble_word(word) == "addt f1, f2, f3"
+
+    def test_literal_operand_rendering(self):
+        word = enc.encode_operate_lit(ins.OP_INTA, 1, 42, 0x20, 3)
+        assert disassemble_word(word) == "addq t0, 42, t2"  # r3 = t2
+
+    def test_pal_and_fi_rendering(self):
+        assert disassemble_word(
+            enc.encode_palcode(ins.OP_PAL, ins.PAL_CALLSYS)) == "callsys"
+        assert disassemble_word(
+            enc.encode_palcode(ins.OP_FI, ins.FI_ACTIVATE)) == \
+            "fi_activate_inst"
+
+    def test_every_assembled_instruction_disassembles(self):
+        img = assemble("""
+        main:
+            addq r1, r2, r3
+            subl r1, 3, r3
+            cmovlt r1, r2, r3
+            ldbu t0, 1(sp)
+            stb t0, 1(sp)
+            ldl t0, 4(sp)
+            stl t0, 4(sp)
+            fbge f1, main
+            cvtqt f2, f3
+            itoft t0, f1
+            ftoit f1, t0
+            sextb t0, t1
+            sextw t0, t1
+            imb
+            halt
+        """)
+        for index, word in enumerate(img.words()):
+            text = disassemble_word(word, img.text_base + 4 * index)
+            assert not text.startswith((".illegal", ".unknown")), text
+
+
+class TestLoader:
+    def test_layout_and_protection(self):
+        memory = MainMemory()
+        process = load_program(memory, "main:\n    nop\n    halt\n",
+                               pid=0, name="p")
+        assert process.entry == text_base(0)
+        text_region = memory.region_of(text_base(0))
+        assert text_region is not None and not text_region.writable
+        assert memory.region_of(data_base(0)).writable
+        assert memory.region_of(stack_top(0) - 8).writable
+
+    def test_initial_context(self):
+        memory = MainMemory()
+        process = load_program(memory, "main: halt\n", pid=2, name="p")
+        context = process.context
+        assert context["pc"] == text_base(2)
+        assert context["int"][30] == stack_top(2) - 64   # SP
+        assert context["int"][29] == data_base(2)        # GP
+
+    def test_symbols_exposed(self):
+        memory = MainMemory()
+        process = load_program(
+            memory, "main: halt\n    .data\nfoo: .quad 7\n",
+            pid=0, name="p")
+        assert process.symbol("foo") == data_base(0)
+
+    def test_unload_removes_all_regions(self):
+        memory = MainMemory()
+        process = load_program(memory, "main: halt\n", pid=0, name="p")
+        unload_process(memory, process)
+        assert memory.region_of(text_base(0)) is None
+        assert memory.region_of(data_base(0)) is None
+        assert memory.region_of(stack_top(0) - 8) is None
+
+    def test_two_processes_disjoint_slots(self):
+        memory = MainMemory()
+        load_program(memory, "main: halt\n", pid=0, name="a")
+        load_program(memory, "main: halt\n", pid=1, name="b")
+        assert memory.region_of(text_base(0)).name == "p0.text"
+        assert memory.region_of(text_base(1)).name == "p1.text"
+
+    def test_data_contents_loaded(self):
+        memory = MainMemory()
+        process = load_program(
+            memory, "main: halt\n    .data\nv: .quad -5, 9\n",
+            pid=0, name="p")
+        base = process.symbol("v")
+        assert memory.read(base, 8) == (-5) & ((1 << 64) - 1)
+        assert memory.read(base + 8, 8) == 9
+
+
+class TestStatsModule:
+    def test_collect_core_counters(self):
+        sim, _ = run_minic("def main():\n    exit(0)\n")
+        collected = sim_stats.collect(sim)
+        assert collected["sim.instructions"] == sim.instructions
+        assert collected["system.cpu0.committed"] == sim.core.committed
+        assert collected["process.0.state"] == "exited"
+
+    def test_o3_extra_counters_present(self):
+        sim, _ = run_minic("def main():\n    exit(0)\n", model="o3")
+        collected = sim_stats.collect(sim)
+        assert "system.cpu0.bp.lookups" in collected
+        assert "system.cpu0.squashed" in collected
+
+    def test_atomic_has_no_predictor_counters(self):
+        sim, _ = run_minic("def main():\n    exit(0)\n")
+        collected = sim_stats.collect(sim)
+        assert "system.cpu0.bp.lookups" not in collected
+
+    def test_dump_parses_back(self):
+        sim, _ = run_minic("def main():\n    exit(0)\n")
+        for line in sim.stats_dump().strip().splitlines():
+            name, value = line.split(" ", 1)
+            assert name
+            assert value
+
+    def test_dumps_differ_between_different_programs(self):
+        a, _ = run_minic("def main():\n    exit(0)\n")
+        b, _ = run_minic("def main():\n    print_int(1)\n    exit(0)\n")
+        assert a.stats_dump() != b.stats_dump()

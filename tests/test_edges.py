@@ -1,0 +1,182 @@
+"""Edge cases across subsystem boundaries."""
+
+import pytest
+
+from repro.campaign import VddScaledGenerator, WindowProfile
+from repro.compiler import CompileError, compile_source
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator, dumps_checkpoint, \
+    restore_checkpoint
+
+from conftest import run_asm, run_minic
+
+
+class TestCompilerSpills:
+    def test_deep_expression_uses_many_temporaries(self):
+        # A long right-leaning expression chains temporaries.
+        expr = " + ".join(f"({i} * 2 - 1)" for i in range(10))
+        sim, _ = run_minic(f"""
+def main():
+    print_int({expr})
+    exit(0)
+""", with_injector=False)
+        assert sim.console_text() == str(
+            sum(i * 2 - 1 for i in range(10)))
+
+    def test_call_inside_deep_expression_spills_and_restores(self):
+        sim, _ = run_minic("""
+def f(x) -> int:
+    return x * 2
+
+def main():
+    a = 3
+    b = 5
+    print_int(a + b * f(a + b) + f(f(2)) * a - b)
+    exit(0)
+""", with_injector=False)
+        a, b = 3, 5
+        f = lambda x: x * 2
+        assert sim.console_text() == str(a + b * f(a + b)
+                                         + f(f(2)) * a - b)
+
+    def test_too_deep_expression_reports_error(self):
+        # A right-leaning chain of non-literal operands holds one
+        # temporary per nesting level; exceeding the pool must be a
+        # clean CompileError, not a crash.
+        expr = "v"
+        for _ in range(20):
+            expr = f"(v + {expr})"
+        with pytest.raises(CompileError, match="temporaries"):
+            compile_source(f"def main():\n    v = 1\n    x = {expr}\n")
+
+    def test_intrinsic_arity_errors(self):
+        with pytest.raises(CompileError, match="argument"):
+            compile_source("def main():\n    sqrt(1.0, 2.0)\n")
+        with pytest.raises(CompileError, match="argument"):
+            compile_source("def main():\n    print_int()\n")
+
+
+class TestCheckpointWithThreads:
+    MT = """
+PARTIAL = iarray(2)
+
+def worker(which):
+    total = 0
+    for i in range(100):
+        total += i + which
+    PARTIAL[which] = total
+    return 0
+
+def main():
+    fi_read_init_all()
+    fi_activate_inst(0)
+    t1 = spawn(worker, 0)
+    t2 = spawn(worker, 1)
+    while join(t1) == 0 or join(t2) == 0:
+        sched_yield()
+    fi_activate_inst(0)
+    print_int(PARTIAL[0] + PARTIAL[1])
+    exit(0)
+"""
+
+    def test_checkpoint_before_spawn_restores_cleanly(self):
+        injector = FaultInjector()
+        sim = Simulator(SimConfig(quantum=100), injector=injector)
+        sim.load(compile_source(self.MT), "mt")
+        holder = {}
+        sim.on_checkpoint = lambda s: holder.__setitem__(
+            "blob", dumps_checkpoint(s))
+        sim.run(until_checkpoint=True, max_instructions=2_000_000)
+        result = sim.run(max_instructions=4_000_000)
+        assert result.status == "completed"
+        golden = sim.console_text()
+
+        restored = restore_checkpoint(holder["blob"])
+        restored.run(max_instructions=4_000_000)
+        assert restored.console_text() == golden
+        # Threads were re-spawned inside the restored run.
+        assert sum(1 for p in restored.system.processes.values()
+                   if p.is_thread) == 2
+
+
+class TestSimulatorEdges:
+    def test_run_result_hit_limit_property(self):
+        sim, result = run_asm("main:\nloop: br loop\n",
+                              max_instructions=1000)
+        assert result.hit_limit
+
+    def test_empty_simulator_completes_immediately(self):
+        sim = Simulator(SimConfig())
+        result = sim.run(max_instructions=100)
+        assert result.status == "completed"
+        assert result.instructions == 0
+
+    def test_bad_cpu_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown cpu model"):
+            SimConfig(cpu_model="pentium")
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ValueError, match="quantum"):
+            SimConfig(quantum=0)
+
+    def test_second_run_call_continues(self):
+        asm = compile_source("""
+def main():
+    total = 0
+    for i in range(500):
+        total += i
+    print_int(total)
+    exit(0)
+""")
+        sim = Simulator(SimConfig())
+        sim.load(asm, "t")
+        first = sim.run(max_instructions=200)
+        assert first.status == "limit"
+        second = sim.run(max_instructions=2_000_000)
+        assert second.status == "completed"
+        assert sim.console_text() == str(sum(range(500)))
+
+
+class TestVddGeneratorEdges:
+    def test_above_nominal_clamps_to_base_rate(self):
+        profile = WindowProfile(committed=1000, ticks=1000)
+        generator = VddScaledGenerator(profile, seed=0, vdd=1.2,
+                                       v_nominal=1.0, base_rate=0.1)
+        assert generator.expected_upsets == pytest.approx(0.1)
+
+    def test_invalid_vdd_rejected(self):
+        profile = WindowProfile(committed=1000, ticks=1000)
+        with pytest.raises(ValueError):
+            VddScaledGenerator(profile, vdd=0.0)
+
+    def test_faults_for_run_deterministic_per_seed(self):
+        profile = WindowProfile(committed=1000, ticks=1000)
+        runs_a = [len(VddScaledGenerator(profile, seed=3, vdd=0.8)
+                      .faults_for_run()) for _ in range(5)]
+        runs_b = [len(VddScaledGenerator(profile, seed=3, vdd=0.8)
+                      .faults_for_run()) for _ in range(5)]
+        assert runs_a[0] == runs_b[0]
+
+
+class TestKernelThreadStub:
+    def test_stub_lives_in_kernel_region(self):
+        sim = Simulator(SimConfig())
+        stub = sim.system.thread_exit_stub
+        # The stub's first instruction decodes (it is real code).
+        from repro.isa import decode
+        word = sim.memory.read(stub, 4)
+        assert decode(word).name == "bis"   # clr a0
+
+    def test_direct_jump_to_stub_exits_cleanly(self):
+        # KERNEL_BASE + 0x8000 is above 2**31, outside ldi range:
+        # build it with a shift.
+        asm = """
+        main:
+            ldi t0, 0xF0008
+            sll t0, 12, t0
+            jmp zero, (t0)
+        """
+        sim, _ = run_asm(asm)
+        process = sim.process(0)
+        assert process.state.value == "exited"
+        assert process.exit_code == 0

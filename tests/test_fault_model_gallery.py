@@ -1,0 +1,138 @@
+"""Fault-model gallery: transient, intermittent, permanent, multi-bit,
+XOR, immediate and tick-timed faults exercised through real simulations
+(Section III.A.4: "GemFI is not limited to specific fault models").
+
+The target program reloads t0 = 3 every iteration, so a *transient*
+upset hurts one iteration, an *intermittent* (occ:N) fault hurts the
+iterations inside its span and then heals, and a *permanent*
+(occ:permanent) fault keeps re-corrupting the register forever —
+the three canonical behaviours the paper distinguishes.
+"""
+
+import pytest
+
+from conftest import run_asm
+
+LOOP_ASM = """
+main:
+    ldi a0, 0
+    fi_activate
+    ldi t2, 16            # window instr 1-2
+    clr t1                # 3
+loop:
+    ldi t0, 3             # 4-5 (reloaded every iteration)
+    addq t1, t0, t1       # 6
+    subq t2, 1, t2        # 7
+    bgt t2, loop          # 8; iteration k occupies 4+5(k-1)..8+5(k-1)
+    fi_activate
+    mov t1, a0
+    ldi v0, 5
+    callsys
+    ldi v0, 0
+    ldi a0, 0
+    callsys
+"""
+GOLDEN = "48"   # 16 iterations x 3
+
+
+def run_loop(fault_line):
+    sim, _ = run_asm(LOOP_ASM, faults_text=fault_line,
+                     max_instructions=100_000)
+    return sim
+
+
+class TestTransient:
+    def test_single_upset_hurts_one_iteration(self):
+        # Flip bit 0 of t0 right after its reload: 3 -> 2 for exactly
+        # one addq; the next reload heals it.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert len(sim.injector.records) == 1
+        assert sim.console_text() == "47"
+
+
+class TestIntermittent:
+    def test_stuck_for_a_span_then_heals(self):
+        # All0 re-applied for 10 consecutive instructions (covers the
+        # addq of iterations 1 and 2); iteration 3 reloads after the
+        # span and recovers: 48 - 2*3 = 42.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 All0 Threadid:0 "
+            "system.cpu0 occ:10 int 1")
+        assert len(sim.injector.records) == 10
+        assert sim.console_text() == "42"
+
+
+class TestPermanent:
+    def test_stuck_at_zero_forever(self):
+        # The register is re-zeroed after every instruction, defeating
+        # each iteration's reload: total 0.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 All0 Threadid:0 "
+            "system.cpu0 occ:permanent int 1")
+        assert sim.console_text() == "0"
+        assert len(sim.injector.records) > 50
+
+
+class TestMultiBitAndMasks:
+    def test_double_bit_flip(self):
+        # 3 ^ 0b11 = 0 for one iteration: 48 - 3 = 45.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 Flip:0,1 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert sim.console_text() == "45"
+
+    def test_xor_mask(self):
+        # 3 ^ 6 = 5 for one iteration: 48 - 3 + 5 = 50.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 Xor:0x6 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert sim.console_text() == "50"
+
+    def test_immediate_value(self):
+        # t0 := 10 for one iteration: 48 - 3 + 10 = 55.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 Imm:10 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert sim.console_text() == "55"
+
+    def test_all_ones(self):
+        # t0 := -1 for one iteration: 48 - 3 - 1 = 44.
+        sim = run_loop(
+            "RegisterInjectedFault Inst:5 All1 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert sim.console_text() == "44"
+
+
+class TestTickTimed:
+    def test_tick_mode_fires_and_corrupts(self):
+        sim = run_loop(
+            "RegisterInjectedFault Tick:10 All0 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert sim.injector.records
+        assert sim.console_text() != GOLDEN
+
+    def test_tick_mode_beyond_window_never_fires(self):
+        sim = run_loop(
+            "RegisterInjectedFault Tick:999999 All0 Threadid:0 "
+            "system.cpu0 occ:1 int 1")
+        assert not sim.injector.records
+        assert sim.console_text() == GOLDEN
+
+
+class TestMultipleFaults:
+    def test_two_transients_compose_exactly(self):
+        # Iteration 1 adds 10 (Imm at 5), iteration 2 adds 2 (Imm at
+        # 10, right after iteration 2's reload at 9-10):
+        # 48 - 3 + 10 - 3 + 2 = 54.
+        sim = run_asm(
+            LOOP_ASM,
+            faults_text=(
+                "RegisterInjectedFault Inst:5 Imm:10 Threadid:0 "
+                "system.cpu0 occ:1 int 1\n"
+                "RegisterInjectedFault Inst:10 Imm:2 Threadid:0 "
+                "system.cpu0 occ:1 int 1\n"),
+            max_instructions=100_000)[0]
+        assert len(sim.injector.records) == 2
+        assert sim.console_text() == "54"

@@ -1,0 +1,214 @@
+"""Assembler tests: syntax, labels, directives, pseudo-instructions."""
+
+import pytest
+
+from repro.isa import assemble, decode, disassemble_word
+from repro.isa.assembler import AssemblyError
+
+
+def words_of(source, **kwargs):
+    return assemble(source, **kwargs).words()
+
+
+class TestBasics:
+    def test_simple_program_layout(self):
+        img = assemble("""
+            .text
+        main:
+            nop
+            halt
+            .data
+        x:  .quad 42
+        """)
+        assert img.num_instructions == 2
+        assert img.symbols["main"] == img.text_base
+        assert img.symbols["x"] == img.data_base
+        assert img.entry == img.symbols["main"]
+
+    def test_comments_stripped(self):
+        img = assemble("main:\n  nop  # comment\n  nop ; other\n")
+        assert img.num_instructions == 2
+
+    def test_label_on_same_line(self):
+        img = assemble("main: nop\nend: halt\n")
+        assert img.symbols["end"] == img.text_base + 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a: nop\na: nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("main: frobnicate r1\n")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("main:\n  nop\n  bogus\n")
+
+
+class TestInstructions:
+    def test_operate_register_and_literal(self):
+        w = words_of("main: addq r1, r2, r3\n")[0]
+        d = decode(w)
+        assert (d.name, d.ra, d.rb, d.rc) == ("addq", 1, 2, 3)
+        w = words_of("main: addq r1, 200, r3\n")[0]
+        assert decode(w).lit == 200
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(AssemblyError, match="literal"):
+            assemble("main: addq r1, 256, r3\n")
+
+    def test_memory_operands(self):
+        w = words_of("main: ldq t0, -8(sp)\n")[0]
+        d = decode(w)
+        assert (d.name, d.ra, d.rb, d.disp) == ("ldq", 1, 30, -8)
+        w = words_of("main: stq t0, (sp)\n")[0]
+        assert decode(w).disp == 0
+
+    def test_branches_resolve_labels(self):
+        img = assemble("""
+        main:
+            beq v0, done
+            nop
+        done:
+            halt
+        """)
+        d = decode(img.words()[0])
+        assert d.disp == 1   # skip one instruction
+
+    def test_backward_branch(self):
+        img = assemble("""
+        main:
+        loop:
+            subq t0, 1, t0
+            bgt t0, loop
+            halt
+        """)
+        d = decode(img.words()[1])
+        assert d.disp == -2
+
+    def test_fp_instructions(self):
+        w = words_of("main: addt f1, f2, f3\n")[0]
+        d = decode(w)
+        assert (d.name, d.ra, d.rb, d.rc) == ("addt", 1, 2, 3)
+        w = words_of("main: sqrtt f2, f3\n")[0]
+        d = decode(w)
+        assert d.name == "sqrtt" and d.rb == 2 and d.rc == 3
+
+    def test_jumps(self):
+        w = words_of("main: jsr ra, (pv)\n")[0]
+        d = decode(w)
+        assert (d.kind, d.ra, d.rb) == (decode(w).kind, 26, 27)
+        w = words_of("main: ret\n")[0]
+        d = decode(w)
+        assert d.ra == 31 and d.rb == 26
+
+
+class TestPseudoInstructions:
+    def test_ldi_expands_to_two_words(self):
+        img = assemble("main: ldi t0, 123456\n")
+        assert img.num_instructions == 2
+
+    def test_ldi_value_roundtrip_via_parts(self):
+        for value in (0, 1, -1, 0x7FFF, -0x8000, 123456789, -123456789):
+            img = assemble(f"main: ldi t0, {value}\n")
+            ldah, lda = [decode(w) for w in img.words()]
+            assert (ldah.disp + lda.disp) & ((1 << 64) - 1) == \
+                value & ((1 << 64) - 1)
+
+    def test_ldi_range_check(self):
+        with pytest.raises(AssemblyError):
+            assemble(f"main: ldi t0, {1 << 40}\n")
+
+    def test_la_materialises_symbol_address(self):
+        img = assemble("""
+        main:
+            la t0, buf
+            halt
+            .data
+        buf: .space 8
+        """)
+        ldah, lda = [decode(w) for w in img.words()[:2]]
+        assert ldah.disp + lda.disp == img.symbols["buf"]
+
+    def test_mov_clr_not_negq(self):
+        names = ["mov t0, t1", "clr t2", "not t0, t1", "negq t0, t1",
+                 "fmov f1, f2", "fneg f1, f2", "sextl t0, t1"]
+        img = assemble("main:\n" + "\n".join("  " + n for n in names))
+        decoded = [decode(w) for w in img.words()]
+        assert decoded[0].name == "bis"
+        assert decoded[1].name == "bis" and decoded[1].rc == 3  # t2=r3
+        assert decoded[2].name == "ornot"
+        assert decoded[3].name == "subq" and decoded[3].ra == 31
+        assert decoded[4].name == "cpys"
+        assert decoded[5].name == "cpysn"
+        assert decoded[6].name == "addl"
+
+    def test_fi_pseudo_ops(self):
+        img = assemble("main:\n fi_activate\n fi_read_init\n")
+        d0, d1 = [decode(w) for w in img.words()]
+        assert d0.name == "fi_activate_inst"
+        assert d1.name == "fi_read_init_all"
+
+
+class TestDirectives:
+    def test_quad_long_byte_double(self):
+        img = assemble("""
+        main: nop
+            .data
+        a:  .quad -1, 2
+        b:  .long 7
+        c:  .byte 1, 2, 3
+        d:  .align 3
+        e:  .double 1.5
+        """)
+        assert img.symbols["b"] - img.symbols["a"] == 16
+        assert img.symbols["c"] - img.symbols["b"] == 4
+        assert img.symbols["e"] % 8 == 0
+        assert len(img.data) == img.symbols["e"] - img.data_base + 8
+
+    def test_space_and_asciiz(self):
+        img = assemble("""
+        main: nop
+            .data
+        s:  .asciiz "hi\\n"
+        t:  .space 16
+        """)
+        start = img.symbols["s"] - img.data_base
+        assert img.data[start:start + 4] == b"hi\n\x00"
+
+    def test_instructions_outside_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nmain: nop\n")
+
+    def test_data_directive_in_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("main: nop\n.quad 5\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassembles_equal(self):
+        source = """
+        main:
+            lda sp, -32(sp)
+            stq ra, 0(sp)
+            addq r1, r2, r3
+            addq r1, 77, r3
+            and r4, r5, r6
+            sll r4, 3, r6
+            mulq r7, r8, r9
+            ldq t0, 8(sp)
+            stt f2, 16(sp)
+            addt f1, f2, f3
+            cmplt r1, r2, r3
+            cmoveq r1, r2, r3
+            jsr ra, (pv)
+            ret
+            halt
+        """
+        img = assemble(source)
+        for index, word in enumerate(img.words()):
+            text = disassemble_word(word, img.text_base + 4 * index)
+            img2 = assemble(f"main: {text}\n",
+                            text_base=img.text_base + 4 * index)
+            assert img2.words()[0] == word, text

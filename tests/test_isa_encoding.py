@@ -1,0 +1,116 @@
+"""Bit-level tests of the Alpha instruction formats (Table I)."""
+
+import pytest
+
+from repro.isa import encoding as enc
+from repro.isa.encoding import Field, Format
+
+
+class TestFieldExtraction:
+    def test_opcode_occupies_top_six_bits(self):
+        word = enc.encode_operate(0x10, 1, 2, 0x20, 3)
+        assert enc.opcode_of(word) == 0x10
+        assert enc.opcode_of(0xFFFFFFFF) == 0x3F
+
+    def test_register_fields(self):
+        word = enc.encode_operate(0x10, 5, 9, 0x20, 30)
+        assert enc.ra_of(word) == 5
+        assert enc.rb_of(word) == 9
+        assert enc.rc_of(word) == 30
+
+    def test_branch_displacement_sign_extension(self):
+        word = enc.encode_branch(0x39, 1, -5)
+        assert enc.branch_disp_of(word) == -5
+        word = enc.encode_branch(0x39, 1, 12345)
+        assert enc.branch_disp_of(word) == 12345
+
+    def test_memory_displacement_sign_extension(self):
+        word = enc.encode_memory(0x29, 1, 2, -32768)
+        assert enc.mem_disp_of(word) == -32768
+        word = enc.encode_memory(0x29, 1, 2, 32767)
+        assert enc.mem_disp_of(word) == 32767
+
+    def test_literal_form_flag_and_value(self):
+        word = enc.encode_operate_lit(0x10, 1, 255, 0x20, 2)
+        assert enc.is_literal_form(word)
+        assert enc.literal_of(word) == 255
+        word = enc.encode_operate(0x10, 1, 2, 0x20, 3)
+        assert not enc.is_literal_form(word)
+
+    def test_pal_function_26_bits(self):
+        word = enc.encode_palcode(0x00, 0x83)
+        assert enc.pal_func_of(word) == 0x83
+        word = enc.encode_palcode(0x00, (1 << 26) - 1)
+        assert enc.pal_func_of(word) == (1 << 26) - 1
+
+    def test_fp_function_11_bits(self):
+        word = enc.encode_fp_operate(0x16, 1, 2, 0x7FF, 3)
+        assert enc.fp_func_of(word) == 0x7FF
+
+
+class TestEncodeRangeChecks:
+    def test_opcode_out_of_range(self):
+        with pytest.raises(ValueError):
+            enc.encode_operate(0x40, 0, 0, 0, 0)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            enc.encode_operate(0x10, 32, 0, 0, 0)
+
+    def test_branch_disp_out_of_range(self):
+        with pytest.raises(ValueError):
+            enc.encode_branch(0x39, 0, 1 << 20)
+        with pytest.raises(ValueError):
+            enc.encode_branch(0x39, 0, -(1 << 20) - 1)
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(ValueError):
+            enc.encode_operate_lit(0x10, 0, 256, 0, 0)
+
+
+class TestFieldOfBit:
+    """The classification driving the Table I fetch-fault analysis."""
+
+    def test_opcode_bits_any_format(self):
+        for fmt in Format:
+            for bit in range(26, 32):
+                assert enc.field_of_bit(fmt, bit) is Field.OPCODE
+
+    def test_branch_format_fields(self):
+        assert enc.field_of_bit(Format.BRANCH, 23) is Field.RA
+        assert enc.field_of_bit(Format.BRANCH, 20) is Field.DISPLACEMENT
+        assert enc.field_of_bit(Format.BRANCH, 0) is Field.DISPLACEMENT
+
+    def test_memory_format_fields(self):
+        assert enc.field_of_bit(Format.MEMORY, 22) is Field.RA
+        assert enc.field_of_bit(Format.MEMORY, 17) is Field.RB
+        assert enc.field_of_bit(Format.MEMORY, 15) is Field.DISPLACEMENT
+
+    def test_operate_register_form_has_unused_bits(self):
+        word = enc.encode_operate(0x10, 1, 2, 0x20, 3)
+        assert enc.field_of_bit(Format.OPERATE, 14, word) is Field.UNUSED
+        assert enc.field_of_bit(Format.OPERATE, 13, word) is Field.UNUSED
+        assert enc.field_of_bit(Format.OPERATE, 17, word) is Field.RB
+        assert enc.field_of_bit(Format.OPERATE, 12, word) is Field.LIT_FLAG
+        assert enc.field_of_bit(Format.OPERATE, 8, word) is Field.FUNCTION
+        assert enc.field_of_bit(Format.OPERATE, 2, word) is Field.RC
+
+    def test_operate_literal_form_repurposes_bits(self):
+        word = enc.encode_operate_lit(0x10, 1, 200, 0x20, 3)
+        for bit in range(13, 21):
+            assert enc.field_of_bit(Format.OPERATE, bit, word) \
+                is Field.LITERAL
+
+    def test_fp_operate_fields(self):
+        assert enc.field_of_bit(Format.FP_OPERATE, 10) is Field.FUNCTION
+        assert enc.field_of_bit(Format.FP_OPERATE, 3) is Field.RC
+
+    def test_palcode_function_bits(self):
+        assert enc.field_of_bit(Format.PALCODE, 0) is Field.PAL_FUNCTION
+        assert enc.field_of_bit(Format.PALCODE, 25) is Field.PAL_FUNCTION
+
+    def test_bit_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            enc.field_of_bit(Format.MEMORY, 32)
+        with pytest.raises(ValueError):
+            enc.field_of_bit(Format.MEMORY, -1)

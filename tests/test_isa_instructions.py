@@ -1,0 +1,242 @@
+"""Decoder and instruction-semantics tests."""
+
+import math
+import struct
+
+import pytest
+
+from repro.isa import encoding as enc
+from repro.isa import instructions as ins
+from repro.isa.encoding import Field, Format
+from repro.isa.registers import float_to_bits, bits_to_float
+from repro.isa.traps import ArithmeticTrap, IllegalInstruction
+
+
+def _decode_op(opcode, func, ra=1, rb=2, rc=3):
+    return ins.decode(enc.encode_operate(opcode, ra, rb, func, rc))
+
+
+class TestDecode:
+    def test_memory_format(self):
+        d = ins.decode(enc.encode_memory(ins.OP_LDQ, 4, 30, -16))
+        assert d.name == "ldq"
+        assert d.kind == ins.KIND_LOAD
+        assert (d.ra, d.rb, d.disp, d.size) == (4, 30, -16, 8)
+
+    def test_store_format(self):
+        d = ins.decode(enc.encode_memory(ins.OP_STL, 7, 8, 100))
+        assert d.name == "stl"
+        assert d.kind == ins.KIND_STORE
+        assert d.size == 4
+
+    def test_fp_memory(self):
+        d = ins.decode(enc.encode_memory(ins.OP_LDT, 2, 30, 8))
+        assert d.name == "ldt"
+        assert d.kind == ins.KIND_FLOAD
+
+    def test_lda_ldah(self):
+        d = ins.decode(enc.encode_memory(ins.OP_LDA, 1, 2, 5))
+        assert d.kind == ins.KIND_LDA and d.disp == 5
+        d = ins.decode(enc.encode_memory(ins.OP_LDAH, 1, 2, 3))
+        assert d.disp == 3 * 65536
+
+    def test_operate_register_and_literal(self):
+        d = _decode_op(ins.OP_INTA, 0x20)
+        assert d.name == "addq" and d.lit is None
+        d = ins.decode(enc.encode_operate_lit(ins.OP_INTA, 1, 77, 0x20, 3))
+        assert d.lit == 77
+
+    def test_branch(self):
+        d = ins.decode(enc.encode_branch(ins.OP_BEQ, 9, -10))
+        assert d.name == "beq" and d.kind == ins.KIND_BRANCH
+        assert d.disp == -10
+
+    def test_fp_branch(self):
+        d = ins.decode(enc.encode_branch(ins.OP_FBLT, 3, 2))
+        assert d.name == "fblt" and d.kind == ins.KIND_FBRANCH
+
+    def test_unconditional_and_jump(self):
+        d = ins.decode(enc.encode_branch(ins.OP_BSR, 26, 4))
+        assert d.kind == ins.KIND_BR
+        d = ins.decode(enc.encode_memory(ins.OP_JMP, 26, 27, 0))
+        assert d.kind == ins.KIND_JUMP
+
+    def test_pal_and_fi(self):
+        d = ins.decode(enc.encode_palcode(ins.OP_PAL, ins.PAL_CALLSYS))
+        assert d.name == "callsys" and d.kind == ins.KIND_PAL
+        d = ins.decode(enc.encode_palcode(ins.OP_FI, ins.FI_ACTIVATE))
+        assert d.name == "fi_activate_inst" and d.kind == ins.KIND_FI
+
+    def test_illegal_major_opcode(self):
+        for opcode in (0x02, 0x07, 0x0B, 0x15, 0x18, 0x20, 0x2A):
+            with pytest.raises(IllegalInstruction):
+                ins.decode(opcode << 26)
+
+    def test_illegal_function_code(self):
+        with pytest.raises(IllegalInstruction):
+            _decode_op(ins.OP_INTA, 0x7F)
+        with pytest.raises(IllegalInstruction):
+            ins.decode(enc.encode_fp_operate(ins.OP_FLTI, 1, 2, 0x7FF, 3))
+
+    def test_illegal_pal_function(self):
+        with pytest.raises(IllegalInstruction):
+            ins.decode(enc.encode_palcode(ins.OP_PAL, 0x1234))
+
+
+class TestIntegerSemantics:
+    def test_addq_wraps(self):
+        d = _decode_op(ins.OP_INTA, 0x20)
+        assert d.op((1 << 64) - 1, 1) == 0
+
+    def test_addl_sign_extends(self):
+        d = _decode_op(ins.OP_INTA, 0x00)
+        assert d.op(0x7FFFFFFF, 1) == 0xFFFFFFFF80000000
+
+    def test_subq(self):
+        d = _decode_op(ins.OP_INTA, 0x29)
+        assert d.op(3, 5) == (1 << 64) - 2
+
+    def test_scaled_adds(self):
+        assert _decode_op(ins.OP_INTA, 0x22).op(3, 100) == 112
+        assert _decode_op(ins.OP_INTA, 0x32).op(3, 100) == 124
+
+    def test_signed_compares(self):
+        minus_one = (1 << 64) - 1
+        assert _decode_op(ins.OP_INTA, 0x4D).op(minus_one, 1) == 1  # cmplt
+        assert _decode_op(ins.OP_INTA, 0x1D).op(minus_one, 1) == 0  # cmpult
+        assert _decode_op(ins.OP_INTA, 0x2D).op(7, 7) == 1          # cmpeq
+        assert _decode_op(ins.OP_INTA, 0x6D).op(7, 7) == 1          # cmple
+
+    def test_logicals(self):
+        assert _decode_op(ins.OP_INTL, 0x00).op(0b1100, 0b1010) == 0b1000
+        assert _decode_op(ins.OP_INTL, 0x20).op(0b1100, 0b1010) == 0b1110
+        assert _decode_op(ins.OP_INTL, 0x40).op(0b1100, 0b1010) == 0b0110
+        assert _decode_op(ins.OP_INTL, 0x08).op(0b1100, 0b1010) == 0b0100
+
+    def test_shifts(self):
+        assert _decode_op(ins.OP_INTS, 0x39).op(1, 63) == 1 << 63
+        assert _decode_op(ins.OP_INTS, 0x34).op(1 << 63, 63) == 1
+        # Arithmetic shift drags the sign bit.
+        assert _decode_op(ins.OP_INTS, 0x3C).op(1 << 63, 63) == \
+            (1 << 64) - 1
+
+    def test_multiply(self):
+        assert _decode_op(ins.OP_INTM, 0x20).op(1 << 32, 1 << 32) == 0
+        assert _decode_op(ins.OP_INTM, 0x00).op(0xFFFF, 0x10000) == \
+            0xFFFFFFFFFFFF0000  # mull sign-extends the 32-bit product
+
+    def test_divide_truncates_toward_zero(self):
+        divq = _decode_op(ins.OP_INTM, 0x40)
+        minus7 = (-7) & ((1 << 64) - 1)
+        assert divq.op(7, 2) == 3
+        assert divq.op(minus7, 2) == (-3) & ((1 << 64) - 1)
+
+    def test_divide_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            _decode_op(ins.OP_INTM, 0x40).op(1, 0)
+        with pytest.raises(ArithmeticTrap):
+            _decode_op(ins.OP_INTM, 0x60).op(1, 0)
+
+    def test_remainder_sign_follows_dividend(self):
+        remq = _decode_op(ins.OP_INTM, 0x60)
+        minus7 = (-7) & ((1 << 64) - 1)
+        assert remq.op(7, 2) == 1
+        assert remq.op(minus7, 2) == (-1) & ((1 << 64) - 1)
+
+
+class TestFloatSemantics:
+    def _fp(self, func):
+        word = enc.encode_fp_operate(ins.OP_FLTI, 1, 2, func, 3)
+        return ins.decode(word)
+
+    def test_addt(self):
+        d = self._fp(0x0A0)
+        out = d.op(float_to_bits(1.5), float_to_bits(2.25))
+        assert bits_to_float(out) == 3.75
+
+    def test_divt_by_zero_gives_inf(self):
+        d = self._fp(0x0A3)
+        out = d.op(float_to_bits(1.0), float_to_bits(0.0))
+        assert math.isinf(bits_to_float(out))
+        out = d.op(float_to_bits(0.0), float_to_bits(0.0))
+        assert math.isnan(bits_to_float(out))
+
+    def test_compare_writes_two_or_zero(self):
+        d = self._fp(0x0A6)  # cmptlt
+        assert bits_to_float(d.op(float_to_bits(1.0),
+                                  float_to_bits(2.0))) == 2.0
+        assert bits_to_float(d.op(float_to_bits(3.0),
+                                  float_to_bits(2.0))) == 0.0
+
+    def test_cvttq_truncates(self):
+        d = self._fp(0x0AF)
+        assert d.op(0, float_to_bits(3.9)) == 3
+        assert d.op(0, float_to_bits(-3.9)) == (-3) & ((1 << 64) - 1)
+        assert d.op(0, float_to_bits(math.nan)) == 0
+
+    def test_cvtqt(self):
+        d = self._fp(0x0BE)
+        assert bits_to_float(d.op(0, (-5) & ((1 << 64) - 1))) == -5.0
+
+    def test_sqrtt_of_negative_is_nan(self):
+        word = enc.encode_fp_operate(ins.OP_ITFP, 31, 2, 0x0AB, 3)
+        d = ins.decode(word)
+        assert math.isnan(bits_to_float(d.op(0, float_to_bits(-1.0))))
+
+    def test_cpys_copies_sign(self):
+        word = enc.encode_fp_operate(ins.OP_FLTL, 1, 2, 0x020, 3)
+        d = ins.decode(word)
+        out = d.op(float_to_bits(-1.0), float_to_bits(42.0))
+        assert bits_to_float(out) == -42.0
+
+    def test_fp_overflow_saturates_to_inf(self):
+        d = self._fp(0x0A2)  # mult
+        big = float_to_bits(1e308)
+        assert math.isinf(bits_to_float(d.op(big, big)))
+
+
+class TestDecodedIntrospection:
+    def test_src_dest_regs_alu(self):
+        d = _decode_op(ins.OP_INTA, 0x20, ra=1, rb=2, rc=3)
+        assert d.src_regs() == [("int", 1), ("int", 2)]
+        assert d.dest_regs() == [("int", 3)]
+        assert d.src_reg_fields() == ["ra", "rb"]
+        assert d.dest_reg_fields() == ["rc"]
+
+    def test_src_dest_regs_store(self):
+        d = ins.decode(enc.encode_memory(ins.OP_STQ, 5, 30, 0))
+        assert ("int", 5) in d.src_regs()
+        assert ("int", 30) in d.src_regs()
+        assert d.dest_regs() == []
+
+    def test_copy_is_independent(self):
+        d = _decode_op(ins.OP_INTA, 0x20)
+        clone = d.copy()
+        clone.ra = 17
+        assert d.ra == 1
+
+    def test_field_of_fetch_bit_on_real_words(self):
+        word = enc.encode_operate(ins.OP_INTA, 1, 2, 0x20, 3)
+        assert ins.field_of_fetch_bit(word, 14) is Field.UNUSED
+        assert ins.field_of_fetch_bit(word, 28) is Field.OPCODE
+        word = enc.encode_memory(ins.OP_LDQ, 1, 2, 100)
+        assert ins.field_of_fetch_bit(word, 3) is Field.DISPLACEMENT
+
+
+class TestDecodeCache:
+    def test_hit_returns_same_object(self):
+        cache = ins.DecodeCache()
+        word = enc.encode_operate(ins.OP_INTA, 1, 2, 0x20, 3)
+        assert cache.decode(word) is cache.decode(word)
+
+    def test_disabled_cache_decodes_fresh(self):
+        cache = ins.DecodeCache(enabled=False)
+        word = enc.encode_operate(ins.OP_INTA, 1, 2, 0x20, 3)
+        assert cache.decode(word) is not cache.decode(word)
+
+    def test_clear(self):
+        cache = ins.DecodeCache()
+        word = ins.NOP_WORD
+        first = cache.decode(word)
+        cache.clear()
+        assert cache.decode(word) is not first

@@ -1,0 +1,201 @@
+"""Main-memory and cache-hierarchy tests."""
+
+import pytest
+
+from repro.isa.traps import MisalignedAccess, UnmappedAccess
+from repro.memory import (
+    Cache,
+    CacheConfig,
+    HierarchyConfig,
+    MainMemory,
+    MemoryHierarchy,
+)
+
+
+@pytest.fixture
+def mem():
+    memory = MainMemory()
+    memory.map_region("ram", 0x1000, 0x10000)
+    return memory
+
+
+class TestMainMemory:
+    def test_read_write_all_sizes(self, mem):
+        for size, value in ((1, 0xAB), (2, 0xBEEF), (4, 0xDEADBEEF),
+                            (8, 0x0123456789ABCDEF)):
+            mem.write(0x2000, size, value)
+            assert mem.read(0x2000, size) == value
+
+    def test_unwritten_memory_reads_zero(self, mem):
+        assert mem.read(0x8000, 8) == 0
+
+    def test_values_truncate_to_size(self, mem):
+        mem.write(0x2000, 1, 0x1FF)
+        assert mem.read(0x2000, 1) == 0xFF
+
+    def test_little_endian_layout(self, mem):
+        mem.write(0x2000, 8, 0x0102030405060708)
+        assert mem.read(0x2000, 1) == 0x08
+        assert mem.read(0x2007, 1) == 0x01
+
+    def test_unmapped_access_raises(self, mem):
+        with pytest.raises(UnmappedAccess):
+            mem.read(0x998000, 8)
+        with pytest.raises(UnmappedAccess):
+            mem.write(0x0, 8, 1)
+
+    def test_misaligned_access_raises(self, mem):
+        with pytest.raises(MisalignedAccess):
+            mem.read(0x2001, 8)
+        with pytest.raises(MisalignedAccess):
+            mem.write(0x2002, 4, 0)
+
+    def test_read_only_region_rejects_writes(self):
+        memory = MainMemory()
+        memory.map_region("rom", 0x1000, 0x1000, writable=False)
+        assert memory.read(0x1000, 8) == 0
+        with pytest.raises(UnmappedAccess):
+            memory.write(0x1000, 8, 1)
+
+    def test_region_overlap_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.map_region("clash", 0x1800, 0x1000)
+
+    def test_unmap_region(self, mem):
+        mem.unmap_region("ram")
+        with pytest.raises(UnmappedAccess):
+            mem.read(0x2000, 8)
+
+    def test_grow_region(self, mem):
+        with pytest.raises(UnmappedAccess):
+            mem.read(0x11000, 8)
+        mem.grow_region("ram", 0x20000)
+        assert mem.read(0x11000, 8) == 0
+
+    def test_grow_never_shrinks(self, mem):
+        with pytest.raises(ValueError):
+            mem.grow_region("ram", 0x100)
+
+    def test_bulk_bytes_roundtrip(self, mem):
+        blob = bytes(range(256))
+        mem.write_bytes(0x3000, blob)
+        assert mem.read_bytes(0x3000, 256) == blob
+
+    def test_peek_bytes_ignores_protection(self, mem):
+        mem.write_bytes(0x3000, b"hello")
+        mem.unmap_region("ram")
+        assert mem.peek_bytes(0x3000, 5) == b"hello"
+        assert mem.peek_bytes(0x500000, 4) == b"\x00" * 4
+
+    def test_peek_bytes_spans_pages(self, mem):
+        mem.write_bytes(0x1FFC, b"abcdefgh")
+        assert mem.peek_bytes(0x1FFC, 8) == b"abcdefgh"
+
+    def test_snapshot_restore_roundtrip(self, mem):
+        mem.write(0x2000, 8, 42)
+        snap = mem.snapshot()
+        mem.write(0x2000, 8, 99)
+        mem.restore(snap)
+        assert mem.read(0x2000, 8) == 42
+        assert mem.region_of(0x1000).name == "ram"
+
+
+class TestCache:
+    def _cache(self, **kwargs):
+        defaults = dict(name="test", size_bytes=1024, assoc=2,
+                        line_bytes=64, hit_latency=1)
+        defaults.update(kwargs)
+        return Cache(CacheConfig(**defaults), memory_latency=100)
+
+    def test_first_access_misses_then_hits(self):
+        cache = self._cache()
+        assert cache.access(0x100) > 1
+        assert cache.access(0x100) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = self._cache()
+        cache.access(0x100)
+        assert cache.access(0x13F) == 1   # same 64-byte line
+
+    def test_lru_eviction(self):
+        cache = self._cache(size_bytes=256, assoc=2, line_bytes=64)
+        # 2 sets; addresses mapping to set 0: multiples of 128.
+        cache.access(0x000)
+        cache.access(0x080)
+        cache.access(0x000)               # refresh LRU
+        cache.access(0x100)               # evicts 0x080
+        assert cache.contains(0x000)
+        assert not cache.contains(0x080)
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_writes_back(self):
+        cache = self._cache(size_bytes=256, assoc=1, line_bytes=64)
+        cache.access(0x000, write=True)
+        cache.access(0x100)               # conflict -> eviction
+        assert cache.stats.writebacks == 1
+
+    def test_miss_latency_includes_next_level(self):
+        l2 = self._cache(name="l2", hit_latency=10)
+        l1 = Cache(CacheConfig("l1", 256, 1, 64, hit_latency=1),
+                   next_level=l2)
+        first = l1.access(0x40)
+        assert first >= 1 + 10 + 100     # l1 + l2 + memory
+        assert l1.access(0x40) == 1
+
+    def test_flush(self):
+        cache = self._cache()
+        cache.access(0x100)
+        cache.flush()
+        assert not cache.contains(0x100)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=1000, assoc=3, line_bytes=64)
+
+    def test_snapshot_restore(self):
+        cache = self._cache()
+        cache.access(0x100, write=True)
+        snap = cache.snapshot()
+        cache.flush()
+        cache.restore(snap)
+        assert cache.contains(0x100)
+        assert cache.stats.misses == 1
+
+
+class TestHierarchy:
+    def test_fetch_read_write_paths(self):
+        memory = MainMemory()
+        memory.map_region("ram", 0, 1 << 20)
+        hier = MemoryHierarchy(memory)
+        memory.write(0x100, 4, 0xAABBCCDD)
+        word, latency = hier.fetch(0x100)
+        assert word == 0xAABBCCDD
+        assert latency > 1
+        _, latency2 = hier.fetch(0x100)
+        assert latency2 == 1
+
+        hier.write(0x2000, 8, 777)
+        value, _ = hier.read(0x2000, 8)
+        assert value == 777
+        assert memory.read(0x2000, 8) == 777   # tag-only: data in memory
+
+    def test_stats_shape(self):
+        memory = MainMemory()
+        memory.map_region("ram", 0, 1 << 20)
+        hier = MemoryHierarchy(memory)
+        hier.read(0x0, 8)
+        stats = hier.stats()
+        assert set(stats) == {"l1i", "l1d", "l2"}
+        assert stats["l1d"]["misses"] == 1
+
+    def test_snapshot_restore(self):
+        memory = MainMemory()
+        memory.map_region("ram", 0, 1 << 20)
+        hier = MemoryHierarchy(memory)
+        hier.read(0x0, 8)
+        snap = hier.snapshot()
+        hier.read(0x40000, 8)
+        hier.restore(snap)
+        assert hier.l1d.stats.accesses == 1

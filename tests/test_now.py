@@ -1,0 +1,100 @@
+"""Network-of-workstations campaign tests (Section III.E, Fig. 8)."""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    NoWConfig,
+    SEUGenerator,
+    SharedDirCampaign,
+    now_speedup,
+    outcome_counts,
+    simulate_makespan,
+)
+from repro.workloads import build
+
+
+class TestMakespanMetaSimulator:
+    def test_empty_campaign(self):
+        assert simulate_makespan([], NoWConfig()) == 0.0
+
+    def test_single_slot_serialises(self):
+        config = NoWConfig(workstations=1, slots_per_workstation=1)
+        assert simulate_makespan([1.0, 2.0, 3.0], config) == 6.0
+
+    def test_perfect_parallelism_with_equal_jobs(self):
+        config = NoWConfig(workstations=2, slots_per_workstation=2)
+        assert simulate_makespan([1.0] * 8, config) == 2.0
+
+    def test_makespan_bounded_by_longest_job(self):
+        config = NoWConfig(workstations=4, slots_per_workstation=1)
+        durations = [10.0] + [0.1] * 30
+        makespan = simulate_makespan(durations, config)
+        assert makespan >= 10.0
+        assert makespan < 12.0
+
+    def test_checkpoint_copy_adds_constant(self):
+        config = NoWConfig(workstations=2, slots_per_workstation=1)
+        without = simulate_makespan([1.0] * 4, config)
+        with_copy = simulate_makespan([1.0] * 4, config,
+                                      checkpoint_copy_seconds=5.0)
+        assert with_copy == without + 5.0
+
+    def test_paper_scale_speedup_approaches_slot_count(self):
+        """Fig. 8: with 27x4 = 108 slots and thousands of similar-length
+        experiments the speedup approaches ~108x."""
+        config = NoWConfig(workstations=27, slots_per_workstation=4)
+        durations = [1.0 + (i % 7) * 0.01 for i in range(2500)]
+        speedup = now_speedup(durations, config)
+        assert 95.0 < speedup <= 108.0
+
+    def test_speedup_capped_by_work(self):
+        config = NoWConfig(workstations=27, slots_per_workstation=4)
+        assert now_speedup([5.0], config) == 1.0
+
+
+class TestSharedDirProtocol:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return CampaignRunner(build("pi", "tiny"))
+
+    def test_publish_creates_share_layout(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=3)
+        campaign.publish(runner, generator.batch(4))
+        assert sorted(os.listdir(tmp_path / "todo")) == [
+            f"exp_{i:04d}.txt" for i in range(4)]
+        assert (tmp_path / "checkpoint.bin").exists()
+        assert (tmp_path / "workload.json").exists()
+
+    def test_claim_is_exclusive(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=4)
+        campaign.publish(runner, generator.batch(3))
+        claims = [campaign.claim("w0"), campaign.claim("w1"),
+                  campaign.claim("w0"), campaign.claim("w1")]
+        assert claims[3] is None
+        assert len({c for c in claims if c}) == 3
+        assert not os.listdir(tmp_path / "todo")
+
+    def test_worker_loop_in_process(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=5)
+        campaign.publish(runner, generator.batch(5))
+        completed = campaign.worker_loop("w0", runner)
+        assert completed == 5
+        results = campaign.collect()
+        assert len(results) == 5
+        counts = outcome_counts(results)
+        assert sum(counts.values()) == 5
+
+    @pytest.mark.slow
+    def test_multiprocess_workers_drain_queue(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=6)
+        campaign.publish(runner, generator.batch(4))
+        results = campaign.run_local(workers=2)
+        assert len(results) == 4
+        assert all("outcome" in entry for entry in results)

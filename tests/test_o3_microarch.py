@@ -1,0 +1,144 @@
+"""O3-specific microarchitectural behaviour.
+
+The paper's methodology depends on speculative execution: "the
+simulation continues until the affected instruction commits or
+squashes".  These tests exercise the squash paths directly.
+"""
+
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator
+
+from conftest import run_asm
+
+# An always-taken conditional branch the tournament predictor initially
+# mispredicts (weakly-not-taken counters).  The divq ahead of it stalls
+# the commit point (ROB backlog), so the speculative fall-through — a
+# string of distinctive mulq instructions — is fetched with *later*
+# instruction counts than the branch itself, where a scheduled fetch
+# fault can land before being squashed.
+WRONG_PATH_ASM = """
+main:
+    ldi a0, 0
+    fi_activate
+    clr t0
+    ldi t2, 100
+    divq t2, 3, t2        # 12-cycle head stall -> ROB backlog
+    addq t1, 1, t1
+    addq t1, 1, t1
+    addq t1, 1, t1        # places the branch at the end of fetch group 2
+    beq zero, skip        # always taken; cold predictor says not-taken
+    mulq t3, t3, t3       # wrong path: fetched, never commits
+    mulq t3, t3, t3
+    mulq t3, t3, t3
+    mulq t3, t3, t3
+    mulq t3, t3, t3
+    mulq t3, t3, t3
+skip:
+    addq t0, 1, t0
+    addq t0, 1, t0
+    addq t0, 1, t0
+    fi_activate
+    mov t0, a0
+    ldi v0, 5
+    callsys
+    ldi v0, 0
+    ldi a0, 0
+    callsys
+"""
+
+GOLDEN = "3"
+
+
+def _run(model, fault_line=""):
+    sim, result = run_asm(WRONG_PATH_ASM, model=model,
+                          faults_text=fault_line,
+                          max_instructions=100_000)
+    return sim
+
+
+class TestWrongPathFaultAbsorption:
+    def test_golden_same_on_both_models(self):
+        assert _run("atomic").console_text() == GOLDEN
+        assert _run("o3").console_text() == GOLDEN
+
+    def test_wrong_path_instructions_are_fetched_and_squashed(self):
+        sim = _run("o3")
+        assert sim.cpu.squashed_instructions > 0
+        assert sim.cpu.predictor.mispredicts > 0
+
+    def test_fetch_fault_absorbed_by_squashed_instruction(self):
+        """Scan fault times: at least one fetch-stage fault must land on
+        a speculative mulq (wrong path), be recorded, and leave the
+        output bit-identical — the squash absorbed it."""
+        absorbed = []
+        for time in range(1, 16):
+            line = (f"FetchStageInjectedFault Inst:{time} All1 "
+                    "Threadid:0 system.cpu0 occ:1")
+            sim = _run("o3", line)
+            records = sim.injector.records
+            if not records:
+                continue
+            if "mulq" in records[0].asm and \
+                    sim.console_text() == GOLDEN and \
+                    sim.process(0).state.value == "exited":
+                absorbed.append((time, records[0].asm))
+        assert absorbed, \
+            "no fetch fault was absorbed by a squashed instruction"
+
+    def test_same_fault_times_in_atomic_never_hit_wrong_path(self):
+        """Atomic never fetches the wrong path: no injection record can
+        name a mulq (those instructions are simply skipped)."""
+        for time in range(1, 16):
+            line = (f"FetchStageInjectedFault Inst:{time} All1 "
+                    "Threadid:0 system.cpu0 occ:1")
+            sim = _run("atomic", line)
+            for record in sim.injector.records:
+                assert "mulq" not in record.asm
+
+
+class TestO3ExceptionDeferral:
+    def test_wrong_path_fetch_into_unmapped_memory_is_harmless(self):
+        """A speculative fetch walking into unmapped memory must not
+        crash the run if the guilty entry never commits."""
+        asm = """
+main:
+    ldi t0, 3
+loop:
+    subq t0, 1, t0
+    bgt t0, loop
+    ldi a0, 42
+    ldi v0, 5
+    callsys
+    ldi v0, 0
+    ldi a0, 0
+    callsys
+"""
+        # The backward loop branch mispredicts on exit; the front end
+        # keeps fetching past it but within mapped text, so simply check
+        # the run stays healthy with mispredicts present.
+        sim, result = run_asm(asm, model="o3", max_instructions=50_000)
+        assert result.status == "completed"
+        assert sim.console_text() == "42"
+
+    def test_committed_illegal_fetch_still_crashes(self):
+        asm = """
+main:
+    ldi t0, 0x2000
+    jmp zero, (t0)
+"""
+        sim, _ = run_asm(asm, model="o3", max_instructions=50_000)
+        assert sim.process(0).state.value == "crashed"
+
+
+class TestO3Determinism:
+    def test_two_runs_identical_stats(self):
+        dumps = set()
+        for _ in range(2):
+            sim = _run("o3")
+            dumps.add(sim.stats_dump())
+        assert len(dumps) == 1
+
+    def test_rob_capacity_respected(self):
+        sim, _ = run_asm(WRONG_PATH_ASM, model="o3",
+                         max_instructions=100_000)
+        assert len(sim.cpu.rob) <= sim.cpu.rob_size

@@ -1,0 +1,122 @@
+"""Second round of property-based tests: assembler, fault parser,
+campaign generator and checkpoint determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import SEUGenerator, WindowProfile
+from repro.core import parse_fault_file, parse_fault_line, \
+    render_fault_file
+from repro.core.fault import (
+    Behavior,
+    BehaviorKind,
+    Fault,
+    LocationKind,
+    TimeMode,
+)
+from repro.isa import assemble, decode, disassemble_word
+
+regs = st.sampled_from([f"r{i}" for i in range(32)])
+small_imm = st.integers(min_value=0, max_value=255)
+mem_disp = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=60)
+    @given(ra=regs, rb=regs, rc=regs,
+           op=st.sampled_from(["addq", "subq", "mulq", "and", "bis",
+                               "xor", "cmplt", "cmpeq", "sll", "srl"]))
+    def test_operate_assemble_disassemble_roundtrip(self, ra, rb, rc,
+                                                    op):
+        source = f"main: {op} {ra}, {rb}, {rc}\n"
+        word = assemble(source).words()[0]
+        text = disassemble_word(word)
+        word2 = assemble(f"main: {text}\n").words()[0]
+        assert word == word2
+
+    @settings(max_examples=60)
+    @given(ra=regs, lit=small_imm,
+           op=st.sampled_from(["addq", "subq", "and", "xor"]))
+    def test_literal_roundtrip(self, ra, lit, op):
+        word = assemble(f"main: {op} {ra}, {lit}, r5\n").words()[0]
+        decoded = decode(word)
+        assert decoded.lit == lit
+
+    @settings(max_examples=60)
+    @given(ra=regs, rb=regs, disp=mem_disp,
+           op=st.sampled_from(["ldq", "stq", "ldl", "stl"]))
+    def test_memory_roundtrip(self, ra, rb, disp, op):
+        word = assemble(f"main: {op} {ra}, {disp}({rb})\n").words()[0]
+        text = disassemble_word(word)
+        word2 = assemble(f"main: {text}\n").words()[0]
+        assert word == word2
+
+
+class TestFaultParserProperties:
+    locations = st.sampled_from(list(LocationKind))
+    behaviors = st.sampled_from(list(BehaviorKind))
+
+    @settings(max_examples=100)
+    @given(location=locations, kind=behaviors,
+           time=st.integers(min_value=1, max_value=10**9),
+           mode=st.sampled_from(list(TimeMode)),
+           thread_id=st.integers(min_value=0, max_value=63),
+           reg=st.integers(min_value=0, max_value=31),
+           bits=st.lists(st.integers(min_value=0, max_value=63),
+                         min_size=1, max_size=4, unique=True),
+           operand=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           occ=st.integers(min_value=1, max_value=1000))
+    def test_describe_parse_roundtrip(self, location, kind, time, mode,
+                                      thread_id, reg, bits, operand,
+                                      occ):
+        behavior = Behavior(kind=kind, operand=operand,
+                            bits=tuple(sorted(bits)), occ=occ)
+        fault = Fault(location=location, time_mode=mode, time=time,
+                      behavior=behavior, thread_id=thread_id,
+                      reg_index=reg,
+                      operand_role="dst", operand_index=1)
+        parsed = parse_fault_line(fault.describe())
+        assert parsed.location is fault.location
+        assert parsed.time == fault.time
+        assert parsed.time_mode is fault.time_mode
+        assert parsed.thread_id == fault.thread_id
+        assert parsed.behavior.kind is fault.behavior.kind
+        assert parsed.behavior.occ == fault.behavior.occ
+        if kind is BehaviorKind.FLIP:
+            assert parsed.behavior.bits == fault.behavior.bits
+        if kind in (BehaviorKind.IMMEDIATE, BehaviorKind.XOR):
+            assert parsed.behavior.operand == fault.behavior.operand
+        if location in (LocationKind.INT_REG, LocationKind.FP_REG):
+            assert parsed.reg_index == fault.reg_index
+        if location is LocationKind.DECODE:
+            assert parsed.operand_role == "dst"
+            assert parsed.operand_index == 1
+
+    @settings(max_examples=30)
+    @given(count=st.integers(min_value=0, max_value=20),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_generated_fault_files_roundtrip(self, count, seed):
+        profile = WindowProfile(committed=5000, ticks=5000)
+        generator = SEUGenerator(profile, seed=seed)
+        faults = generator.batch(count)
+        parsed = parse_fault_file(render_fault_file(faults))
+        assert parsed == faults
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=30)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           committed=st.integers(min_value=1, max_value=10**7))
+    def test_times_always_in_window(self, seed, committed):
+        profile = WindowProfile(committed=committed, ticks=committed)
+        generator = SEUGenerator(profile, seed=seed)
+        for fault in generator.batch(10):
+            assert 1 <= fault.time <= committed
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_register_indices_valid(self, seed):
+        profile = WindowProfile(committed=100, ticks=100)
+        for fault in SEUGenerator(profile, seed=seed).batch(30):
+            if fault.location in (LocationKind.INT_REG,
+                                  LocationKind.FP_REG):
+                assert 0 <= fault.reg_index < 32

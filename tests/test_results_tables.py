@@ -1,0 +1,127 @@
+"""Result-aggregation unit tests (Distribution, grouping, rendering)."""
+
+import pytest
+
+from repro.campaign.classify import OUTCOME_ORDER, Outcome
+from repro.campaign.results import (
+    Distribution,
+    by_fetch_field,
+    by_location,
+    by_time_bins,
+    render_table,
+    summary,
+)
+from repro.campaign.runner import ExperimentResult
+from repro.core import Behavior, BehaviorKind, Fault, LocationKind, \
+    TimeMode
+from repro.isa import encoding as enc, instructions as ins
+
+
+def make_result(location=LocationKind.EXECUTE,
+                outcome=Outcome.STRICTLY_CORRECT, time_fraction=0.5,
+                bits=(0,), injected=True, injection_before=None):
+    fault = Fault(location=location, time_mode=TimeMode.INSTRUCTIONS,
+                  time=10, behavior=Behavior(BehaviorKind.FLIP,
+                                             bits=bits))
+    return ExperimentResult(
+        fault=fault, outcome=outcome, injected=injected,
+        propagated=True, crash_reason=None, instructions=100, ticks=100,
+        wall_seconds=0.01, console="", time_fraction=time_fraction,
+        injection_pc=0x1000 if injected else None,
+        injection_before=injection_before)
+
+
+class TestDistribution:
+    def test_empty_distribution(self):
+        dist = Distribution()
+        assert dist.total == 0
+        assert dist.fraction(Outcome.CRASHED) == 0.0
+        assert dist.acceptable_fraction == 0.0
+
+    def test_fractions_sum_to_one(self):
+        dist = Distribution()
+        for outcome in OUTCOME_ORDER:
+            dist.add(outcome)
+        assert dist.total == 5
+        assert abs(sum(dist.fraction(o) for o in OUTCOME_ORDER)
+                   - 1.0) < 1e-12
+
+    def test_acceptable_is_strict_plus_correct(self):
+        dist = Distribution()
+        dist.add(Outcome.STRICTLY_CORRECT)
+        dist.add(Outcome.CORRECT)
+        dist.add(Outcome.CRASHED)
+        dist.add(Outcome.NON_PROPAGATED)
+        assert dist.acceptable_fraction == pytest.approx(0.5)
+
+    def test_as_dict_keys(self):
+        dist = Distribution()
+        dist.add(Outcome.SDC)
+        assert set(dist.as_dict()) == {o.value for o in OUTCOME_ORDER}
+
+    def test_outcome_acceptable_property(self):
+        assert Outcome.STRICTLY_CORRECT.acceptable
+        assert Outcome.CORRECT.acceptable
+        assert not Outcome.CRASHED.acceptable
+        assert not Outcome.NON_PROPAGATED.acceptable
+        assert not Outcome.SDC.acceptable
+
+
+class TestGrouping:
+    def test_by_location_partition(self):
+        results = [make_result(location=LocationKind.PC),
+                   make_result(location=LocationKind.PC),
+                   make_result(location=LocationKind.MEM)]
+        groups = by_location(results)
+        assert groups[LocationKind.PC].total == 2
+        assert groups[LocationKind.MEM].total == 1
+
+    def test_summary_counts_everything(self):
+        results = [make_result(outcome=o) for o in OUTCOME_ORDER]
+        assert summary(results).total == len(OUTCOME_ORDER)
+
+    def test_time_bins_boundaries(self):
+        results = [make_result(time_fraction=f)
+                   for f in (0.0, 0.09, 0.5, 0.99, 1.0)]
+        bins = by_time_bins(results, bins=10)
+        assert bins[0].total == 2        # 0.0 and 0.09
+        assert bins[5].total == 1
+        assert bins[9].total == 2        # 0.99 and the clamped 1.0
+
+    def test_fetch_field_grouping_with_known_word(self):
+        word = enc.encode_operate(ins.OP_INTA, 1, 2, 0x20, 3)
+        results = [
+            make_result(location=LocationKind.FETCH, bits=(14,),
+                        injection_before=word),   # SBZ bit
+            make_result(location=LocationKind.FETCH, bits=(28,),
+                        injection_before=word),   # opcode bit
+            make_result(location=LocationKind.FETCH, bits=(0,),
+                        injected=False),          # never fired
+            make_result(location=LocationKind.MEM),  # filtered out
+        ]
+        groups = by_fetch_field(results)
+        assert groups["unused"].total == 1
+        assert groups["opcode"].total == 1
+        assert groups["not_injected"].total == 1
+        assert sum(d.total for d in groups.values()) == 3
+
+
+class TestRendering:
+    def test_render_table_alignment_and_rows(self):
+        dist = Distribution()
+        dist.add(Outcome.CRASHED)
+        text = render_table({"rowname": dist}, title="Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "rowname" in lines[2]
+        assert "100.0%" in lines[2]
+
+    def test_render_empty_rows(self):
+        text = render_table({})
+        assert "group" in text
+
+    def test_experiment_result_as_dict_round(self):
+        result = make_result()
+        data = result.as_dict()
+        assert data["outcome"] == "strictly_correct"
+        assert "ExecutionStageInjectedFault" in data["fault"]

@@ -1,0 +1,234 @@
+"""OS-lite kernel tests: processes, syscalls, scheduling, PCB tracking."""
+
+import pytest
+
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator
+from repro.system.process import pcb_address
+
+from conftest import run_asm, run_minic
+
+COUNTER = """
+def main():
+    for i in range(40):
+        print_int(getpid())
+    print_char(10)
+    exit(0)
+"""
+
+
+class TestSyscalls:
+    def test_print_int_signed(self):
+        sim, _ = run_minic("""
+def main():
+    print_int(-42)
+    exit(0)
+""")
+        assert sim.console_text() == "-42"
+
+    def test_print_float_formats(self):
+        sim, _ = run_minic("""
+def main():
+    print_float(1.0 / 3.0)
+    exit(0)
+""")
+        assert sim.console_text() == format(1.0 / 3.0, ".12g")
+
+    def test_print_float_handles_inf_nan(self):
+        sim, _ = run_minic("""
+def main():
+    print_float(1.0 / 0.0)
+    print_char(32)
+    print_float(0.0 / 0.0)
+    exit(0)
+""")
+        assert sim.console_text() == "inf nan"
+
+    def test_exit_code_recorded(self):
+        sim, _ = run_minic("def main():\n    exit(7)\n")
+        assert sim.process(0).exit_code == 7
+        assert sim.process(0).state.value == "exited"
+
+    def test_getpid(self):
+        sim, _ = run_minic("def main():\n    print_int(getpid())\n"
+                           "    exit(0)\n")
+        assert sim.console_text() == "0"
+
+    def test_write_via_print_str(self):
+        sim, _ = run_minic('def main():\n    print_str("ab cd")\n'
+                           "    exit(0)\n")
+        assert sim.console_text() == "ab cd"
+
+    def test_brk_grows_heap(self):
+        asm = """
+        main:
+            ldi a0, 0
+            ldi v0, 2          # brk(0) -> current break
+            callsys
+            mov v0, t0
+            lda a0, 4096(t0)   # grow by a page
+            ldi v0, 2
+            callsys
+            stq t0, 0(t0)      # newly valid
+            ldi v0, 0
+            ldi a0, 0
+            callsys
+        """
+        sim, _ = run_asm(asm)
+        assert sim.process(0).state.value == "exited"
+
+    def test_bad_syscall_number_crashes(self):
+        asm = """
+        main:
+            ldi v0, 99
+            callsys
+            halt
+        """
+        sim, _ = run_asm(asm)
+        assert sim.process(0).state.value == "crashed"
+        assert "bad syscall" in sim.process(0).crash_reason
+
+    def test_ticks_syscall_monotone(self):
+        asm = """
+        main:
+            ldi v0, 8
+            callsys
+            mov v0, t0
+            ldi v0, 8
+            callsys
+            cmplt t0, v0, t1
+            mov t1, a0
+            ldi v0, 5
+            callsys
+            ldi v0, 0
+            callsys
+        """
+        sim, _ = run_asm(asm)
+        assert sim.console_text() == "1"
+
+
+class TestMultiProcess:
+    def test_two_processes_both_complete(self):
+        sim = Simulator(SimConfig(quantum=500))
+        from repro.compiler import compile_source
+        asm = compile_source(COUNTER)
+        sim.load(asm, "a")
+        sim.load(asm, "b")
+        result = sim.run(max_instructions=4_000_000)
+        assert result.status == "completed"
+        assert sim.process(0).console_text().strip("\n") == "0" * 40
+        assert sim.process(1).console_text().strip("\n") == "1" * 40
+
+    def test_preemption_actually_happens(self):
+        sim = Simulator(SimConfig(quantum=200))
+        from repro.compiler import compile_source
+        asm = compile_source(COUNTER)
+        sim.load(asm, "a")
+        sim.load(asm, "b")
+        sim.run(max_instructions=4_000_000)
+        assert sim.system.context_switches > 2
+
+    def test_pcb_addresses_are_distinct(self):
+        assert pcb_address(0) != pcb_address(1)
+
+    def test_crash_of_one_does_not_kill_other(self):
+        crasher = "def main():\n    a = 1\n    b = 0\n" \
+                  "    print_int(a // b)\n    exit(0)\n"
+        sim = Simulator(SimConfig(quantum=300))
+        from repro.compiler import compile_source
+        sim.load(compile_source(crasher), "bad")
+        sim.load(compile_source(COUNTER), "good")
+        result = sim.run(max_instructions=4_000_000)
+        assert result.status == "completed"
+        assert sim.process(0).state.value == "crashed"
+        assert sim.process(1).state.value == "exited"
+
+    def test_address_spaces_are_isolated(self):
+        # Both processes use the same symbols but distinct slots.
+        source = """
+A = iarray(4)
+def main():
+    A[0] = getpid() + 100
+    sched_yield()
+    print_int(A[0])
+    exit(0)
+"""
+        from repro.compiler import compile_source
+        asm = compile_source(source)
+        sim = Simulator(SimConfig(quantum=50))
+        sim.load(asm, "a")
+        sim.load(asm, "b")
+        sim.run(max_instructions=2_000_000)
+        assert sim.process(0).console_text() == "100"
+        assert sim.process(1).console_text() == "101"
+
+
+class TestFIAcrossContextSwitches:
+    """Section III.C: FI state follows the thread, not the core."""
+
+    FI_PROGRAM = """
+def main():
+    fi_activate_inst(getpid())
+    total = 0
+    for i in range(200):
+        total += i
+        if i == 100:
+            sched_yield()
+    fi_activate_inst(getpid())
+    print_int(total)
+    exit(0)
+"""
+
+    def _run_pair(self, faults_text):
+        from repro.compiler import compile_source
+        asm = compile_source(self.FI_PROGRAM)
+        injector = FaultInjector.from_text(faults_text)
+        sim = Simulator(SimConfig(quantum=150), injector=injector)
+        sim.load(asm, "a")
+        sim.load(asm, "b")
+        result = sim.run(max_instructions=4_000_000)
+        assert result.status == "completed"
+        return sim
+
+    def test_golden_both_processes(self):
+        sim = self._run_pair(
+            "ExecutionStageInjectedFault Inst:900000 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        assert sim.process(0).console_text() == "19900"
+        assert sim.process(1).console_text() == "19900"
+        assert sim.system.context_switches > 2
+
+    def test_fault_targets_only_thread_zero(self):
+        sim = self._run_pair(
+            "ExecutionStageInjectedFault Inst:700 All1 Threadid:0 "
+            "system.cpu0 occ:1")
+        process_a = sim.process(0)
+        process_b = sim.process(1)
+        # Thread 1 must be untouched regardless of what happened to 0.
+        assert process_b.state.value == "exited"
+        assert process_b.console_text() == "19900"
+        affected = (process_a.state.value == "crashed"
+                    or process_a.console_text() != "19900")
+        assert affected
+
+    def test_fault_targets_only_thread_one(self):
+        sim = self._run_pair(
+            "ExecutionStageInjectedFault Inst:700 All1 Threadid:1 "
+            "system.cpu0 occ:1")
+        process_a = sim.process(0)
+        process_b = sim.process(1)
+        assert process_a.state.value == "exited"
+        assert process_a.console_text() == "19900"
+        affected = (process_b.state.value == "crashed"
+                    or process_b.console_text() != "19900")
+        assert affected
+
+    def test_thread_counters_not_shared(self):
+        sim = self._run_pair(
+            "ExecutionStageInjectedFault Inst:900000 Flip:0 Threadid:0 "
+            "system.cpu0 occ:1")
+        windows = sim.injector.windows
+        assert len(windows) == 2
+        assert {w["thread_id"] for w in windows} == {0, 1}
+        counts = [w["committed"] for w in windows]
+        assert abs(counts[0] - counts[1]) <= 2

@@ -1,0 +1,272 @@
+"""Workload tests: golden runs, quality metrics, acceptance rules."""
+
+import math
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator
+from repro.workloads import (
+    Outputs,
+    WORKLOAD_NAMES,
+    build,
+    decimal_digits_match,
+    extract_outputs,
+    is_permutation,
+    parse_floats,
+    psnr,
+)
+from repro.workloads import canneal, dct, deblocking, jacobi, knapsack
+
+
+def golden_run(spec, model="atomic"):
+    injector = FaultInjector()
+    sim = Simulator(SimConfig(cpu_model=model), injector=injector)
+    sim.load(compile_source(spec.source), spec.name)
+    result = sim.run(max_instructions=30_000_000)
+    process = sim.process(0)
+    assert result.status == "completed"
+    assert process.state.value == "exited", process.crash_reason
+    assert process.exit_code == 0
+    return sim, injector
+
+
+class TestQualityMetrics:
+    def test_psnr_identical_is_inf(self):
+        assert psnr([1, 2, 3], [1, 2, 3]) == math.inf
+
+    def test_psnr_decreases_with_noise(self):
+        base = list(range(100))
+        small = [v + 1 for v in base]
+        large = [v + 40 for v in base]
+        assert psnr(base, small) > psnr(base, large) > 0
+
+    def test_psnr_known_value(self):
+        # MSE of 1 against peak 255 -> 10*log10(255^2) = 48.13 dB.
+        base = [0] * 16
+        off = [1] * 16
+        assert abs(psnr(base, off) - 48.1308) < 0.001
+
+    def test_psnr_nonfinite_values_reject(self):
+        assert psnr([1.0, 2.0], [1.0, math.nan]) == 0.0
+        assert psnr([1.0, 2.0], [math.inf, 2.0]) == 0.0
+
+    def test_psnr_length_mismatch(self):
+        assert psnr([1, 2], [1]) == 0.0
+
+    def test_is_permutation(self):
+        assert is_permutation([2, 0, 1], 3)
+        assert not is_permutation([0, 0, 1], 3)
+        assert not is_permutation([0, 1, 3], 3)
+        assert not is_permutation([0, 1], 3)
+
+    def test_decimal_digits_match(self):
+        assert decimal_digits_match(3.14159, 3.14999, 2)
+        assert not decimal_digits_match(3.14159, 3.15001, 2)
+        assert not decimal_digits_match(math.nan, 3.14, 2)
+
+    def test_parse_floats_skips_garbage(self):
+        assert parse_floats("pi 3.14 xx 2 bad1.2.3") == [3.14, 2.0]
+
+
+class TestAllWorkloadsGolden:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_tiny_scale_runs_and_accepts_itself(self, name):
+        spec = build(name, "tiny")
+        sim, injector = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        assert spec.accept(outputs, outputs)
+        assert len(injector.windows) == 1
+        assert injector.windows[0]["committed"] > 100
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic_across_runs(self, name):
+        spec = build(name, "tiny")
+        consoles = set()
+        for _ in range(2):
+            sim, _ = golden_run(spec)
+            consoles.add(sim.console_text())
+        assert len(consoles) == 1
+
+    def test_fp_usage_flags_match_reality(self):
+        # deblocking / knapsack / canneal are integer-only kernels.
+        for name in WORKLOAD_NAMES:
+            spec = build(name, "tiny")
+            assert spec.uses_fp == (name in ("dct", "jacobi", "pi"))
+
+
+class TestDCT:
+    def test_decode_inverts_compression_within_psnr(self):
+        spec = build("dct", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        decoded = dct.decode(outputs.arrays["OUT"], 8, 8)
+        original = dct.input_image(8, 8)
+        assert psnr(original, decoded) > dct.PSNR_THRESHOLD_DB
+
+    def test_corrupted_coefficients_rejected(self):
+        spec = build("dct", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        bad = Outputs(console=golden.console,
+                      arrays={"OUT": tuple(v + 500 for v
+                                           in golden.arrays["OUT"])})
+        assert not spec.accept(golden, bad)
+
+    def test_dc_coefficient_carries_block_mean(self):
+        spec = build("dct", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        # DC of the first 8x8 block ~ 8 * (mean - 128) / 16.
+        image = dct.input_image(8, 8)
+        mean = sum(image[:64]) / 64
+        dc = outputs.arrays["OUT"][0]
+        expected = 8 * (mean - 128) / dct.QUANT_TABLE[0]
+        assert abs(dc - expected) <= 1.5
+
+
+class TestJacobi:
+    def test_converges_to_solution(self):
+        spec = build("jacobi", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        n = jacobi.SCALES["tiny"]["n"]
+        a = jacobi.matrix(n)
+        b = jacobi.rhs(n)
+        x = outputs.arrays["XOUT"]
+        for i in range(n):
+            residual = sum(a[i * n + j] * x[j] for j in range(n)) - b[i]
+            assert abs(residual) < 1e-3
+
+    def test_accept_ignores_iteration_count(self):
+        spec = build("jacobi", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        other = Outputs(console="iters 999\n", arrays=dict(golden.arrays))
+        assert spec.accept(golden, other)
+
+    def test_accept_rejects_different_solution(self):
+        spec = build("jacobi", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        bad = Outputs(console=golden.console,
+                      arrays={"XOUT": tuple(v + 0.001 for v
+                                            in golden.arrays["XOUT"])})
+        assert not spec.accept(golden, bad)
+
+
+class TestPI:
+    def test_estimate_near_pi(self):
+        spec = build("pi", "tiny")
+        sim, _ = golden_run(spec)
+        value = parse_floats(sim.console_text())[0]
+        assert abs(value - math.pi) < 0.25
+
+    def test_accept_tolerates_last_digits(self):
+        spec = build("pi", "tiny")
+        golden = Outputs(console="pi 3.14\n")
+        assert spec.accept(golden, Outputs(console="pi 3.19\n"))
+        assert not spec.accept(golden, Outputs(console="pi 3.25\n"))
+        assert not spec.accept(golden, Outputs(console="pi\n"))
+
+
+class TestKnapsack:
+    def test_best_solution_is_feasible(self):
+        spec = build("knapsack", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        best_value, best_mask = outputs.arrays["BEST"]
+        params = knapsack.SCALES["tiny"]
+        weights = knapsack.item_weights(params["items"])
+        values = knapsack.item_values(params["items"])
+        weight = sum(weights[i] for i in range(params["items"])
+                     if (best_mask >> i) & 1)
+        value = sum(values[i] for i in range(params["items"])
+                    if (best_mask >> i) & 1)
+        assert weight <= params["limit"]
+        assert value == best_value > 0
+
+    def test_accept_rejects_invalid_mask(self):
+        spec = build("knapsack", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        lying = Outputs(console=golden.console,
+                        arrays={"BEST": (golden.arrays["BEST"][0],
+                                         (1 << 30) - 1)})
+        assert not spec.accept(golden, lying)
+
+
+class TestDeblocking:
+    def test_filter_smooths_block_edges(self):
+        spec = build("deblocking", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        params = deblocking.SCALES["tiny"]
+        width, height = params["width"], params["height"]
+        original = deblocking.input_frame(width, height)
+        filtered = outputs.arrays["OUT"]
+
+        def edge_energy(img):
+            total = 0
+            for y in range(height):
+                total += abs(img[y * width + 8] - img[y * width + 7])
+            return total
+
+        assert edge_energy(filtered) < edge_energy(original)
+
+    def test_accept_uses_high_psnr_threshold(self):
+        spec = build("deblocking", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        slight = Outputs(
+            console=golden.console,
+            arrays={"OUT": tuple(
+                v + (1 if i == 0 else 0)
+                for i, v in enumerate(golden.arrays["OUT"]))})
+        # One off-by-one pixel in a tiny frame: PSNR ~ 69 dB < 80.
+        assert not spec.accept(golden, slight)
+        assert spec.accept(golden, golden)
+
+
+class TestCanneal:
+    def test_annealing_reduces_cost(self):
+        spec = build("canneal", "tiny")
+        sim, _ = golden_run(spec)
+        outputs = extract_outputs(spec, sim, sim.process(0))
+        initial, final = outputs.arrays["COST_OUT"]
+        assert final <= initial
+        nets = canneal.SCALES["tiny"]["nets"]
+        assert is_permutation(outputs.arrays["PLACE"], nets)
+
+    def test_accept_rejects_broken_chip(self):
+        spec = build("canneal", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        place = list(golden.arrays["PLACE"])
+        place[0] = place[1]          # duplicate location: invalid chip
+        broken = Outputs(console=golden.console,
+                         arrays={"PLACE": tuple(place),
+                                 "COST_OUT": golden.arrays["COST_OUT"]})
+        assert not spec.accept(golden, broken)
+
+    def test_accept_rejects_cost_increase(self):
+        spec = build("canneal", "tiny")
+        sim, _ = golden_run(spec)
+        golden = extract_outputs(spec, sim, sim.process(0))
+        initial = golden.arrays["COST_OUT"][0]
+        worse = Outputs(console=golden.console,
+                        arrays={"PLACE": golden.arrays["PLACE"],
+                                "COST_OUT": (initial, initial + 10)})
+        assert not spec.accept(golden, worse)
+
+
+class TestRegistry:
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build("quicksort")
+
+    def test_build_all(self):
+        from repro.workloads import build_all
+        specs = build_all("tiny")
+        assert set(specs) == set(WORKLOAD_NAMES)
