@@ -1,0 +1,68 @@
+"""Equivalence classes over LIVE fault sites.
+
+Two live SEU sites are *outcome-equivalent* when the corrupted value
+first meets the same dynamic instruction with the same bit flipped:
+
+* register flips ``(cls, reg, bit)`` striking at different times with no
+  intervening access to the register leave identical register-file state
+  at the shared first-read instruction, so every architectural event
+  from there on is identical;
+* execute/load/store-value flips are applied at their eligible
+  transaction, so two fault times that resolve to the same transaction
+  (and bit) are literally the same experiment.
+
+The liveness engine encodes this as ``SiteVerdict.class_key``; sites
+without a key (PC redirects, fetch/decode corruptions, taints) stay
+singletons.  A campaign then runs one *representative* per class and
+re-expands the result with the class weight (``campaign/results.py``),
+reproducing the unpruned estimator exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.fault import Fault
+from .liveness import SiteVerdict
+
+
+@dataclass
+class SiteClass:
+    """One equivalence class of outcome-identical live fault sites."""
+
+    key: tuple
+    representative: Fault
+    members: list[Fault] = field(default_factory=list)
+
+    @property
+    def weight(self) -> int:
+        """Sample multiplicity: how many drawn sites this class stands
+        for (NOT the full population class size — using the multiplicity
+        keeps the re-expanded estimator identical to the unpruned one)."""
+        return len(self.members)
+
+
+def build_classes(classified) -> list[SiteClass]:
+    """Group ``(fault, verdict)`` pairs of LIVE sites into classes.
+
+    Order-stable: classes appear in first-member order and the first
+    member becomes the representative, so a fixed RNG stream yields a
+    fixed experiment list.
+    """
+    groups: dict[tuple, SiteClass] = {}
+    order: list[SiteClass] = []
+    singletons = 0
+    for fault, verdict in classified:
+        if isinstance(verdict, SiteVerdict) and verdict.masked:
+            raise ValueError("build_classes expects LIVE sites only")
+        key = verdict.class_key
+        if key is None:
+            key = ("singleton", singletons)
+            singletons += 1
+        site_class = groups.get(key)
+        if site_class is None:
+            site_class = SiteClass(key=key, representative=fault)
+            groups[key] = site_class
+            order.append(site_class)
+        site_class.members.append(fault)
+    return order

@@ -1,0 +1,141 @@
+"""Dynamic def-use trace recording for the golden profiling run.
+
+A :class:`DefUseTracer` hangs off the :class:`~repro.core.injector.
+FaultInjector` and records one :class:`TraceEvent` per *committed*
+instruction, starting at the first ``fi_activate_inst`` of the run and
+continuing to program end (registers and memory written inside the FI
+window can be consumed long after it closes, so liveness analysis needs
+the post-window tail too).
+
+The recorder follows the injector's hot-flag idiom: CPU models test one
+boolean (``injector.trace_hot``) per committed instruction, so a run
+without a tracer installed pays nothing — the same zero-overhead
+property the per-stage fault queues have (Fig. 7).
+
+Syscalls are special-cased: the committed ``callsys`` word carries no
+register fields, but the dispatcher architecturally reads ``v0`` and
+``a0..a2`` and writes ``v0`` (and may read arbitrary memory, e.g.
+``write``), so the event records that contract instead of the decoded
+word's empty register lists.  The final ``exit`` syscall never commits
+— ``ProcessExited`` unwinds the instruction mid-execute — which is why
+:class:`~repro.analysis.liveness.LivenessAnalysis` appends an implicit
+exit barrier; see there.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import (
+    KIND_FI,
+    KIND_FLOAD,
+    KIND_LOAD,
+    KIND_PAL,
+    PAL_CALLSYS,
+)
+
+# Registers the syscall dispatcher touches unconditionally
+# (system/syscalls.py reads v0 + a0..a2 up front and returns in v0).
+SYSCALL_REG_READS = (("int", 0), ("int", 16), ("int", 17), ("int", 18))
+SYSCALL_REG_WRITES = (("int", 0),)
+# The final exit() *uses* only v0 (syscall selection) and a0 (the exit
+# code); the dispatcher's a1/a2 loads are discarded, so the liveness
+# exit barrier only needs these two.
+EXIT_REG_READS = (("int", 0), ("int", 16))
+# fi_activate_inst reads its thread id from a0.
+FI_REG_READS = (("int", 16),)
+
+# Safety valve: a trace larger than this taints the analysis instead of
+# exhausting memory (≈ a few hundred MB of events).
+DEFAULT_EVENT_LIMIT = 4_000_000
+
+
+class TraceEvent:
+    """One committed instruction of the traced run."""
+
+    __slots__ = ("window_index", "pc", "word", "kind", "reads", "writes",
+                 "write_values", "mem_addr", "mem_size", "is_load",
+                 "is_syscall")
+
+    def __init__(self, window_index: int | None, pc: int, word: int,
+                 kind: int, reads: tuple, writes: tuple,
+                 mem_addr: int | None, mem_size: int, is_load: bool,
+                 is_syscall: bool, write_values: tuple = ()) -> None:
+        self.window_index = window_index   # 1-based FI-window position,
+        self.pc = pc                       # None outside the window
+        self.word = word
+        self.kind = kind
+        self.reads = reads                 # ((cls, index), ...) sources
+        self.writes = writes               # ((cls, index), ...) dests
+        self.write_values = write_values   # post-commit register values,
+        self.mem_addr = mem_addr           # aligned with `writes`
+        self.mem_size = mem_size
+        self.is_load = is_load
+        self.is_syscall = is_syscall
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        w = self.window_index
+        return (f"<TraceEvent pc={self.pc:#x} word={self.word:#010x}"
+                f" window={w}>")
+
+
+class DefUseTracer:
+    """Accumulates the committed-instruction stream of a golden run."""
+
+    def __init__(self, limit: int = DEFAULT_EVENT_LIMIT) -> None:
+        self.events: list[TraceEvent] = []
+        self.started = False
+        self.limit = limit
+        self.overflow = False
+        # Register-file values at trace start ((cls, index) -> raw
+        # bits), captured so the analysis can evaluate "what value does
+        # register X hold at window instruction t" queries (the
+        # equal-value source rule).
+        self.initial_regs: dict[tuple[str, int], int] | None = None
+        # Context switches swap the architectural registers invisibly to
+        # a register-indexed def-use trace; any switch after tracing
+        # starts makes pruning unsound, so it taints the analysis.
+        self.context_switches = 0
+
+    @property
+    def tainted(self) -> bool:
+        return self.overflow or self.context_switches > 0
+
+    def capture_initial(self, core) -> None:
+        """Snapshot the architectural register files (called by the
+        injector right before the first traced instruction commits)."""
+        ints = core.arch.intregs
+        fps = core.arch.fpregs
+        snapshot: dict[tuple[str, int], int] = {}
+        for index in range(32):
+            snapshot[("int", index)] = ints.peek(index)
+            snapshot[("fp", index)] = fps.peek(index)
+        self.initial_regs = snapshot
+
+    def record(self, window_index: int | None, pc: int, decoded,
+               result, core=None) -> None:
+        if len(self.events) >= self.limit:
+            self.overflow = True
+            return
+        kind = decoded.kind
+        is_syscall = False
+        if kind == KIND_PAL:
+            is_syscall = decoded.func == PAL_CALLSYS
+            reads = SYSCALL_REG_READS if is_syscall else ()
+            writes = SYSCALL_REG_WRITES if is_syscall else ()
+        elif kind == KIND_FI:
+            reads = FI_REG_READS
+            writes = ()
+        else:
+            reads = tuple(decoded.src_regs())
+            writes = tuple(decoded.dest_regs())
+        mem_addr = result.mem_addr if decoded.is_mem() else None
+        write_values: tuple = ()
+        if core is not None and writes:
+            arch = core.arch
+            write_values = tuple(
+                (arch.intregs if cls == "int" else arch.fpregs).peek(reg)
+                for cls, reg in writes)
+        self.events.append(TraceEvent(
+            window_index=window_index, pc=pc, word=decoded.word,
+            kind=kind, reads=reads, writes=writes, mem_addr=mem_addr,
+            mem_size=decoded.size, is_load=kind in (KIND_LOAD, KIND_FLOAD),
+            is_syscall=is_syscall, write_values=write_values))

@@ -85,11 +85,15 @@ class SharedDirCampaign:
     """
 
     def __init__(self, share_dir: str, workload_name: str,
-                 scale: str = "small") -> None:
+                 scale: str = "small",
+                 stale_claim_seconds: float = 600.0,
+                 clock=time.time) -> None:
         self.share_dir = share_dir
         self.workload_name = workload_name
         self.scale = scale
-        for sub in ("todo", "claimed", "results"):
+        self.stale_claim_seconds = stale_claim_seconds
+        self._clock = clock
+        for sub in ("todo", "claimed", "results", "claims"):
             os.makedirs(os.path.join(share_dir, sub), exist_ok=True)
 
     # step 1+2: the coordinator publishes experiments and the checkpoint.
@@ -115,20 +119,106 @@ class SharedDirCampaign:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(render_fault_file(faults))
 
-    # step 4: atomic claim via rename.
+    # step 4: atomic claim.  A claim file created with O_CREAT|O_EXCL is
+    # the lock for one experiment — exactly one workstation can create
+    # it, so exactly one wins even on network filesystems where rename
+    # semantics are shakier.  The claim records {worker, pid, time}; a
+    # claim older than *stale_claim_seconds* with no result is treated
+    # as a crashed workstation and its experiment is returned to the
+    # queue (recovery itself is single-winner via a unique rename of
+    # the claim file).
 
     def claim(self, worker_id: str) -> str | None:
+        target = self._claim_once(worker_id)
+        if target is not None:
+            return target
+        if self._recover_stale_claims(worker_id):
+            return self._claim_once(worker_id)
+        return None
+
+    def _claim_once(self, worker_id: str) -> str | None:
         todo = os.path.join(self.share_dir, "todo")
         for name in sorted(os.listdir(todo)):
+            claim_path = os.path.join(self.share_dir, "claims",
+                                      name + ".claim")
+            if not self._try_acquire(claim_path, worker_id):
+                continue  # another workstation holds this experiment
             source = os.path.join(todo, name)
             target = os.path.join(self.share_dir, "claimed",
                                   f"{worker_id}_{name}")
             try:
                 os.rename(source, target)
             except OSError:
-                continue  # another workstation won the race
+                # The todo file vanished between listdir and rename
+                # (e.g. stale recovery raced us); release the claim.
+                try:
+                    os.unlink(claim_path)
+                except OSError:
+                    pass
+                continue
             return target
         return None
+
+    def _try_acquire(self, claim_path: str, worker_id: str) -> bool:
+        try:
+            handle = os.open(claim_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(handle, json.dumps(
+                {"worker": worker_id, "pid": os.getpid(),
+                 "time": self._clock()}).encode("utf-8"))
+        finally:
+            os.close(handle)
+        return True
+
+    def _recover_stale_claims(self, worker_id: str) -> bool:
+        """Return experiments whose claimant died back to the todo
+        queue.  A claim is stale when it is older than
+        *stale_claim_seconds* and no result has been written."""
+        claims_dir = os.path.join(self.share_dir, "claims")
+        recovered = False
+        for name in sorted(os.listdir(claims_dir)):
+            if not name.endswith(".claim"):
+                continue  # a .steal marker of an in-flight recovery
+            experiment = name[:-len(".claim")]
+            result_path = os.path.join(
+                self.share_dir, "results",
+                experiment.replace(".txt", ".json"))
+            if os.path.exists(result_path):
+                continue  # finished normally
+            claim_path = os.path.join(claims_dir, name)
+            try:
+                with open(claim_path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue  # being written or already stolen
+            if self._clock() - entry.get("time", 0) \
+                    <= self.stale_claim_seconds:
+                continue
+            # Single-winner steal: only one workstation's rename of the
+            # claim file succeeds.
+            stolen = claim_path + f".steal.{worker_id}.{os.getpid()}"
+            try:
+                os.rename(claim_path, stolen)
+            except OSError:
+                continue  # somebody else is recovering this one
+            owner = entry.get("worker", "")
+            claimed_path = os.path.join(self.share_dir, "claimed",
+                                        f"{owner}_{experiment}")
+            todo_path = os.path.join(self.share_dir, "todo", experiment)
+            try:
+                os.rename(claimed_path, todo_path)
+            except OSError:
+                pass  # claimant died before moving the file out of todo
+            if os.path.exists(todo_path):
+                recovered = True
+            try:
+                os.unlink(stolen)
+            except OSError:
+                pass
+        return recovered
 
     # steps 4-5: run locally, move results back to the share.
 

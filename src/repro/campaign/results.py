@@ -30,15 +30,19 @@ LOCATION_LABELS = {
 
 @dataclass
 class Distribution:
-    """Outcome counts for one group (a location, a time bin...)."""
+    """Outcome counts for one group (a location, a time bin...).
+
+    Counts may be weighted: a pruned campaign adds each class
+    representative with its sample multiplicity, reproducing the
+    unpruned estimator exactly (``expand_pruned``)."""
 
     counts: Counter = field(default_factory=Counter)
 
-    def add(self, outcome: Outcome) -> None:
-        self.counts[outcome] += 1
+    def add(self, outcome: Outcome, weight: float = 1.0) -> None:
+        self.counts[outcome] += weight
 
     @property
-    def total(self) -> int:
+    def total(self) -> float:
         return sum(self.counts.values())
 
     def fraction(self, outcome: Outcome) -> float:
@@ -59,14 +63,15 @@ def by_location(results: list[ExperimentResult]
     """Fig. 5: outcome distribution per fault location (+ a summary)."""
     groups: dict[LocationKind, Distribution] = defaultdict(Distribution)
     for result in results:
-        groups[result.fault.location].add(result.outcome)
+        groups[result.fault.location].add(result.outcome,
+                                          _weight(result))
     return dict(groups)
 
 
 def summary(results: list[ExperimentResult]) -> Distribution:
     dist = Distribution()
     for result in results:
-        dist.add(result.outcome)
+        dist.add(result.outcome, _weight(result))
     return dist
 
 
@@ -76,7 +81,7 @@ def by_time_bins(results: list[ExperimentResult], bins: int = 10
     groups = [Distribution() for _ in range(bins)]
     for result in results:
         index = min(bins - 1, int(result.time_fraction * bins))
-        groups[index].add(result.outcome)
+        groups[index].add(result.outcome, _weight(result))
     return groups
 
 
@@ -96,8 +101,56 @@ def by_fetch_field(results: list[ExperimentResult]
             continue
         field_name = field_of_fetch_bit(result.injection_before,
                                         bits[0]).value
-        groups[field_name].add(result.outcome)
+        groups[field_name].add(result.outcome, _weight(result))
     return dict(groups)
+
+
+def _weight(result: ExperimentResult) -> float:
+    return getattr(result, "weight", 1.0)
+
+
+def expand_pruned(plan, run_results: list[ExperimentResult],
+                  window: int,
+                  per_member: bool = False) -> list[ExperimentResult]:
+    """Re-expand a pruned campaign to the unpruned estimator.
+
+    *run_results* are the executed representatives, aligned with
+    ``plan.runs``.  Each is replicated over its class — either as one
+    weighted result (the default; the aggregators above honour the
+    weight) or, with ``per_member=True``, as one weight-1 clone per
+    member carrying the member's own fault and time fraction (exact
+    per-experiment equivalence, e.g. for Fig. 6 time bins).  Predicted
+    masked sites are synthesised for free: their outputs equal the
+    golden run's, so the outcome is strictly-correct when the corrupted
+    value was read (``propagated``) and non-propagated otherwise.
+    """
+    from dataclasses import replace
+
+    window = max(1, window)
+    expanded: list[ExperimentResult] = []
+    for planned, result in zip(plan.runs, run_results):
+        if result is None:
+            continue
+        if per_member:
+            for member in planned.members:
+                expanded.append(replace(
+                    result, fault=member, weight=1.0,
+                    time_fraction=min(1.0, member.time / window)))
+        else:
+            expanded.append(replace(result,
+                                    weight=float(planned.weight)))
+    for site in plan.predicted:
+        outcome = (Outcome.STRICTLY_CORRECT if site.propagated
+                   else Outcome.NON_PROPAGATED)
+        expanded.append(ExperimentResult(
+            fault=site.fault, outcome=outcome, injected=site.injected,
+            propagated=site.propagated if site.injected else None,
+            crash_reason=None, instructions=0, ticks=0,
+            wall_seconds=0.0, console="",
+            time_fraction=min(1.0, site.fault.time / window),
+            injection_detail=f"predicted: {site.reason}",
+            weight=1.0, predicted=True))
+    return expanded
 
 
 def render_table(rows: dict[str, Distribution],
@@ -114,8 +167,10 @@ def render_table(rows: dict[str, Distribution],
     widths += [max(6, len(h)) for h in headers[1:]]
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     for key, dist in rows.items():
-        cells = [str(key).ljust(widths[0]), str(dist.total).ljust(
-            widths[1])]
+        total = dist.total
+        total_text = str(int(total)) if total == int(total) \
+            else f"{total:.1f}"
+        cells = [str(key).ljust(widths[0]), total_text.ljust(widths[1])]
         for outcome, width in zip(OUTCOME_ORDER, widths[2:]):
             cells.append(f"{dist.fraction(outcome):6.1%}".ljust(width))
         cells.append(f"{dist.acceptable_fraction:6.1%}")

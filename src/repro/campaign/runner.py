@@ -49,6 +49,10 @@ class ExperimentResult:
     # this is the original instruction word, used by the Table I
     # per-field analysis).
     injection_before: int | None = None
+    # Pruned campaigns (repro.analysis): estimator weight of this result
+    # and whether it was predicted rather than simulated.
+    weight: float = 1.0
+    predicted: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -64,6 +68,8 @@ class ExperimentResult:
             "injection_pc": self.injection_pc,
             "injection_asm": self.injection_asm,
             "injection_detail": self.injection_detail,
+            "weight": self.weight,
+            "predicted": self.predicted,
         }
 
 
@@ -99,6 +105,8 @@ class CampaignRunner:
         self.detailed_model = detailed_model
         self.watchdog_factor = watchdog_factor
         self.asm = compile_source(spec.source)
+        self._trace = None
+        self._liveness = None
         self.golden = self._golden_run()
         spec.golden_instructions = self.golden.profile.committed
 
@@ -193,6 +201,60 @@ class CampaignRunner:
             if progress is not None:
                 progress(index + 1, len(fault_sets))
         return results
+
+    # -- liveness analysis and campaign pruning (repro.analysis) ---------------
+
+    def ensure_trace(self):
+        """Acquire (once) the golden def-use trace by replaying the run
+        from the checkpoint with a tracer installed — boot is skipped,
+        so a trace costs roughly one FI-window replay."""
+        if self._trace is not None:
+            return self._trace
+        from ..analysis import DefUseTracer
+        tracer = DefUseTracer()
+        if self.use_checkpoint and self.golden.checkpoint is not None:
+            sim = restore_checkpoint(self.golden.checkpoint)
+        else:
+            sim = Simulator(self.config, injector=FaultInjector())
+            sim.load(self.asm, self.spec.name)
+        sim.injector.install_tracer(tracer)
+        result = sim.run(max_instructions=50_000_000)
+        if result.status != "completed":
+            raise RuntimeError(
+                f"trace replay of '{self.spec.name}' did not complete: "
+                f"{result.status}")
+        self._trace = tracer
+        return tracer
+
+    def liveness(self):
+        """The (cached) liveness analysis over the golden trace."""
+        if self._liveness is None:
+            from ..analysis import LivenessAnalysis
+            self._liveness = LivenessAnalysis(self.ensure_trace())
+        return self._liveness
+
+    def pruned_generator(self, seed: int = 0, **kwargs):
+        """An SEU generator wrapped with liveness pruning.  Same seed =>
+        same sampled fault stream as a plain ``SEUGenerator``."""
+        from .generator import PrunedGenerator, SEUGenerator
+        base = SEUGenerator(self.golden.profile, seed=seed, **kwargs)
+        return PrunedGenerator(base, self.liveness())
+
+    def run_pruned(self, plan, progress=None,
+                   per_member: bool = False):
+        """Execute a :class:`~repro.campaign.generator.PrunedPlan`:
+        simulate one representative per equivalence class, then
+        re-expand to the full estimator (weighted, or per-member exact
+        clones with ``per_member=True``)."""
+        from .results import expand_pruned
+        run_results = []
+        for index, planned in enumerate(plan.runs):
+            run_results.append(self.run_experiment(planned.fault))
+            if progress is not None:
+                progress(index + 1, len(plan.runs))
+        window = max(1, self.golden.profile.committed)
+        return expand_pruned(plan, run_results, window,
+                             per_member=per_member)
 
     # -- helpers ----------------------------------------------------------------------
 

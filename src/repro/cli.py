@@ -5,7 +5,8 @@ an application, hand the simulator a fault-description input file on the
 command line, run, and inspect the postmortem report / statistics.
 
     gemfi run app.mc --fault-file faults.txt --cpu o3 --stats stats.txt
-    gemfi campaign --workload dct --scale tiny -n 50
+    gemfi campaign --workload dct --scale tiny -n 50 [--prune]
+    gemfi analyze --workload dct --scale tiny -n 200
     gemfi workloads
     gemfi sample-size --confidence 0.99 --margin 0.01
 
@@ -86,19 +87,67 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     runner = CampaignRunner(spec, detailed_model=args.detailed_model)
     print(f"# golden: window={runner.golden.profile.committed} "
           f"instructions, boot={runner.golden.boot_instructions}")
-    generator = SEUGenerator(runner.golden.profile, seed=args.seed)
     location = None
     if args.location:
         from .core import LocationKind
         location = LocationKind(args.location)
-    faults = generator.batch(args.experiments, location=location)
-    results = runner.run_campaign(
-        faults, progress=lambda done, total: print(
-            f"\r# {done}/{total}", end="", file=sys.stderr))
+    progress = lambda done, total: print(  # noqa: E731
+        f"\r# {done}/{total}", end="", file=sys.stderr)
+    if args.prune:
+        if args.detailed_model is not None:
+            print("# warning: liveness verdicts for fetch/decode sites "
+                  "assume an in-order frontend; --detailed-model o3 "
+                  "fetches speculatively and may time them differently",
+                  file=sys.stderr)
+        plan = runner.pruned_generator(seed=args.seed).plan(
+            args.experiments, location=location)
+        print(f"# pruned: {plan.total} sites -> {plan.experiments} "
+              f"simulations ({plan.masked_count} provably masked, "
+              f"{plan.collapsed} collapsed into classes; "
+              f"{plan.fraction_saved:.0%} saved)")
+        results = runner.run_pruned(plan, progress=progress)
+    else:
+        generator = SEUGenerator(runner.golden.profile, seed=args.seed)
+        faults = generator.batch(args.experiments, location=location)
+        results = runner.run_campaign(faults, progress=progress)
     print(file=sys.stderr)
     print(render_location_table(
         results, title=f"{args.workload} ({args.scale}) — "
-                       f"{len(results)} experiments, seed {args.seed}"))
+                       f"{args.experiments} experiments, "
+                       f"seed {args.seed}"))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Liveness analysis report: how much of a sampled campaign the
+    pruner would skip, and why."""
+    from .campaign import kish_effective_sample_size
+    spec = build(args.workload, args.scale)
+    print(f"# {spec.description}")
+    runner = CampaignRunner(spec)
+    trace = runner.ensure_trace()
+    print(f"window instructions : {runner.golden.profile.committed}")
+    print(f"trace events        : {len(trace.events)}"
+          + (" (tainted)" if trace.tainted else ""))
+    location = None
+    if args.location:
+        from .core import LocationKind
+        location = LocationKind(args.location)
+    plan = runner.pruned_generator(seed=args.seed).plan(
+        args.experiments, location=location)
+    print(f"sampled fault sites : {plan.total}")
+    print(f"provably masked     : {plan.masked_count}")
+    for reason, count in sorted(plan.reason_counts().items()):
+        print(f"  {reason:28s} {count}")
+    print(f"live classes        : {plan.experiments} "
+          f"(+{plan.collapsed} collapsed members)")
+    print(f"experiments saved   : {plan.saved} "
+          f"({plan.fraction_saved:.1%})")
+    weights = plan.weights()
+    if weights:
+        n_eff = kish_effective_sample_size(weights)
+        print(f"effective n (Kish)  : {n_eff:.1f} over "
+              f"{plan.experiments} weighted runs")
     return 0
 
 
@@ -158,7 +207,24 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=(None, "o3", "inorder", "timing"),
                         help="inject in this model, then switch to "
                              "atomic (paper methodology)")
+    camp_p.add_argument("--prune", action="store_true",
+                        help="skip provably-masked sites and collapse "
+                             "equivalent live sites (repro.analysis)")
     camp_p.set_defaults(func=cmd_campaign)
+
+    ana_p = sub.add_parser(
+        "analyze",
+        help="liveness analysis: report what a pruned campaign saves")
+    ana_p.add_argument("--workload", "-w", default="dct",
+                       choices=WORKLOAD_NAMES)
+    ana_p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "medium", "paper"))
+    ana_p.add_argument("--experiments", "-n", type=int, default=200)
+    ana_p.add_argument("--seed", type=int, default=0)
+    ana_p.add_argument("--location", default=None,
+                       help="pin the fault location (e.g. pc, fetch, "
+                            "int_reg)")
+    ana_p.set_defaults(func=cmd_analyze)
 
     list_p = sub.add_parser("workloads",
                             help="list the paper's benchmarks")

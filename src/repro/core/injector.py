@@ -23,11 +23,12 @@ from .queues import FaultQueues
 from .thread_state import ThreadEnabledFault, ThreadTable
 
 
-def _same_semantics(before: int, after: int) -> bool:
+def same_semantics(before: int, after: int) -> bool:
     """True when two instruction words decode to identical semantics —
     i.e. a fetch-stage flip landed in architecturally unused bits
     (Section IV.B.2: "experiments affecting unused bits always resulted
-    into strict correct results")."""
+    into strict correct results").  Also used by the liveness analysis
+    (``repro.analysis``) to pre-classify fetch-stage fault sites."""
     if before == after:
         return True
     try:
@@ -59,6 +60,11 @@ class FaultInjector:
         self.frontend_hot = False
         self.records: list[InjectionRecord] = []
         self.clock = clock or (lambda: 0)
+        # Optional def-use trace recorder (repro.analysis): one boolean
+        # test per committed instruction when absent, mirroring the
+        # per-stage hot flags.
+        self.tracer = None
+        self.trace_hot = False
         # Completed fi_activate..fi_activate windows, recorded on
         # deactivation; campaigns profile these to learn how many
         # instructions the region of interest executes.
@@ -116,6 +122,31 @@ class FaultInjector:
         self.queues = FaultQueues(list(faults))
         self.refresh_hot_flags()
 
+    # -- def-use trace recording (repro.analysis) -------------------------------
+
+    def install_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.analysis.DefUseTracer`.  Recording
+        starts at the first committed instruction of an FI-active thread
+        (the activating ``fi_activate_inst``) and runs to program end."""
+        self.tracer = tracer
+        self.trace_hot = True
+
+    def on_trace(self, core, pc: int, decoded, result) -> None:
+        """Commit-time trace hook (invoked only while ``trace_hot``)."""
+        tracer = self.tracer
+        thread = core.fi_thread
+        if not tracer.started:
+            if thread is None:
+                return
+            tracer.capture_initial(core)
+            tracer.started = True
+        window_index = None
+        if thread is not None:
+            window_index = thread.effective_committed(core.committed)
+            if window_index <= 0:   # the activating fi_activate itself
+                window_index = None
+        tracer.record(window_index, pc, decoded, result, core)
+
     # -- activation and thread tracking ---------------------------------------
 
     def handle_fi_activate(self, core, thread_id: int) -> bool:
@@ -153,6 +184,10 @@ class FaultInjector:
         outgoing = core.fi_thread
         if outgoing is not None:
             outgoing.settle(core.committed)
+        if self.tracer is not None and self.tracer.started:
+            # Register state swaps under the trace's feet: pruning
+            # verdicts over a multithreaded window would be unsound.
+            self.tracer.context_switches += 1
         incoming = self.threads.lookup(pcb_addr)
         if incoming is not None:
             incoming.base_committed = core.committed
@@ -172,7 +207,7 @@ class FaultInjector:
                 hit.fault, pc, count, before, word,
                 asm=disasm.disassemble_word(before, pc),
                 detail="fetched instruction word")
-            record.propagated = not _same_semantics(before, word)
+            record.propagated = not same_semantics(before, word)
         if queue.empty:
             self.hot_fetch = False
             self.frontend_hot = (self.hot_decode or self.has_watches)

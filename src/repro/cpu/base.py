@@ -134,6 +134,12 @@ class Core:
         # --- commit ---
         arch.pc = result.next_pc
         self.committed += 1
+        # The def-use trace hook checks self.injector (not the
+        # fi_thread-gated `inj`): it keeps recording after the FI window
+        # deactivates, where liveness analysis still needs the stream.
+        inj_all = self.injector
+        if inj_all is not None and inj_all.trace_hot:
+            inj_all.on_trace(self, pc, decoded, result)
         if inj is not None and inj.hot_regfile:
             inj.on_commit(self, fi_thread, pc)
         return result

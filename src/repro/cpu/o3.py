@@ -67,6 +67,8 @@ class O3CPU:
         self.fetch_blocked = False  # waiting on a serializing instruction
         self.reg_ready: dict[tuple[str, int], int] = {}
         self.squashed_instructions = 0
+        self.rob_hwm = 0            # ROB occupancy high-water mark
+        self.rename_stalls = 0      # cycles the frontend found the ROB full
 
     # -- the per-cycle step -------------------------------------------------------
 
@@ -80,6 +82,8 @@ class O3CPU:
         start = self.cycle
         self.cycle += 1
         self._frontend()
+        if len(self.rob) > self.rob_hwm:
+            self.rob_hwm = len(self.rob)
         committed = self._commit()
         return self.cycle - start, committed
 
@@ -88,6 +92,9 @@ class O3CPU:
     def _frontend(self) -> None:
         core = self.core
         if self.fetch_blocked or self.cycle < self.fetch_stall_until:
+            return
+        if len(self.rob) >= self.rob_size:
+            self.rename_stalls += 1
             return
         if self.fetch_pc is None:
             self.fetch_pc = core.arch.pc
@@ -181,6 +188,9 @@ class O3CPU:
             self.reg_ready[dest] = entry.complete
         core.arch.pc = result.next_pc
         core.committed += 1
+        inj_all = core.injector
+        if inj_all is not None and inj_all.trace_hot:
+            inj_all.on_trace(core, entry.pc, decoded, result)
         if inj is not None and inj.hot_regfile:
             pc_changed = inj.on_commit(core, fi_thread, entry.pc)
             if pc_changed:
@@ -249,12 +259,16 @@ class O3CPU:
         return {
             "cycle": self.cycle,
             "squashed": self.squashed_instructions,
+            "rob_hwm": self.rob_hwm,
+            "rename_stalls": self.rename_stalls,
             "predictor": self.predictor.snapshot(),
         }
 
     def restore(self, snap: dict) -> None:
         self.cycle = snap["cycle"]
         self.squashed_instructions = snap["squashed"]
+        self.rob_hwm = snap.get("rob_hwm", 0)
+        self.rename_stalls = snap.get("rename_stalls", 0)
         self.predictor.restore(snap["predictor"])
         self.rob.clear()
         self.fetch_pc = None

@@ -33,6 +33,9 @@ def collect(sim) -> dict[str, Any]:
         stats[f"{core.name}.bp.mispredicts"] = cpu.predictor.mispredicts
     if hasattr(cpu, "squashed_instructions"):
         stats[f"{core.name}.squashed"] = cpu.squashed_instructions
+    if hasattr(cpu, "rob_hwm"):
+        stats[f"{core.name}.rob.occupancy_hwm"] = cpu.rob_hwm
+        stats[f"{core.name}.rob.rename_stalls"] = cpu.rename_stalls
     for pid, process in sorted(sim.system.processes.items()):
         stats[f"process.{pid}.state"] = process.state.value
         stats[f"process.{pid}.instructions"] = process.instructions

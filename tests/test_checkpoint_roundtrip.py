@@ -1,0 +1,98 @@
+"""Mid-run checkpoint round-trips across all four CPU models.
+
+A checkpoint taken while a program is in flight must restore to a
+simulator that finishes with the same architectural results — console
+output, committed instruction count, exit state — on every CPU model.
+The detailed models intentionally drop speculative/in-flight
+microarchitectural state (the O3 ROB is refilled by refetching from the
+architectural PC), so tick counts may differ after a restore; only the
+atomic model promises bit-identical statistics.
+"""
+
+import pytest
+
+from repro.core import FaultInjector
+from repro.sim import SimConfig, Simulator, dumps_checkpoint, \
+    restore_checkpoint
+
+from conftest import run_asm
+
+MODELS = ("atomic", "timing", "inorder", "o3")
+
+
+def _fresh(mixed_asm, model):
+    sim = Simulator(SimConfig(cpu_model=model), injector=FaultInjector())
+    sim.load(mixed_asm, "roundtrip")
+    return sim
+
+
+class TestMidRunRoundTrip:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_restored_run_matches_original(self, mixed_asm, model):
+        original = _fresh(mixed_asm, model)
+        paused = original.run(max_instructions=800)
+        assert paused.status != "completed", \
+            "pause point must fall mid-run"
+        blob = dumps_checkpoint(original)
+
+        finished = original.run(max_instructions=2_000_000)
+        assert finished.status == "completed"
+
+        restored = restore_checkpoint(blob)
+        replay = restored.run(max_instructions=2_000_000)
+        assert replay.status == "completed"
+
+        assert restored.console_text() == original.console_text()
+        assert restored.instructions == original.instructions
+        proc_a = original.process(0)
+        proc_b = restored.process(0)
+        assert proc_b.exit_code == proc_a.exit_code
+        assert proc_b.crash_reason == proc_a.crash_reason
+
+        if model == "atomic":
+            # One instruction per tick: the restore is bit-exact.
+            assert restored.stats_dump() == original.stats_dump()
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_checkpoint_does_not_perturb_the_original(self, mixed_asm,
+                                                      model):
+        checkpointed = _fresh(mixed_asm, model)
+        checkpointed.run(max_instructions=800)
+        dumps_checkpoint(checkpointed)
+        result = checkpointed.run(max_instructions=2_000_000)
+
+        plain = _fresh(mixed_asm, model)
+        reference = plain.run(max_instructions=2_000_000)
+
+        assert result.status == reference.status == "completed"
+        assert checkpointed.console_text() == plain.console_text()
+        assert checkpointed.instructions == plain.instructions
+        assert result.ticks == reference.ticks
+
+
+class TestO3StatsCounters:
+    def test_identical_runs_have_identical_stats(self, mixed_asm):
+        sim_a, result_a = run_asm(mixed_asm, model="o3")
+        sim_b, result_b = run_asm(mixed_asm, model="o3")
+        assert result_a.status == result_b.status == "completed"
+        assert sim_a.stats_dump() == sim_b.stats_dump()
+
+    def test_rob_counters_present_and_sane(self, mixed_asm):
+        sim, result = run_asm(mixed_asm, model="o3")
+        assert result.status == "completed"
+        stats = dict(
+            line.split(None, 1)
+            for line in sim.stats_dump().strip().splitlines())
+        hwm = int(stats["system.cpu0.rob.occupancy_hwm"])
+        stalls = int(stats["system.cpu0.rob.rename_stalls"])
+        assert hwm >= 1
+        assert stalls >= 0
+
+    def test_rob_hwm_survives_checkpoint(self, mixed_asm):
+        sim = _fresh(mixed_asm, "o3")
+        sim.run(max_instructions=800)
+        blob = dumps_checkpoint(sim)
+        sim.run(max_instructions=2_000_000)
+        restored = restore_checkpoint(blob)
+        restored.run(max_instructions=2_000_000)
+        assert "system.cpu0.rob.occupancy_hwm" in restored.stats_dump()

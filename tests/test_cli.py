@@ -102,6 +102,21 @@ class TestOtherCommands:
                      "-n", "3", "--location", "pc"]) == 0
         assert "pc" in capsys.readouterr().out
 
+    def test_campaign_pruned(self, capsys):
+        assert main(["campaign", "--workload", "dct", "--scale", "tiny",
+                     "-n", "10", "--seed", "7", "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned: 10 sites ->" in out
+        assert "ALL" in out
+
+    def test_analyze_report(self, capsys):
+        assert main(["analyze", "--workload", "dct", "--scale", "tiny",
+                     "-n", "60", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "provably masked" in out
+        assert "experiments saved" in out
+        assert "effective n (Kish)" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

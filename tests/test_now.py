@@ -1,6 +1,8 @@
 """Network-of-workstations campaign tests (Section III.E, Fig. 8)."""
 
+import json
 import os
+import threading
 
 import pytest
 
@@ -89,6 +91,101 @@ class TestSharedDirProtocol:
         assert len(results) == 5
         counts = outcome_counts(results)
         assert sum(counts.values()) == 5
+
+    def test_claim_writes_exclusive_claim_file(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=7)
+        campaign.publish(runner, generator.batch(1))
+        target = campaign.claim("w0")
+        assert target is not None
+        assert os.path.basename(target) == "w0_exp_0000.txt"
+        claim_path = tmp_path / "claims" / "exp_0000.txt.claim"
+        entry = json.loads(claim_path.read_text())
+        assert entry["worker"] == "w0"
+        assert entry["pid"] == os.getpid()
+        assert "time" in entry
+
+    def test_existing_claim_file_blocks_the_experiment(self, tmp_path,
+                                                       runner):
+        """The O_CREAT|O_EXCL claim is the lock: a pre-existing claim
+        file (a racing workstation that won) makes claim() skip the
+        experiment even though the todo file is still visible."""
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=8)
+        campaign.publish(runner, generator.batch(2))
+        blocker = tmp_path / "claims" / "exp_0000.txt.claim"
+        blocker.write_text(json.dumps(
+            {"worker": "rival", "pid": 1, "time": 10 ** 12}))
+        target = campaign.claim("w0")
+        assert os.path.basename(target) == "w0_exp_0001.txt"
+        # exp_0000 stays queued for its (live) claimant.
+        assert os.listdir(tmp_path / "todo") == ["exp_0000.txt"]
+        assert campaign.claim("w0") is None
+
+    def test_threaded_claim_storm_is_disjoint(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=9)
+        campaign.publish(runner, generator.batch(12))
+        claims: dict[str, list[str]] = {}
+
+        def drain(worker_id):
+            mine = claims.setdefault(worker_id, [])
+            view = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+            while True:
+                got = view.claim(worker_id)
+                if got is None:
+                    return
+                mine.append(os.path.basename(got).split("_", 1)[1])
+
+        threads = [threading.Thread(target=drain, args=(f"w{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [name for mine in claims.values() for name in mine]
+        assert sorted(winners) == [f"exp_{i:04d}.txt" for i in range(12)]
+        assert not os.listdir(tmp_path / "todo")
+
+    def test_stale_claim_is_recovered_once(self, tmp_path, runner):
+        clock = {"now": 1000.0}
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny",
+                                     stale_claim_seconds=600.0,
+                                     clock=lambda: clock["now"])
+        generator = SEUGenerator(runner.golden.profile, seed=10)
+        campaign.publish(runner, generator.batch(1))
+        assert campaign.claim("w0") is not None
+        # Fresh claim, no result: nothing to steal yet.
+        assert campaign.claim("w1") is None
+        # The claimant "crashes"; after the timeout another workstation
+        # recovers the experiment and re-claims it.
+        clock["now"] += 601.0
+        stolen = campaign.claim("w1")
+        assert stolen is not None
+        assert os.path.basename(stolen) == "w1_exp_0000.txt"
+        entry = json.loads(
+            (tmp_path / "claims" / "exp_0000.txt.claim").read_text())
+        assert entry["worker"] == "w1"
+        assert not (tmp_path / "claimed" / "w0_exp_0000.txt").exists()
+        # The queue is drained while w1's claim is fresh.
+        assert campaign.claim("w2") is None
+
+    def test_finished_experiments_are_never_stolen(self, tmp_path,
+                                                   runner):
+        clock = {"now": 1000.0}
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny",
+                                     stale_claim_seconds=600.0,
+                                     clock=lambda: clock["now"])
+        generator = SEUGenerator(runner.golden.profile, seed=11)
+        campaign.publish(runner, generator.batch(1))
+        assert campaign.claim("w0") is not None
+        (tmp_path / "results" / "exp_0000.json").write_text(
+            json.dumps({"outcome": "correct"}))
+        clock["now"] += 10_000.0
+        assert campaign.claim("w1") is None
+        entry = json.loads(
+            (tmp_path / "claims" / "exp_0000.txt.claim").read_text())
+        assert entry["worker"] == "w0"
 
     @pytest.mark.slow
     def test_multiprocess_workers_drain_queue(self, tmp_path, runner):
