@@ -23,7 +23,6 @@ from ..core.fault import (
     BehaviorKind,
     Fault,
     LocationKind,
-    Stage,
     TimeMode,
 )
 

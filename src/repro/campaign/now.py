@@ -29,8 +29,10 @@ import time
 from dataclasses import dataclass
 
 from ..core.parser import parse_fault_file, render_fault_file
-from .classify import Outcome
-from .runner import CampaignRunner, ExperimentResult
+from ..telemetry.campaign import (HEARTBEAT_DIR, MANIFEST_DIR,
+                                  git_describe, run_manifest,
+                                  write_heartbeat)
+from .runner import CampaignRunner
 
 
 @dataclass
@@ -82,6 +84,8 @@ class SharedDirCampaign:
           todo/exp_NNNN.txt       per-experiment fault input files
           claimed/exp_NNNN.txt    moved here atomically when claimed
           results/exp_NNNN.json   outcome records written by workers
+          heartbeats/<ws>.json    worker liveness beacons (telemetry)
+          manifests/exp_NNNN.json per-run manifests: who ran what, when
     """
 
     def __init__(self, share_dir: str, workload_name: str,
@@ -93,17 +97,18 @@ class SharedDirCampaign:
         self.scale = scale
         self.stale_claim_seconds = stale_claim_seconds
         self._clock = clock
-        for sub in ("todo", "claimed", "results", "claims"):
+        for sub in ("todo", "claimed", "results", "claims",
+                    HEARTBEAT_DIR, MANIFEST_DIR):
             os.makedirs(os.path.join(share_dir, sub), exist_ok=True)
 
     # step 1+2: the coordinator publishes experiments and the checkpoint.
 
     def publish(self, runner: CampaignRunner,
-                fault_sets: list) -> None:
+                fault_sets: list, seed: int | None = None) -> None:
         with open(os.path.join(self.share_dir, "workload.json"), "w",
                   encoding="utf-8") as handle:
-            json.dump({"name": self.workload_name, "scale": self.scale},
-                      handle)
+            json.dump({"name": self.workload_name, "scale": self.scale,
+                       "seed": seed}, handle)
         if runner.golden.checkpoint is not None:
             with open(os.path.join(self.share_dir, "checkpoint.bin"),
                       "wb") as handle:
@@ -225,19 +230,50 @@ class SharedDirCampaign:
     def worker_loop(self, worker_id: str,
                     runner: CampaignRunner) -> int:
         completed = 0
+        seed = self._published_seed()
+        git_rev = git_describe()
+        write_heartbeat(self.share_dir, worker_id, completed,
+                        clock=self._clock)
         while True:
             claimed = self.claim(worker_id)
             if claimed is None:
+                write_heartbeat(self.share_dir, worker_id, completed,
+                                clock=self._clock)
                 return completed
             with open(claimed, "r", encoding="utf-8") as handle:
-                faults = parse_fault_file(handle.read())
-            result = runner.run_experiment(faults)
+                fault_text = handle.read()
+            faults = parse_fault_file(fault_text)
+            started = self._clock()
+            result = runner.run_experiment(faults, seed=seed)
             experiment = os.path.basename(claimed).split("_", 1)[1]
             out = os.path.join(self.share_dir, "results",
                                experiment.replace(".txt", ".json"))
             with open(out, "w", encoding="utf-8") as handle:
                 json.dump(result.as_dict(), handle)
+            manifest = run_manifest(
+                experiment=experiment.replace(".txt", ""),
+                workload=self.workload_name, scale=self.scale,
+                fault_text=fault_text, seed=seed, worker=worker_id,
+                started=started, wall_seconds=result.wall_seconds,
+                outcome=result.outcome.value, git_rev=git_rev)
+            manifest_path = os.path.join(
+                self.share_dir, MANIFEST_DIR,
+                experiment.replace(".txt", ".json"))
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
             completed += 1
+            write_heartbeat(self.share_dir, worker_id, completed,
+                            clock=self._clock)
+
+    def _published_seed(self) -> int | None:
+        """The generator seed recorded by ``publish`` (None for
+        hand-authored fault queues or pre-telemetry shares)."""
+        path = os.path.join(self.share_dir, "workload.json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle).get("seed")
+        except (OSError, ValueError):
+            return None
 
     def collect(self) -> list[dict]:
         results_dir = os.path.join(self.share_dir, "results")

@@ -14,11 +14,12 @@ Implements the methodology of Section IV.B.1:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..compiler import compile_source
 from ..core.fault import Fault
 from ..core.injector import FaultInjector
+from ..core.parser import render_fault_file
 from ..sim.checkpoint import dumps_checkpoint, restore_checkpoint
 from ..sim.config import SimConfig
 from ..sim.simulator import Simulator
@@ -53,10 +54,20 @@ class ExperimentResult:
     # and whether it was predicted rather than simulated.
     weight: float = 1.0
     predicted: bool = False
+    # Provenance (repro.telemetry): what produced this result, so the
+    # campaign result JSON is self-describing and re-runnable — the
+    # workload name, the generator's RNG seed (None for hand-written
+    # fault files) and the complete fault input file of the experiment.
+    workload: str = ""
+    seed: int | None = None
+    fault_file: str = ""
 
     def as_dict(self) -> dict:
         return {
             "fault": self.fault.describe(),
+            "workload": self.workload,
+            "seed": self.seed,
+            "fault_file": self.fault_file,
             "outcome": self.outcome.value,
             "injected": self.injected,
             "propagated": self.propagated,
@@ -95,7 +106,8 @@ class CampaignRunner:
                  config: SimConfig | None = None,
                  use_checkpoint: bool = True,
                  detailed_model: str | None = None,
-                 watchdog_factor: float = 4.0) -> None:
+                 watchdog_factor: float = 4.0,
+                 bus=None) -> None:
         self.spec = spec
         self.config = config or SimConfig()
         self.use_checkpoint = use_checkpoint
@@ -104,9 +116,13 @@ class CampaignRunner:
         # configured model for the whole run.
         self.detailed_model = detailed_model
         self.watchdog_factor = watchdog_factor
+        # Optional repro.telemetry trace bus: experiment lifecycle events
+        # plus every simulator/injector event of each experiment run.
+        self.bus = bus
         self.asm = compile_source(spec.source)
         self._trace = None
         self._liveness = None
+        self._experiment_index = 0
         self.golden = self._golden_run()
         spec.golden_instructions = self.golden.profile.committed
 
@@ -157,10 +173,16 @@ class CampaignRunner:
 
     # -- experiment phase ----------------------------------------------------------
 
-    def run_experiment(self, faults: list[Fault] | Fault
-                       ) -> ExperimentResult:
+    def run_experiment(self, faults: list[Fault] | Fault,
+                       seed: int | None = None) -> ExperimentResult:
         if isinstance(faults, Fault):
             faults = [faults]
+        index = self._experiment_index
+        self._experiment_index += 1
+        if self.bus is not None:
+            self.bus.emit("experiment_start", tick=0,
+                          experiment=index, workload=self.spec.name,
+                          faults=[f.describe() for f in faults])
         start = time.perf_counter()
         sim = self._fresh_simulator(faults)
         start_instructions = sim.instructions
@@ -175,6 +197,12 @@ class CampaignRunner:
         fault = faults[0]
         window = max(1, self.golden.profile.count_for(fault.location))
         first = injector.records[0] if injector.records else None
+        if self.bus is not None:
+            self.bus.emit("experiment_end", tick=sim.tick,
+                          experiment=index, workload=self.spec.name,
+                          outcome=outcome.value,
+                          injected=bool(injector.records),
+                          wall_seconds=wall)
         return ExperimentResult(
             fault=fault,
             outcome=outcome,
@@ -191,13 +219,16 @@ class CampaignRunner:
             injection_detail=(first.detail if first is not None else ""),
             injection_before=(first.before if first is not None
                               else None),
+            workload=self.spec.name,
+            seed=seed,
+            fault_file=render_fault_file(faults),
         )
 
-    def run_campaign(self, fault_sets, progress=None
-                     ) -> list[ExperimentResult]:
+    def run_campaign(self, fault_sets, progress=None,
+                     seed: int | None = None) -> list[ExperimentResult]:
         results = []
         for index, faults in enumerate(fault_sets):
-            results.append(self.run_experiment(faults))
+            results.append(self.run_experiment(faults, seed=seed))
             if progress is not None:
                 progress(index + 1, len(fault_sets))
         return results
@@ -241,7 +272,8 @@ class CampaignRunner:
         return PrunedGenerator(base, self.liveness())
 
     def run_pruned(self, plan, progress=None,
-                   per_member: bool = False):
+                   per_member: bool = False,
+                   seed: int | None = None):
         """Execute a :class:`~repro.campaign.generator.PrunedPlan`:
         simulate one representative per equivalence class, then
         re-expand to the full estimator (weighted, or per-member exact
@@ -249,7 +281,8 @@ class CampaignRunner:
         from .results import expand_pruned
         run_results = []
         for index, planned in enumerate(plan.runs):
-            run_results.append(self.run_experiment(planned.fault))
+            run_results.append(self.run_experiment(planned.fault,
+                                                   seed=seed))
             if progress is not None:
                 progress(index + 1, len(plan.runs))
         window = max(1, self.golden.profile.committed)
@@ -265,12 +298,13 @@ class CampaignRunner:
                 config_override = self._detailed_config()
             sim = restore_checkpoint(self.golden.checkpoint,
                                      faults=faults,
-                                     config_override=config_override)
+                                     config_override=config_override,
+                                     bus=self.bus)
             return sim
         config = (self._detailed_config()
                   if self.detailed_model is not None else self.config)
         injector = FaultInjector(faults)
-        sim = Simulator(config, injector=injector)
+        sim = Simulator(config, injector=injector, bus=self.bus)
         sim.load(self.asm, self.spec.name)
         return sim
 

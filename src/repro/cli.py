@@ -10,6 +10,12 @@ command line, run, and inspect the postmortem report / statistics.
     gemfi workloads
     gemfi sample-size --confidence 0.99 --margin 0.01
 
+Observability surfaces (repro.telemetry):
+
+    gemfi trace app.mc --fault-file faults.txt --trace-file run.jsonl
+    gemfi status /mnt/share/campaign
+    gemfi stats-diff golden.txt faulty.txt
+
 (`python -m repro ...` works identically.)
 """
 
@@ -151,6 +157,85 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one program with the trace bus attached and stream (or ring-
+    buffer) the JSONL lifecycle events."""
+    from .telemetry import JsonlFileSink, RingBufferSink, TraceBus
+
+    faults = []
+    if args.fault_file:
+        with open(args.fault_file, "r", encoding="utf-8") as handle:
+            faults.extend(parse_fault_file(handle.read()))
+    for line in args.fault or ():
+        faults.extend(parse_fault_file(line))
+
+    bus = TraceBus()
+    ring = None
+    sink = None
+    if args.ring:
+        ring = RingBufferSink(capacity=args.ring)
+        bus.attach(ring)
+    else:
+        sink = JsonlFileSink(args.trace_file if args.trace_file
+                             else sys.stdout)
+        bus.attach(sink)
+
+    injector = FaultInjector(faults)
+    config = SimConfig(cpu_model=args.cpu)
+    sim = Simulator(config, injector=injector, bus=bus)
+    # The injector parsed its faults before the bus existed; report the
+    # armed configuration at the head of the trace.
+    for fault in faults:
+        bus.emit("fault_armed", fault=fault.describe())
+    sim.load(_load_program(args.program), "app")
+    result = sim.run(max_instructions=args.max_instructions)
+    bus.close()
+
+    if ring is not None:
+        print(ring.dump_jsonl(), end="")
+        if ring.dropped:
+            print(f"# ring buffer dropped {ring.dropped} older events",
+                  file=sys.stderr)
+    events = (ring.dropped + len(ring.events)) if ring is not None \
+        else sink.count
+    process = sim.process(0)
+    print(f"# status={result.status} process={process.state.value} "
+          f"events={events}", file=sys.stderr)
+    return 0 if process.state.value == "exited" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Live status of a shared-directory campaign."""
+    from .telemetry import read_status, render_status
+    status = read_status(args.share_dir,
+                         stale_claim_seconds=args.stale_seconds,
+                         heartbeat_timeout=args.heartbeat_timeout)
+    if args.json:
+        import json
+        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def cmd_stats_diff(args: argparse.Namespace) -> int:
+    """Section IV.A validation: diff two stats dumps."""
+    from .telemetry import diff_stats
+    with open(args.a, "r", encoding="utf-8") as handle:
+        a_text = handle.read()
+    with open(args.b, "r", encoding="utf-8") as handle:
+        b_text = handle.read()
+    differences = diff_stats(a_text, b_text)
+    if not differences:
+        print(f"0 differences: {args.a} and {args.b} are statistically "
+              f"identical")
+        return 0
+    for line in differences:
+        print(line)
+    print(f"{len(differences)} differences")
+    return 1
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for name in WORKLOAD_NAMES:
         spec = build(name, "small")
@@ -225,6 +310,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pin the fault location (e.g. pc, fetch, "
                             "int_reg)")
     ana_p.set_defaults(func=cmd_analyze)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one program with the structured trace bus attached")
+    trace_p.add_argument("program",
+                         help="MiniC source (.mc/.py) or assembly (.s)")
+    trace_p.add_argument("--fault-file", "-f",
+                         help="Listing-1 style fault input file")
+    trace_p.add_argument("--fault", action="append",
+                         help="inline fault description (repeatable)")
+    trace_p.add_argument("--cpu", default="atomic",
+                         choices=("atomic", "timing", "inorder", "o3"))
+    trace_p.add_argument("--max-instructions", type=int,
+                         default=50_000_000)
+    trace_p.add_argument("--trace-file", "-o",
+                         help="write JSONL events here instead of stdout")
+    trace_p.add_argument("--ring", type=int, default=0,
+                         help="keep only the last N events (crash "
+                              "post-mortem mode)")
+    trace_p.set_defaults(func=cmd_trace)
+
+    status_p = sub.add_parser(
+        "status",
+        help="live status of a shared-directory (NoW) campaign")
+    status_p.add_argument("share_dir",
+                          help="the campaign share directory")
+    status_p.add_argument("--stale-seconds", type=float, default=600.0,
+                          help="claims older than this with no result "
+                               "count as stale")
+    status_p.add_argument("--heartbeat-timeout", type=float,
+                          default=120.0,
+                          help="workers silent longer than this are "
+                               "not counted live")
+    status_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    status_p.set_defaults(func=cmd_status)
+
+    diff_p = sub.add_parser(
+        "stats-diff",
+        help="diff two stats dumps (Section IV.A validation)")
+    diff_p.add_argument("a", help="baseline stats dump")
+    diff_p.add_argument("b", help="comparison stats dump")
+    diff_p.set_defaults(func=cmd_stats_diff)
 
     list_p = sub.add_parser("workloads",
                             help="list the paper's benchmarks")

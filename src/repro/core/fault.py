@@ -17,7 +17,7 @@ Section III.A of the paper characterises every fault by four attributes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 
@@ -178,6 +178,12 @@ class InjectionRecord:
     # program end (treated as not propagated, like the paper's dead
     # register example).
     propagated: bool | None = None
+    # Tick at which the propagated/masked verdict was reached: equal to
+    # ``tick`` for stages that resolve at injection time, later for
+    # register faults whose watch resolves on first read/overwrite.
+    # ``resolved_tick - tick`` is the injection-to-first-divergence
+    # latency dumped by repro.sim.stats.
+    resolved_tick: int | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -190,4 +196,5 @@ class InjectionRecord:
             "before": self.before,
             "after": self.after,
             "propagated": self.propagated,
+            "resolved_tick": self.resolved_tick,
         }

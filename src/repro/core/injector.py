@@ -65,6 +65,11 @@ class FaultInjector:
         # per-stage hot flags.
         self.tracer = None
         self.trace_hot = False
+        # Optional structured trace bus (repro.telemetry).  None means
+        # telemetry off; the hooks below only test the pointer on the
+        # rare events (injection, window toggles), never per
+        # instruction, preserving the Fig. 7 overhead property.
+        self.bus = None
         # Completed fi_activate..fi_activate windows, recorded on
         # deactivation; campaigns profile these to learn how many
         # instructions the region of interest executes.
@@ -121,6 +126,9 @@ class FaultInjector:
         right after :meth:`reset` to install the next experiment)."""
         self.queues = FaultQueues(list(faults))
         self.refresh_hot_flags()
+        if self.bus is not None:
+            for fault in faults:
+                self.bus.emit("fault_armed", fault=fault.describe())
 
     # -- def-use trace recording (repro.analysis) -------------------------------
 
@@ -161,15 +169,23 @@ class FaultInjector:
             # +1 excludes the fi_activate_inst instruction itself, which
             # commits right after this handler runs.
             thread.base_committed = core.committed + 1
+            if self.bus is not None:
+                self.bus.emit("fi_window_open", thread_id=thread_id)
         elif existing is not None:
             existing.settle(core.committed)
-            self.windows.append({
+            window = {
                 "thread_id": existing.thread_id,
                 "committed": existing.committed,
                 "ticks": self.clock() - existing.activation_tick,
                 "stage_counts": {s.value: c for s, c
                                  in existing.stage_counts.items()},
-            })
+            }
+            self.windows.append(window)
+            if self.bus is not None:
+                self.bus.emit("fi_window_close",
+                              thread_id=existing.thread_id,
+                              committed=window["committed"],
+                              ticks=window["ticks"])
         return thread is not None
 
     def handle_fi_read_init(self, core) -> None:
@@ -208,6 +224,7 @@ class FaultInjector:
                 asm=disasm.disassemble_word(before, pc),
                 detail="fetched instruction word")
             record.propagated = not same_semantics(before, word)
+            self._resolve(record)
         if queue.empty:
             self.hot_fetch = False
             self.frontend_hot = (self.hot_decode or self.has_watches)
@@ -240,6 +257,7 @@ class FaultInjector:
                 detail=f"decode {fault.operand_role} selection "
                        f"'{attr}' {before} -> {after}")
             record.propagated = before != after
+            self._resolve(record)
         if queue.empty:
             self.hot_decode = False
             self.frontend_hot = (self.hot_fetch or self.has_watches)
@@ -259,6 +277,7 @@ class FaultInjector:
                                   asm=disasm.disassemble(decoded, pc),
                                   detail=what)
             record.propagated = before != result
+            self._resolve(record)
         if queue.empty:
             self.hot_execute = False
         return result
@@ -277,6 +296,7 @@ class FaultInjector:
                                   detail="loaded value" if is_load
                                          else "stored value")
             record.propagated = before != value
+            self._resolve(record)
         if queue.empty:
             self.hot_mem = False
         return value
@@ -316,8 +336,10 @@ class FaultInjector:
                                   asm="", detail=detail)
             if fault.location is LocationKind.PC:
                 record.propagated = True
+                self._resolve(record)
             elif before == after:
                 record.propagated = False
+                self._resolve(record)
             else:
                 cls = ("int" if fault.location is LocationKind.INT_REG
                        else "fp")
@@ -351,6 +373,7 @@ class FaultInjector:
                 record.propagated = False
             else:
                 continue
+            self._resolve(record)
             del self._watches[key]
         self.has_watches = bool(self._watches)
         if not self.has_watches:
@@ -363,4 +386,20 @@ class FaultInjector:
             fault=fault, tick=self.clock(), instruction_count=count,
             pc=pc, asm=asm, detail=detail, before=before, after=after)
         self.records.append(record)
+        if self.bus is not None:
+            self.bus.emit(
+                "fault_injected", tick=record.tick,
+                fault=fault.describe(), pc=pc, detail=detail,
+                instruction_count=count, before=before, after=after)
         return record
+
+    def _resolve(self, record: InjectionRecord) -> None:
+        """A record's propagated/masked verdict just became known:
+        stamp the divergence-resolution tick and publish the event."""
+        record.resolved_tick = self.clock()
+        if self.bus is not None:
+            self.bus.emit(
+                "fault_propagated" if record.propagated
+                else "fault_masked",
+                fault=record.fault.describe(), pc=record.pc,
+                injected_tick=record.tick)

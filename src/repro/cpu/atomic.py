@@ -25,6 +25,9 @@ class AtomicSimpleCPU:
 
     def drain(self) -> None:
         """No internal state to flush (model-switch support)."""
+        bus = self.core.bus
+        if bus is not None:
+            bus.emit("cpu_drain", model=self.model_name)
 
     def snapshot(self) -> dict:
         return {}

@@ -24,7 +24,6 @@ from ..isa.instructions import (
     KIND_CMOV,
     KIND_FBRANCH,
     KIND_FCMOV,
-    KIND_FI,
     KIND_FLOAD,
     KIND_FPALU,
     KIND_FSTORE,
@@ -87,6 +86,10 @@ class Core:
         self.arch = ArchState()
         self.pcb_addr = 0
         self.fi_thread = None
+        # Structured trace bus (repro.telemetry); None = telemetry off.
+        # Tested only on rare paths (syscalls, drains), never in the
+        # per-instruction flow.
+        self.bus = None
         # Ablation mode (SimConfig.fi_hash_lookup_per_instruction):
         # consult the PCB hash table every instruction instead of
         # relying on the context-switch-maintained pointer.
@@ -282,6 +285,9 @@ class Core:
             if d.func == PAL_HALT:
                 raise HaltRequest("halt instruction", pc=pc)
             if d.func == PAL_CALLSYS:
+                if self.bus is not None:
+                    self.bus.emit("syscall", pc=pc,
+                                  number=intregs.read(0))
                 self.system.syscall(self)
                 return StepResult(ticks, next_pc=next_pc)
             # IMB: memory barrier, a no-op in this memory model.

@@ -68,6 +68,9 @@ class InOrderCPU:
 
     def drain(self) -> None:
         self._pending_load_dests.clear()
+        bus = self.core.bus
+        if bus is not None:
+            bus.emit("cpu_drain", model=self.model_name)
 
     def snapshot(self) -> dict:
         return {"pending": sorted(self._pending_load_dests)}

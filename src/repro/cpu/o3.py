@@ -217,6 +217,7 @@ class O3CPU:
         return False
 
     def _redirect(self, target: int, penalty: int) -> None:
+        self._note_squash(len(self.rob), "mispredict")
         self.squashed_instructions += len(self.rob)
         self.rob.clear()
         self.fetch_pc = target & MASK64
@@ -226,10 +227,19 @@ class O3CPU:
     def squash(self) -> None:
         """Flush every speculative instruction and refetch from the
         architectural PC (used for PC-fault redirects and model switch)."""
+        self._note_squash(len(self.rob), "flush")
         self.squashed_instructions += len(self.rob)
         self.rob.clear()
         self.fetch_pc = None
         self.fetch_blocked = False
+
+    def _note_squash(self, count: int, reason: str) -> None:
+        if count == 0:
+            return
+        bus = self.core.bus
+        if bus is not None:
+            bus.emit("cpu_squash", model=self.model_name,
+                     squashed=count, reason=reason)
 
     def drain(self) -> None:
         """Flush speculative state before a model switch or preemption.
@@ -248,6 +258,9 @@ class O3CPU:
             inj = core.injector if fi_thread is not None else None
             self.cycle = max(self.cycle, entry.complete)
             self._retire(entry, entry.result, inj, fi_thread)
+        bus = self.core.bus
+        if bus is not None:
+            bus.emit("cpu_drain", model=self.model_name)
         self.squash()
 
     # -- checkpoint -------------------------------------------------------------------

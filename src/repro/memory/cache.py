@@ -9,7 +9,7 @@ single-core configurations the paper evaluates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

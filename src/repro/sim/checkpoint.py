@@ -62,15 +62,17 @@ def dumps_checkpoint(sim: Simulator) -> bytes:
 
 
 def restore_checkpoint(source, faults: list[Fault] | None = None,
-                       config_override: SimConfig | None = None
-                       ) -> Simulator:
+                       config_override: SimConfig | None = None,
+                       bus=None) -> Simulator:
     """Rebuild a simulator from a checkpoint.
 
     ``source`` is a path or a bytes blob.  ``faults`` installs a fresh
     fault configuration (the per-experiment input file); the injector is
     always reset, matching ``fi_read_init_all`` semantics.
     ``config_override`` lets campaigns restore into a different CPU model
-    (e.g. the detailed O3 model for the injection window).
+    (e.g. the detailed O3 model for the injection window).  ``bus``
+    attaches a :class:`~repro.telemetry.TraceBus` to the restored
+    platform and reports the restore on it.
     """
     if isinstance(source, (bytes, bytearray)):
         state = pickle.loads(bytes(source))
@@ -110,4 +112,11 @@ def restore_checkpoint(source, faults: list[Fault] | None = None,
         current = sim.system.processes[sim.system.current_pid]
         sim.core.pcb_addr = current.pcb_addr
     sim.core.fi_thread = None
+    if bus is not None:
+        sim.attach_bus(bus)
+        bus.emit("checkpoint_restore", tick=sim.tick,
+                 instructions=sim.instructions,
+                 faults=len(faults or []))
+        for fault in faults or []:
+            bus.emit("fault_armed", fault=fault.describe())
     return sim

@@ -44,7 +44,8 @@ class Simulator:
     """A complete simulated machine."""
 
     def __init__(self, config: SimConfig | None = None,
-                 injector: FaultInjector | None = None) -> None:
+                 injector: FaultInjector | None = None,
+                 bus=None) -> None:
         self.config = config or SimConfig()
         self.tick = 0
         self.instructions = 0
@@ -70,6 +71,23 @@ class Simulator:
         self._quantum_counter = 0
         # Kept so checkpoints can re-create processes: pid -> (asm, name).
         self.program_sources: dict[int, tuple[str, str]] = {}
+        # Structured trace bus (repro.telemetry); None = telemetry off.
+        self.bus = None
+        if bus is not None:
+            self.attach_bus(bus)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def attach_bus(self, bus) -> None:
+        """Wire a :class:`~repro.telemetry.TraceBus` through the
+        platform: the simulator, the core (syscall events), the CPU
+        model (drain/squash events) and the injector (fault lifecycle)
+        all share the one bus, clocked by the global tick."""
+        self.bus = bus
+        bus.clock = lambda: self.tick
+        self.core.bus = bus
+        if self.injector is not None:
+            self.injector.bus = bus
 
     # -- program loading -----------------------------------------------------------
 
@@ -105,6 +123,9 @@ class Simulator:
                 ticks, committed = self.cpu.step()
             except ProcessExited as exited:
                 self.cpu.drain()
+                if self.bus is not None:
+                    self.bus.emit("process_exit", pid=exited.pid,
+                                  code=exited.code)
                 system.on_exit(core, exited)
                 if not system.any_alive:
                     status = "completed"
@@ -127,10 +148,18 @@ class Simulator:
                     break
                 continue
             except HaltRequest:
+                if self.bus is not None:
+                    self.bus.emit("halt", pc=core.arch.pc)
                 status = "halted"
                 break
             except SimTrap as trap:
                 self.cpu.drain()
+                if self.bus is not None:
+                    self.bus.emit(
+                        "trap", trap=type(trap).__name__,
+                        reason=str(trap), pid=system.current_pid,
+                        pc=trap.pc if trap.pc is not None
+                        else core.arch.pc)
                 system.on_crash(core, trap)
                 if not system.any_alive:
                     status = "completed"
@@ -176,6 +205,9 @@ class Simulator:
             self._switched_to_atomic = model_name == "atomic"
             return
         self.cpu.drain()
+        if self.bus is not None:
+            self.bus.emit("model_switch", old=self.cpu.model_name,
+                          new=model_name)
         self.cpu = CPU_MODELS[model_name](self.core)
         if model_name == "atomic":
             self._switched_to_atomic = True
@@ -192,6 +224,9 @@ class Simulator:
             self.checkpoint_taken = True
         # With no checkpoint sink configured the request is a no-op, like
         # running the binary outside a campaign.
+        if self.checkpoint_taken and self.bus is not None:
+            self.bus.emit("checkpoint_save",
+                          instructions=self.instructions)
 
     # -- convenience accessors -------------------------------------------------------------------
 

@@ -2,48 +2,106 @@
 
 The validation methodology of Section IV.A compares both the application
 output *and* "the statistical results provided by the simulator" between
-GemFI (faults configured off) and unmodified gem5.  :func:`collect`
-gathers every counter of the simulated platform; :func:`dump` renders
-them in the sorted ``name value`` format of gem5's stats.txt so dumps can
-be diffed directly.
+GemFI (faults configured off) and unmodified gem5.  :func:`build_registry`
+gathers every counter of the simulated platform into a
+:class:`~repro.telemetry.metrics.MetricsRegistry`; :func:`dump` renders
+it in the sorted ``name value`` format of gem5's stats.txt so dumps can
+be diffed directly (``gemfi stats-diff``).
+
+Uniformity guarantee: every CPU model emits the same counter set for the
+same program — branch-predictor, squash and ROB counters are reported as
+zero by models that do not implement them — so dumps are line-diffable
+*across* models, not just across runs.  Injection statistics
+(per-stage counts, injection-to-first-divergence latency) appear only
+once a fault has actually fired: a GemFI run with faults configured off
+dumps byte-identically to an unmodified-simulator run, which is exactly
+the Section IV.A validation property.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from ..telemetry.metrics import MetricsRegistry
 
-def collect(sim) -> dict[str, Any]:
-    """Gather all statistics of a simulator into a flat dict."""
-    stats: dict[str, Any] = {
-        "sim.ticks": sim.tick,
-        "sim.instructions": sim.instructions,
-        "system.context_switches": sim.system.context_switches,
-    }
+
+def build_registry(sim) -> MetricsRegistry:
+    """Assemble the statistics registry of a simulated platform."""
+    registry = MetricsRegistry()
+    registry.set("sim.ticks", sim.tick)
+    registry.set("sim.instructions", sim.instructions)
+    registry.set("system.context_switches",
+                 sim.system.context_switches)
+
     core = sim.core
-    stats[f"{core.name}.committed"] = core.committed
+    cpu = sim.cpu
+    scope = registry.scope(core.name)
+    scope.set("committed", core.committed)
+    # Uniform micro-architectural counters: models without the feature
+    # report zero instead of omitting the line.
+    predictor = getattr(cpu, "predictor", None)
+    scope.set("bp.lookups",
+              predictor.lookups if predictor is not None else 0)
+    scope.set("bp.mispredicts",
+              predictor.mispredicts if predictor is not None else 0)
+    scope.set("squashed", getattr(cpu, "squashed_instructions", 0))
+    scope.set("rob.occupancy_hwm", getattr(cpu, "rob_hwm", 0))
+    scope.set("rob.rename_stalls", getattr(cpu, "rename_stalls", 0))
+    scope.formula(
+        "ipc",
+        lambda reg: (reg.get(f"{core.name}.committed") /
+                     reg.get("sim.ticks")) if sim.tick else 0.0)
+
     for level_name, level in (("l1i", sim.hierarchy.l1i),
                               ("l1d", sim.hierarchy.l1d),
                               ("l2", sim.hierarchy.l2)):
+        cache_scope = scope.scope(level_name)
         for key, value in level.stats.as_dict().items():
-            stats[f"{core.name}.{level_name}.{key}"] = value
-    cpu = sim.cpu
-    if hasattr(cpu, "predictor"):
-        stats[f"{core.name}.bp.lookups"] = cpu.predictor.lookups
-        stats[f"{core.name}.bp.mispredicts"] = cpu.predictor.mispredicts
-    if hasattr(cpu, "squashed_instructions"):
-        stats[f"{core.name}.squashed"] = cpu.squashed_instructions
-    if hasattr(cpu, "rob_hwm"):
-        stats[f"{core.name}.rob.occupancy_hwm"] = cpu.rob_hwm
-        stats[f"{core.name}.rob.rename_stalls"] = cpu.rename_stalls
+            cache_scope.set(key, value)
+
     for pid, process in sorted(sim.system.processes.items()):
-        stats[f"process.{pid}.state"] = process.state.value
-        stats[f"process.{pid}.instructions"] = process.instructions
-    return stats
+        proc_scope = registry.scope(f"process.{pid}")
+        proc_scope.set("state", process.state.value)
+        proc_scope.set("instructions", process.instructions)
+
+    _fault_injection_stats(sim, registry)
+    return registry
+
+
+def _fault_injection_stats(sim, registry: MetricsRegistry) -> None:
+    """Injection statistics, present only once a fault has fired.
+
+    Emitting nothing for injection-free runs keeps a GemFI-attached,
+    faults-off dump byte-identical to an unmodified run (Section IV.A).
+    When faults did fire, the counter set is uniform: every stage line
+    is present even at zero, so campaigns can diff dumps across
+    experiments hitting different stages.
+    """
+    injector = getattr(sim, "injector", None)
+    if injector is None or not injector.records:
+        return
+    fi = registry.scope("fi")
+    stage_counts = {stage: 0 for stage in
+                    ("fetch", "decode", "execute", "mem", "regfile")}
+    latency = fi.distribution("divergence_latency")
+    propagated = 0
+    for record in injector.records:
+        stage_counts[record.fault.stage.value] += 1
+        if record.propagated:
+            propagated += 1
+            if record.resolved_tick is not None:
+                latency.record(record.resolved_tick - record.tick)
+    for stage, count in stage_counts.items():
+        fi.set(f"injections.{stage}", count)
+    fi.set("injections.total", len(injector.records))
+    fi.set("propagated", propagated)
+
+
+def collect(sim) -> dict[str, Any]:
+    """Gather all statistics of a simulator into a flat dict."""
+    return build_registry(sim).as_flat_dict()
 
 
 def dump(sim) -> str:
     """Render statistics as sorted ``name value`` lines (stats.txt)."""
-    lines = [f"{name} {value}" for name, value in
-             sorted(collect(sim).items())]
-    return "\n".join(lines) + "\n"
+    return build_registry(sim).dump()

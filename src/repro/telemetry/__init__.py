@@ -1,0 +1,54 @@
+"""Structured tracing, metrics registry and campaign observability.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`~repro.telemetry.metrics` — gem5-style statistics types
+  (:class:`Counter`, :class:`Distribution`, :class:`Histogram`,
+  :class:`Formula`) under a hierarchical :class:`MetricsRegistry`;
+* :mod:`~repro.telemetry.events` / :mod:`~repro.telemetry.sinks` — the
+  JSONL trace bus with ring-buffer and file sinks, zero-overhead when
+  no bus is attached;
+* :mod:`~repro.telemetry.campaign` — run manifests, worker heartbeats
+  and live campaign status over a shared-directory campaign.
+"""
+
+from .campaign import (
+    CampaignStatus,
+    campaign_metrics,
+    diff_stats,
+    git_describe,
+    parse_stats,
+    read_heartbeats,
+    read_status,
+    render_status,
+    run_manifest,
+    write_heartbeat,
+)
+from .events import (
+    EVENT_KINDS,
+    TraceBus,
+    TraceEvent,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+from .metrics import (
+    Counter,
+    Distribution,
+    Formula,
+    Histogram,
+    MetricsRegistry,
+    Scalar,
+    Scope,
+    format_value,
+)
+from .sinks import JsonlFileSink, ListSink, RingBufferSink, read_jsonl
+
+__all__ = [
+    "CampaignStatus", "Counter", "Distribution", "EVENT_KINDS",
+    "Formula", "Histogram", "JsonlFileSink", "ListSink",
+    "MetricsRegistry", "RingBufferSink", "Scalar", "Scope", "TraceBus",
+    "TraceEvent", "campaign_metrics", "diff_stats", "events_from_jsonl",
+    "events_to_jsonl", "format_value", "git_describe", "parse_stats",
+    "read_heartbeats", "read_jsonl", "read_status", "render_status",
+    "run_manifest", "write_heartbeat",
+]

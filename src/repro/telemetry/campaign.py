@@ -1,0 +1,332 @@
+"""Campaign-level observability: manifests, heartbeats, live status.
+
+FINJ-style campaign monitoring over the :class:`~repro.campaign.now.
+SharedDirCampaign` share directory.  Everything here works purely from
+the files on the share — a coordinator (or a human with ``gemfi status``)
+can watch a campaign from any machine that mounts it, without talking to
+the workers:
+
+* **run manifests** — one JSON document per experiment recording the
+  seed, fault specification, workload, code revision and timings, so a
+  result set is self-describing and any single experiment re-runnable;
+* **worker heartbeats** — small JSON files refreshed by each worker next
+  to the claim files; a worker whose heartbeat stops aging is alive,
+  one that stops refreshing is presumed dead (its claims are recovered
+  by the stale-claim protocol);
+* **status aggregation** — todo/claimed/completed/stale counts, outcome
+  mix, throughput and ETA.
+
+Also hosts :func:`diff_stats`, the Section IV.A validation diff ("the
+statistical results provided by the simulator" must match) as a library
+function behind ``gemfi stats-diff``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+
+HEARTBEAT_DIR = "heartbeats"
+MANIFEST_DIR = "manifests"
+
+
+# -- code revision -----------------------------------------------------------
+
+
+def git_describe(cwd: str | None = None) -> str | None:
+    """``git describe --always --dirty`` of the running tree, or None
+    when not in a repository (campaign results stay self-describing
+    even for installed copies)."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def run_manifest(*, experiment: str, workload: str, scale: str,
+                 fault_text: str, seed: int | None = None,
+                 worker: str | None = None,
+                 started: float | None = None,
+                 wall_seconds: float | None = None,
+                 outcome: str | None = None,
+                 git_rev: str | None = None,
+                 extra: dict | None = None) -> dict:
+    """Build one experiment's run manifest (FINJ-style workload record)."""
+    manifest = {
+        "experiment": experiment,
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "fault_file": fault_text,
+        "worker": worker,
+        "pid": os.getpid(),
+        "git": git_rev if git_rev is not None else git_describe(),
+        "started": started,
+        "wall_seconds": wall_seconds,
+        "outcome": outcome,
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+# -- heartbeats --------------------------------------------------------------
+
+
+def write_heartbeat(share_dir: str, worker_id: str, completed: int,
+                    clock=time.time) -> str:
+    """Atomically refresh *worker_id*'s heartbeat file on the share."""
+    directory = os.path.join(share_dir, HEARTBEAT_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{worker_id}.json")
+    payload = {"worker": worker_id, "pid": os.getpid(),
+               "time": clock(), "completed": completed}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+    return path
+
+
+def read_heartbeats(share_dir: str) -> dict[str, dict]:
+    directory = os.path.join(share_dir, HEARTBEAT_DIR)
+    if not os.path.isdir(directory):
+        return {}
+    beats: dict[str, dict] = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name), "r",
+                      encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            continue  # mid-write; the next refresh will be readable
+        beats[entry.get("worker", name[:-len(".json")])] = entry
+    return beats
+
+
+# -- live campaign status ----------------------------------------------------
+
+
+@dataclass
+class CampaignStatus:
+    """A point-in-time snapshot of a shared-directory campaign."""
+
+    todo: int = 0
+    claimed: int = 0
+    completed: int = 0
+    stale: int = 0
+    outcomes: dict[str, int] = field(default_factory=dict)
+    workers: dict[str, dict] = field(default_factory=dict)
+    live_workers: int = 0
+    rate_per_second: float = 0.0
+    eta_seconds: float | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.todo + self.claimed + self.completed
+
+    @property
+    def done_fraction(self) -> float:
+        total = self.total
+        return self.completed / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "todo": self.todo, "claimed": self.claimed,
+            "completed": self.completed, "stale": self.stale,
+            "total": self.total, "outcomes": dict(self.outcomes),
+            "live_workers": self.live_workers,
+            "rate_per_second": self.rate_per_second,
+            "eta_seconds": self.eta_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
+                heartbeat_timeout: float = 120.0,
+                clock=time.time) -> CampaignStatus:
+    """Aggregate the live state of a share directory.
+
+    *stale* counts claims older than *stale_claim_seconds* with no
+    result — experiments whose workstation presumably died and that the
+    recovery protocol will return to the queue.  Throughput comes from
+    result-file timestamps; the ETA extrapolates it over the remaining
+    experiments.
+    """
+    status = CampaignStatus()
+    now = clock()
+
+    def listing(sub: str) -> list[str]:
+        path = os.path.join(share_dir, sub)
+        return sorted(os.listdir(path)) if os.path.isdir(path) else []
+
+    status.todo = len(listing("todo"))
+    # Claimed files stay in claimed/ after their result is written, so
+    # only count the ones still awaiting a result as in flight.
+    for name in listing("claimed"):
+        experiment = name.split("_", 1)[1] if "_" in name else name
+        result_name = experiment.replace(".txt", ".json")
+        if not os.path.exists(os.path.join(share_dir, "results",
+                                           result_name)):
+            status.claimed += 1
+
+    result_times: list[float] = []
+    for name in listing("results"):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(share_dir, "results", name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            continue  # being written by a worker right now
+        status.completed += 1
+        outcome = entry.get("outcome", "unknown")
+        status.outcomes[outcome] = status.outcomes.get(outcome, 0) + 1
+        try:
+            result_times.append(os.path.getmtime(path))
+        except OSError:
+            pass
+
+    claim_times: list[float] = []
+    for name in listing("claims"):
+        if not name.endswith(".claim"):
+            continue
+        experiment = name[:-len(".claim")]
+        result_path = os.path.join(share_dir, "results",
+                                   experiment.replace(".txt", ".json"))
+        try:
+            with open(os.path.join(share_dir, "claims", name), "r",
+                      encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        claim_time = entry.get("time", 0.0)
+        claim_times.append(claim_time)
+        if not os.path.exists(result_path) and \
+                now - claim_time > stale_claim_seconds:
+            status.stale += 1
+
+    status.workers = read_heartbeats(share_dir)
+    status.live_workers = sum(
+        1 for beat in status.workers.values()
+        if now - beat.get("time", 0.0) <= heartbeat_timeout)
+
+    started = min(claim_times) if claim_times else None
+    if started is not None:
+        status.elapsed_seconds = max(0.0, now - started)
+    if status.completed and started is not None:
+        finished = max(result_times) if result_times else now
+        span = max(finished - started, 1e-9)
+        status.rate_per_second = status.completed / span
+        remaining = status.todo + status.claimed
+        if remaining and status.rate_per_second > 0:
+            status.eta_seconds = remaining / status.rate_per_second
+        elif not remaining:
+            status.eta_seconds = 0.0
+    return status
+
+
+def render_status(status: CampaignStatus) -> str:
+    """Human-readable status block (``gemfi status``)."""
+    lines = [
+        f"experiments : {status.completed}/{status.total} completed "
+        f"({status.done_fraction:.0%})",
+        f"queue       : todo={status.todo} claimed={status.claimed} "
+        f"stale={status.stale}",
+        f"workers     : {status.live_workers} live / "
+        f"{len(status.workers)} seen",
+    ]
+    if status.outcomes:
+        mix = "  ".join(f"{name}={count}" for name, count
+                        in sorted(status.outcomes.items()))
+        lines.append(f"outcomes    : {mix}")
+    if status.rate_per_second > 0:
+        lines.append(f"throughput  : {status.rate_per_second * 60:.1f} "
+                     f"experiments/min")
+    if status.eta_seconds is not None:
+        lines.append(f"eta         : {status.eta_seconds:.0f} s")
+    return "\n".join(lines)
+
+
+# -- per-outcome campaign metrics --------------------------------------------
+
+
+def campaign_metrics(results) -> MetricsRegistry:
+    """Aggregate experiment results into a metrics registry: experiment
+    counts plus per-outcome wall-time distributions (the Figs. 4-8 raw
+    material, dumped in the diffable stats format).
+
+    Accepts :class:`~repro.campaign.runner.ExperimentResult` objects or
+    the result dicts workers write to the share.
+    """
+    registry = MetricsRegistry()
+    campaign = registry.scope("campaign")
+    total = campaign.counter("experiments")
+    injected = campaign.counter("injected")
+    for result in results:
+        if isinstance(result, dict):
+            outcome = result.get("outcome", "unknown")
+            wall = float(result.get("wall_seconds", 0.0))
+            was_injected = bool(result.get("injected"))
+        else:
+            outcome = result.outcome.value
+            wall = result.wall_seconds
+            was_injected = result.injected
+        total.inc()
+        if was_injected:
+            injected.inc()
+        campaign.counter(f"outcome.{outcome}").inc()
+        campaign.distribution(f"wall_seconds.{outcome}").record(wall)
+        campaign.distribution("wall_seconds.all").record(wall)
+    return registry
+
+
+# -- the Section IV.A stats diff ---------------------------------------------
+
+
+def parse_stats(text: str) -> dict[str, str]:
+    """Parse ``name value`` dump lines back into a mapping."""
+    stats: dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        name, _, value = line.partition(" ")
+        stats[name] = value
+    return stats
+
+
+def diff_stats(a_text: str, b_text: str) -> list[str]:
+    """Differences between two stats dumps, one description per line.
+
+    Empty result == byte-equivalent statistics (modulo line order, which
+    the dump format already fixes).  This is the Section IV.A check —
+    "the statistical results provided by the simulator [...] were
+    identical" — as a first-class operation.
+    """
+    a = parse_stats(a_text)
+    b = parse_stats(b_text)
+    differences: list[str] = []
+    for name in sorted(set(a) | set(b)):
+        if name not in b:
+            differences.append(f"- {name} {a[name]}")
+        elif name not in a:
+            differences.append(f"+ {name} {b[name]}")
+        elif a[name] != b[name]:
+            differences.append(f"~ {name} {a[name]} -> {b[name]}")
+    return differences

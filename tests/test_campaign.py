@@ -10,7 +10,6 @@ from repro.campaign import (
     Outcome,
     SEUGenerator,
     VddScaledGenerator,
-    WindowProfile,
     by_fetch_field,
     by_location,
     by_time_bins,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.campaign import CampaignRunner, Outcome, SEUGenerator, summary
-from repro.core import LocationKind, parse_fault_line
+from repro.core import parse_fault_line
 from repro.workloads import WORKLOAD_NAMES, build
 
 

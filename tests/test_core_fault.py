@@ -1,7 +1,5 @@
 """Fault model and behaviour tests (Section III.A)."""
 
-import pytest
-
 from repro.core import (
     Behavior,
     BehaviorKind,

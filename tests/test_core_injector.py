@@ -5,9 +5,7 @@ context-switch tracking, occurrence spans (transient -> permanent) and
 propagation bookkeeping.
 """
 
-import pytest
-
-from repro.core import FaultInjector, LocationKind, Stage
+from repro.core import FaultInjector
 from repro.sim import SimConfig, Simulator
 
 from conftest import run_asm

@@ -1,7 +1,5 @@
 """Unit tests for the five per-stage fault queues."""
 
-import pytest
-
 from repro.core import (
     Behavior,
     BehaviorKind,

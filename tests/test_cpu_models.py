@@ -5,7 +5,7 @@ import pytest
 from repro.compiler import compile_source
 from repro.sim import SimConfig, Simulator
 
-from conftest import MIXED_PROGRAM, run_asm, run_minic
+from conftest import run_asm, run_minic
 
 MODELS = ("atomic", "timing", "inorder", "o3")
 

@@ -1,8 +1,6 @@
 """Disassembler, loader and statistics-module tests."""
 
-import pytest
-
-from repro.isa import assemble, disassemble, disassemble_word
+from repro.isa import assemble, disassemble_word
 from repro.isa import encoding as enc, instructions as ins
 from repro.memory import MainMemory
 from repro.sim import stats as sim_stats
@@ -129,10 +127,24 @@ class TestStatsModule:
         assert "system.cpu0.bp.lookups" in collected
         assert "system.cpu0.squashed" in collected
 
-    def test_atomic_has_no_predictor_counters(self):
+    def test_atomic_reports_uniform_zero_predictor_counters(self):
+        # Every CPU model emits the same counter set so dumps from
+        # different models stay diffable; models without a predictor
+        # report zeros rather than omitting the lines.
         sim, _ = run_minic("def main():\n    exit(0)\n")
         collected = sim_stats.collect(sim)
-        assert "system.cpu0.bp.lookups" not in collected
+        assert collected["system.cpu0.bp.lookups"] == 0
+        assert collected["system.cpu0.bp.mispredicts"] == 0
+        assert collected["system.cpu0.squashed"] == 0
+
+    def test_counter_names_uniform_across_models(self):
+        baseline = None
+        for model in ("atomic", "timing", "inorder", "o3"):
+            sim, _ = run_minic("def main():\n    exit(0)\n", model=model)
+            names = set(sim_stats.collect(sim))
+            if baseline is None:
+                baseline = names
+            assert names == baseline, f"{model} diverges"
 
     def test_dump_parses_back(self):
         sim, _ = run_minic("def main():\n    exit(0)\n")

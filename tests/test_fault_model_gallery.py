@@ -9,8 +9,6 @@ iterations inside its span and then heals, and a *permanent*
 the three canonical behaviours the paper distinguishes.
 """
 
-import pytest
-
 from conftest import run_asm
 
 LOOP_ASM = """

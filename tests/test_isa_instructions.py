@@ -1,13 +1,12 @@
 """Decoder and instruction-semantics tests."""
 
 import math
-import struct
 
 import pytest
 
 from repro.isa import encoding as enc
 from repro.isa import instructions as ins
-from repro.isa.encoding import Field, Format
+from repro.isa.encoding import Field
 from repro.isa.registers import float_to_bits, bits_to_float
 from repro.isa.traps import ArithmeticTrap, IllegalInstruction
 

@@ -6,7 +6,6 @@ from repro.isa.traps import MisalignedAccess, UnmappedAccess
 from repro.memory import (
     Cache,
     CacheConfig,
-    HierarchyConfig,
     MainMemory,
     MemoryHierarchy,
 )

@@ -5,9 +5,6 @@ simulation continues until the affected instruction commits or
 squashes".  These tests exercise the squash paths directly.
 """
 
-from repro.core import FaultInjector
-from repro.sim import SimConfig, Simulator
-
 from conftest import run_asm
 
 # An always-taken conditional branch the tournament predictor initially

@@ -5,7 +5,7 @@ import struct
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Behavior, BehaviorKind
-from repro.isa import decode, encoding as enc, instructions as ins
+from repro.isa import encoding as enc, instructions as ins
 from repro.isa.registers import (
     MASK64,
     bits_to_float,

@@ -1,7 +1,5 @@
 """OS-lite kernel tests: processes, syscalls, scheduling, PCB tracking."""
 
-import pytest
-
 from repro.core import FaultInjector
 from repro.sim import SimConfig, Simulator
 from repro.system.process import pcb_address
