@@ -17,6 +17,7 @@ The pipeline (docs/analysis.md):
 """
 
 from .equivalence import SiteClass, build_classes
+from .propagation import PropagationGraph, build_propagation_graph
 from .liveness import (
     LIVE,
     MASK_REASONS,
@@ -47,5 +48,6 @@ __all__ = [
     "MASKED_NO_OPERAND_FIELDS", "MASKED_OVERWRITTEN_REGISTER",
     "MASKED_OVERWRITTEN_RESULT", "MASKED_OVERWRITTEN_STORE",
     "MASKED_UNUSED_ENCODING_BITS", "MASKED_ZERO_REGISTER",
-    "SiteClass", "SiteVerdict", "TraceEvent", "build_classes",
+    "PropagationGraph", "SiteClass", "SiteVerdict", "TraceEvent",
+    "build_classes", "build_propagation_graph",
 ]

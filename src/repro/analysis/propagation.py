@@ -1,0 +1,306 @@
+"""Fault-propagation graphs over the golden def-use trace.
+
+Given where a fault strikes, walk the golden run's committed-instruction
+stream forward and build the chain the corruption travels: the **fault
+site** taints a register or memory bytes, every instruction that
+consumes a tainted value becomes a corrupted **def** (its own writes now
+tainted), tainted stores become **store** nodes, and syscalls that can
+observe tainted state become **output** nodes.  A terminal **outcome**
+node (the experiment's classified outcome, or its crash trap) closes the
+graph, so the path *fault site → corrupted defs → outputs / trap* is
+always complete.
+
+This is an explanation over the *golden* instruction stream — the same
+approximation :class:`~repro.analysis.liveness.LivenessAnalysis` rests
+on.  Once the faulty run's control flow diverges the golden trace no
+longer describes it, which is exactly where the flight recorder's
+first-divergence record (``repro.telemetry.flight``) takes over; the
+graph marks that horizon rather than speculating past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.fault import Fault, LocationKind
+from ..isa.instructions import decode as decode_word
+from ..isa.registers import fp_reg_name, int_reg_name
+from ..isa.traps import IllegalInstruction
+from .liveness import EXECUTE_KINDS, MEM_KINDS
+from .trace import DefUseTracer, TraceEvent
+
+# Graphs are explanations, not dumps: past this many nodes the chain is
+# summarised with ``truncated`` instead of enumerated.
+DEFAULT_MAX_NODES = 48
+
+
+def _reg_label(cls: str, reg: int) -> str:
+    name = int_reg_name(reg) if cls == "int" else fp_reg_name(reg)
+    return f"{cls} {name}"
+
+
+def _event_label(event: TraceEvent) -> str:
+    try:
+        name = decode_word(event.word).name
+    except IllegalInstruction:  # pragma: no cover - committed words
+        name = f"word {event.word:#010x}"
+    return f"{name} @ pc {event.pc:#x}"
+
+
+@dataclass
+class PropagationGraph:
+    """fault site → corrupted defs → outputs / trap, as node+edge lists.
+
+    Node kinds: ``fault`` (the root), ``def`` (instruction consuming a
+    tainted value), ``store`` (tainted memory write), ``output``
+    (syscall observing tainted state), ``outcome`` (the terminal
+    classification).  Every node is a plain dict so the graph serialises
+    straight into result JSON and run manifests.
+    """
+
+    nodes: list[dict] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    truncated: bool = False
+
+    def add_node(self, kind: str, label: str, *, pc: int | None = None,
+                 index: int | None = None,
+                 window: int | None = None) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append({"id": node_id, "kind": kind, "label": label,
+                           "pc": pc, "index": index, "window": window})
+        return node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if (src, dst) not in self.edges:
+            self.edges.append((src, dst))
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": [dict(node) for node in self.nodes],
+            "edges": [list(edge) for edge in self.edges],
+            "truncated": self.truncated,
+        }
+
+    def describe(self) -> str:
+        """One line per node with its incoming edges — the postmortem
+        rendering used by ``gemfi report`` and the directed tests."""
+        incoming: dict[int, list[int]] = {}
+        for src, dst in self.edges:
+            incoming.setdefault(dst, []).append(src)
+        lines = []
+        for node in self.nodes:
+            srcs = incoming.get(node["id"], [])
+            arrow = (" <- " + ",".join(f"#{s}" for s in sorted(srcs))
+                     if srcs else "")
+            lines.append(f"#{node['id']} [{node['kind']}] "
+                         f"{node['label']}{arrow}")
+        if self.truncated:
+            lines.append("... (truncated)")
+        return "\n".join(lines)
+
+
+class _Walker:
+    """Forward taint walk from the strike point to program end."""
+
+    def __init__(self, trace: DefUseTracer, fault: Fault,
+                 max_nodes: int) -> None:
+        self.events = trace.events
+        self.fault = fault
+        self.max_nodes = max_nodes
+        self.graph = PropagationGraph()
+        # Current owner node of each tainted location.
+        self.reg_taint: dict[tuple[str, int], int] = {}
+        self.mem_taint: dict[int, int] = {}
+        self.window = [gidx for gidx, event in enumerate(self.events)
+                       if event.window_index is not None]
+
+    # -- strike resolution ---------------------------------------------------
+
+    def _strike_gidx(self) -> int | None:
+        """Trace index of FI-window commit slot ``fault.time``; slot
+        n+1 is the deactivating fi_activate_inst (cf. liveness)."""
+        if not self.window:
+            return None
+        t = max(1, self.fault.time)
+        n = len(self.window)
+        if t <= n:
+            return self.window[t - 1]
+        gidx = self.window[-1] + 1
+        return gidx if gidx < len(self.events) else None
+
+    def _first_stage_event(self, kinds: frozenset) -> int | None:
+        """Trace index of the first *kinds* transaction at FI-window
+        position >= fault.time (the stage-queue strike rule)."""
+        t = max(1, self.fault.time)
+        for gidx in self.window:
+            event = self.events[gidx]
+            if event.window_index >= t and event.kind in kinds:
+                return gidx
+        return None
+
+    # -- taint seeding -------------------------------------------------------
+
+    def seed(self) -> int:
+        """Create the root fault node, seed the taint sets, and return
+        the trace index the forward scan starts at."""
+        fault = self.fault
+        loc = fault.location
+        bits = fault.behavior.bits
+        bit_txt = (f" bit {','.join(str(b) for b in bits)}"
+                   if bits else "")
+        graph = self.graph
+        if loc in (LocationKind.INT_REG, LocationKind.FP_REG):
+            cls = "int" if loc is LocationKind.INT_REG else "fp"
+            strike = self._strike_gidx()
+            root = graph.add_node(
+                "fault",
+                f"SEU {_reg_label(cls, fault.reg_index)}{bit_txt} "
+                f"@ inst {fault.time}",
+                window=fault.time)
+            if fault.reg_index != 31:      # read() pins the zero register
+                self.reg_taint[(cls, fault.reg_index)] = root
+            # The corrupted register is readable from the strike commit
+            # onward; the strike event's own reads happen pre-flip.
+            return (strike + 1) if strike is not None else len(self.events)
+        if loc is LocationKind.PC:
+            graph.add_node("fault", f"PC corruption{bit_txt} "
+                                    f"@ inst {fault.time}",
+                           window=fault.time)
+            # Control corruption: the golden stream stops describing the
+            # run immediately; only the outcome edge remains.
+            return len(self.events)
+        if loc in (LocationKind.FETCH, LocationKind.DECODE):
+            strike = self._strike_gidx()
+            what = ("fetched word" if loc is LocationKind.FETCH
+                    else f"decode {fault.operand_role} field")
+            root = graph.add_node("fault",
+                                  f"{what}{bit_txt} @ inst {fault.time}",
+                                  window=fault.time)
+            if strike is None:
+                return len(self.events)
+            # The struck instruction itself is the first corrupted def:
+            # its writes (conservatively, whatever the golden word
+            # writes) carry the corruption.
+            event = self.events[strike]
+            node = graph.add_node("def", _event_label(event),
+                                  pc=event.pc, index=strike,
+                                  window=event.window_index)
+            graph.add_edge(root, node)
+            self._taint_writes(event, node)
+            return strike + 1
+        # EXECUTE / MEM stage queues strike the first eligible
+        # transaction at window position >= time.
+        kinds = EXECUTE_KINDS if loc is LocationKind.EXECUTE else MEM_KINDS
+        stage = "execute" if loc is LocationKind.EXECUTE else "mem"
+        gidx = self._first_stage_event(kinds)
+        root = graph.add_node("fault",
+                              f"{stage} stage{bit_txt} "
+                              f"@ inst {fault.time}",
+                              window=fault.time)
+        if gidx is None:
+            return len(self.events)
+        event = self.events[gidx]
+        node = graph.add_node("def", _event_label(event), pc=event.pc,
+                              index=gidx, window=event.window_index)
+        graph.add_edge(root, node)
+        self._taint_writes(event, node)
+        return gidx + 1
+
+    def _taint_writes(self, event: TraceEvent, node: int) -> None:
+        for cls, reg in event.writes:
+            if reg != 31:
+                self.reg_taint[(cls, reg)] = node
+        if event.mem_addr is not None and not event.is_load:
+            for byte in range(event.mem_addr,
+                              event.mem_addr + event.mem_size):
+                self.mem_taint[byte] = node
+
+    # -- the forward scan ----------------------------------------------------
+
+    def walk(self, start: int) -> None:
+        graph = self.graph
+        for gidx in range(start, len(self.events)):
+            if graph.node_count() >= self.max_nodes:
+                graph.truncated = True
+                break
+            event = self.events[gidx]
+            sources = self._tainted_sources(event)
+            if not sources:
+                # Clean event: an untainted write wipes stale taint.
+                for key in event.writes:
+                    self.reg_taint.pop(key, None)
+                if event.mem_addr is not None and not event.is_load:
+                    for byte in range(event.mem_addr,
+                                      event.mem_addr + event.mem_size):
+                        self.mem_taint.pop(byte, None)
+                continue
+            if event.is_syscall:
+                kind = "output"
+                label = f"syscall observes tainted state @ pc {event.pc:#x}"
+            elif event.mem_addr is not None and not event.is_load:
+                kind = "store"
+                label = (f"{_event_label(event)} -> "
+                         f"mem {event.mem_addr:#x}")
+            else:
+                kind = "def"
+                label = _event_label(event)
+            node = graph.add_node(kind, label, pc=event.pc, index=gidx,
+                                  window=event.window_index)
+            for src in sorted(sources):
+                graph.add_edge(src, node)
+            self._taint_writes(event, node)
+
+    def _tainted_sources(self, event: TraceEvent) -> set[int]:
+        sources: set[int] = set()
+        for key in event.reads:
+            node = self.reg_taint.get(key)
+            if node is not None:
+                sources.add(node)
+        if event.is_load and event.mem_addr is not None:
+            for byte in range(event.mem_addr,
+                              event.mem_addr + event.mem_size):
+                node = self.mem_taint.get(byte)
+                if node is not None:
+                    sources.add(node)
+        if event.is_syscall and self.mem_taint:
+            # A syscall is a memory-read barrier (cf. the liveness
+            # store-byte scan): tainted bytes may be what it writes out.
+            sources.update(self.mem_taint.values())
+        return sources
+
+    # -- terminal node -------------------------------------------------------
+
+    def finish(self, outcome: str | None,
+               crash_reason: str | None) -> PropagationGraph:
+        graph = self.graph
+        label = outcome or "unclassified"
+        if crash_reason:
+            label = f"{label} ({crash_reason})"
+        terminal = graph.add_node("outcome", label)
+        has_out = {src for src, _ in graph.edges}
+        leaves = [node["id"] for node in graph.nodes
+                  if node["id"] != terminal
+                  and node["id"] not in has_out]
+        for leaf in leaves or [0]:
+            graph.add_edge(leaf, terminal)
+        return graph
+
+
+def build_propagation_graph(trace: DefUseTracer, fault: Fault,
+                            outcome: str | None = None,
+                            crash_reason: str | None = None,
+                            max_nodes: int = DEFAULT_MAX_NODES
+                            ) -> PropagationGraph:
+    """Build the fault-propagation graph of one experiment.
+
+    *trace* is the golden run's def-use trace (``CampaignRunner.
+    ensure_trace()``), *fault* the experiment's (first) fault, *outcome*
+    / *crash_reason* the classified result that terminates the graph.
+    """
+    walker = _Walker(trace, fault, max_nodes)
+    start = walker.seed()
+    walker.walk(start)
+    return walker.finish(outcome, crash_reason)

@@ -104,11 +104,12 @@ class SharedDirCampaign:
     # step 1+2: the coordinator publishes experiments and the checkpoint.
 
     def publish(self, runner: CampaignRunner,
-                fault_sets: list, seed: int | None = None) -> None:
+                fault_sets: list, seed: int | None = None,
+                flight: int | None = None) -> None:
         with open(os.path.join(self.share_dir, "workload.json"), "w",
                   encoding="utf-8") as handle:
             json.dump({"name": self.workload_name, "scale": self.scale,
-                       "seed": seed}, handle)
+                       "seed": seed, "flight": flight}, handle)
         if runner.golden.checkpoint is not None:
             with open(os.path.join(self.share_dir, "checkpoint.bin"),
                       "wb") as handle:
@@ -250,12 +251,18 @@ class SharedDirCampaign:
                                experiment.replace(".txt", ".json"))
             with open(out, "w", encoding="utf-8") as handle:
                 json.dump(result.as_dict(), handle)
+            extra = {}
+            if result.divergence is not None:
+                extra["divergence"] = result.divergence
+            if result.propagation is not None:
+                extra["propagation"] = result.propagation
             manifest = run_manifest(
                 experiment=experiment.replace(".txt", ""),
                 workload=self.workload_name, scale=self.scale,
                 fault_text=fault_text, seed=seed, worker=worker_id,
                 started=started, wall_seconds=result.wall_seconds,
-                outcome=result.outcome.value, git_rev=git_rev)
+                outcome=result.outcome.value, git_rev=git_rev,
+                extra=extra or None)
             manifest_path = os.path.join(
                 self.share_dir, MANIFEST_DIR,
                 experiment.replace(".txt", ".json"))
@@ -268,10 +275,18 @@ class SharedDirCampaign:
     def _published_seed(self) -> int | None:
         """The generator seed recorded by ``publish`` (None for
         hand-authored fault queues or pre-telemetry shares)."""
+        return self._published_field("seed")
+
+    def published_flight(self) -> int | None:
+        """Flight-recorder digest interval recorded by ``publish``, or
+        None when the coordinator left the recorder off."""
+        return self._published_field("flight")
+
+    def _published_field(self, key: str):
         path = os.path.join(self.share_dir, "workload.json")
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle).get("seed")
+                return json.load(handle).get(key)
         except (OSError, ValueError):
             return None
 
@@ -308,6 +323,9 @@ def _worker_main(share_dir: str, worker_id: str, workload_name: str,
     spec = build(workload_name, scale)
     runner = CampaignRunner(spec)
     campaign = SharedDirCampaign(share_dir, workload_name, scale)
+    flight = campaign.published_flight()
+    if flight:
+        runner.enable_flight(flight)
     campaign.worker_loop(worker_id, runner)
 
 

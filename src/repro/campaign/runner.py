@@ -61,6 +61,12 @@ class ExperimentResult:
     workload: str = ""
     seed: int | None = None
     fault_file: str = ""
+    # Flight recorder (repro.telemetry.flight): the first architectural
+    # divergence from the golden run, and the def-use propagation graph
+    # fault site -> corrupted defs -> outputs/trap.  None when the
+    # runner's flight recorder is not enabled.
+    divergence: dict | None = None
+    propagation: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -81,6 +87,8 @@ class ExperimentResult:
             "injection_detail": self.injection_detail,
             "weight": self.weight,
             "predicted": self.predicted,
+            "divergence": self.divergence,
+            "propagation": self.propagation,
         }
 
 
@@ -122,6 +130,8 @@ class CampaignRunner:
         self.asm = compile_source(spec.source)
         self._trace = None
         self._liveness = None
+        self._flight = None
+        self._flight_interval = None
         self._experiment_index = 0
         self.golden = self._golden_run()
         spec.golden_instructions = self.golden.profile.committed
@@ -185,6 +195,11 @@ class CampaignRunner:
                           faults=[f.describe() for f in faults])
         start = time.perf_counter()
         sim = self._fresh_simulator(faults)
+        scanner = None
+        if self._flight_interval is not None:
+            from ..telemetry.flight import DivergenceScanner
+            scanner = DivergenceScanner(self.flight_log())
+            sim.injector.install_tracer(scanner)
         start_instructions = sim.instructions
         budget = int(self.golden.instructions * self.watchdog_factor) \
             + 100_000
@@ -197,6 +212,10 @@ class CampaignRunner:
         fault = faults[0]
         window = max(1, self.golden.profile.count_for(fault.location))
         first = injector.records[0] if injector.records else None
+        divergence = propagation = None
+        if scanner is not None:
+            divergence, propagation = self._flight_artifacts(
+                scanner, fault, first, outcome, process, index, sim)
         if self.bus is not None:
             self.bus.emit("experiment_end", tick=sim.tick,
                           experiment=index, workload=self.spec.name,
@@ -222,6 +241,8 @@ class CampaignRunner:
             workload=self.spec.name,
             seed=seed,
             fault_file=render_fault_file(faults),
+            divergence=divergence,
+            propagation=propagation,
         )
 
     def run_campaign(self, fault_sets, progress=None,
@@ -232,6 +253,75 @@ class CampaignRunner:
             if progress is not None:
                 progress(index + 1, len(fault_sets))
         return results
+
+    # -- flight recorder (repro.telemetry.flight) ------------------------------
+
+    def enable_flight(self, interval: int | None = None):
+        """Turn the fault-propagation flight recorder on for all
+        subsequent experiments: each run gets a first-divergence record
+        and a propagation graph attached to its result.  Returns the
+        (cached) golden flight log."""
+        from ..telemetry.flight import DEFAULT_INTERVAL
+        self._flight_interval = interval or DEFAULT_INTERVAL
+        return self.flight_log()
+
+    def flight_log(self):
+        """Acquire (once) the golden run's flight log — per-interval
+        architectural digests plus the committed-store log — by
+        replaying from the checkpoint with a recorder installed, the
+        same cost model as :meth:`ensure_trace`."""
+        if self._flight is not None:
+            return self._flight
+        from ..telemetry.flight import DEFAULT_INTERVAL, FlightRecorder
+        recorder = FlightRecorder(self._flight_interval
+                                  or DEFAULT_INTERVAL)
+        if self.use_checkpoint and self.golden.checkpoint is not None:
+            sim = restore_checkpoint(self.golden.checkpoint)
+        else:
+            sim = Simulator(self.config, injector=FaultInjector())
+            sim.load(self.asm, self.spec.name)
+        sim.injector.install_tracer(recorder)
+        result = sim.run(max_instructions=50_000_000)
+        if result.status != "completed":
+            raise RuntimeError(
+                f"flight replay of '{self.spec.name}' did not "
+                f"complete: {result.status}")
+        self._flight = recorder.log
+        return self._flight
+
+    def _flight_artifacts(self, scanner, fault, first, outcome,
+                          process, index, sim):
+        """Post-run flight products: the (latency-stamped) divergence
+        record and the def-use propagation graph of one experiment."""
+        divergence = scanner.divergence
+        if divergence is None and first is not None \
+                and process.crash_reason:
+            # The run trapped before reaching the next store or digest
+            # boundary: the trap itself is the first observable
+            # architectural divergence.
+            from ..telemetry.flight import Divergence
+            divergence = Divergence(
+                kind="control", tick=sim.tick, count=scanner.count,
+                window=None, interval=None, pc=sim.core.arch.pc,
+                location=f"trap: {process.crash_reason}")
+        div_dict = None
+        if divergence is not None:
+            if first is not None:
+                divergence.latency = max(0, divergence.tick - first.tick)
+            div_dict = divergence.as_dict()
+            if self.bus is not None:
+                self.bus.emit("flight_divergence", tick=divergence.tick,
+                              experiment=index,
+                              workload=self.spec.name,
+                              divergence=div_dict)
+        prop_dict = None
+        if first is not None:
+            from ..analysis.propagation import build_propagation_graph
+            graph = build_propagation_graph(
+                self.ensure_trace(), fault, outcome=outcome.value,
+                crash_reason=process.crash_reason)
+            prop_dict = graph.as_dict()
+        return div_dict, prop_dict
 
     # -- liveness analysis and campaign pruning (repro.analysis) ---------------
 

@@ -6,6 +6,7 @@ command line, run, and inspect the postmortem report / statistics.
 
     gemfi run app.mc --fault-file faults.txt --cpu o3 --stats stats.txt
     gemfi campaign --workload dct --scale tiny -n 50 [--prune]
+    gemfi campaign -w pi -n 20 --flight 32 --share-dir /mnt/share/pi
     gemfi analyze --workload dct --scale tiny -n 200
     gemfi workloads
     gemfi sample-size --confidence 0.99 --margin 0.01
@@ -13,8 +14,12 @@ command line, run, and inspect the postmortem report / statistics.
 Observability surfaces (repro.telemetry):
 
     gemfi trace app.mc --fault-file faults.txt --trace-file run.jsonl
-    gemfi status /mnt/share/campaign
-    gemfi stats-diff golden.txt faulty.txt
+    gemfi trace --follow run.jsonl
+    gemfi trace app.mc --cpu o3 --pipe -o pipe.jsonl
+    gemfi pipeview pipe.jsonl
+    gemfi status /mnt/share/campaign [--watch 5]
+    gemfi stats-diff golden.txt faulty.txt [--tolerance 0.02]
+    gemfi report /mnt/share/campaign --format html -o report.html
 
 (`python -m repro ...` works identically.)
 """
@@ -93,10 +98,33 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     runner = CampaignRunner(spec, detailed_model=args.detailed_model)
     print(f"# golden: window={runner.golden.profile.committed} "
           f"instructions, boot={runner.golden.boot_instructions}")
+    if args.flight:
+        log = runner.enable_flight(args.flight)
+        print(f"# flight recorder: interval={log.interval}, "
+              f"{len(log.intervals)} digests, {len(log.stores)} stores")
     location = None
     if args.location:
         from .core import LocationKind
         location = LocationKind(args.location)
+    if args.share_dir:
+        # Shared-directory (NoW) mode: publish the experiments and the
+        # checkpoint, drain the queue with local worker processes, and
+        # leave the share behind for gemfi status / gemfi report.
+        from .campaign import SharedDirCampaign, outcome_counts
+        campaign = SharedDirCampaign(args.share_dir, args.workload,
+                                     args.scale)
+        generator = SEUGenerator(runner.golden.profile, seed=args.seed)
+        faults = generator.batch(args.experiments, location=location)
+        campaign.publish(runner, faults, seed=args.seed,
+                         flight=args.flight or None)
+        results = campaign.run_local(workers=args.workers)
+        counts = outcome_counts(results)
+        print(f"# share: {args.share_dir} — {len(results)} results")
+        for name, count in sorted(counts.items()):
+            print(f"#   {name:10s} {count}")
+        print(f"# inspect with: gemfi status {args.share_dir} / "
+              f"gemfi report {args.share_dir}")
+        return 0
     progress = lambda done, total: print(  # noqa: E731
         f"\r# {done}/{total}", end="", file=sys.stderr)
     if args.prune:
@@ -121,6 +149,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         results, title=f"{args.workload} ({args.scale}) — "
                        f"{args.experiments} experiments, "
                        f"seed {args.seed}"))
+    if args.flight:
+        diverged = sum(1 for r in results
+                       if getattr(r, "divergence", None))
+        print(f"# flight recorder: {diverged}/{len(results)} runs "
+              f"reached an architectural divergence")
     return 0
 
 
@@ -159,8 +192,27 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one program with the trace bus attached and stream (or ring-
-    buffer) the JSONL lifecycle events."""
+    buffer) the JSONL lifecycle events; or tail a live trace file."""
     from .telemetry import JsonlFileSink, RingBufferSink, TraceBus
+
+    if args.follow:
+        from .telemetry import follow_jsonl
+        path = args.program or args.trace_file
+        if not path:
+            print("trace --follow needs the JSONL file to tail",
+                  file=sys.stderr)
+            return 2
+        try:
+            for event in follow_jsonl(path, poll=args.poll,
+                                      idle_timeout=args.idle_timeout):
+                print(event.to_json(), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if not args.program:
+        print("trace needs a program (or --follow FILE)",
+              file=sys.stderr)
+        return 2
 
     faults = []
     if args.fault_file:
@@ -169,7 +221,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for line in args.fault or ():
         faults.extend(parse_fault_file(line))
 
-    bus = TraceBus()
+    bus = TraceBus(pipe_trace=args.pipe)
     ring = None
     sink = None
     if args.ring:
@@ -205,17 +257,38 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_status(args: argparse.Namespace) -> int:
-    """Live status of a shared-directory campaign."""
+    """Live status of a shared-directory campaign (optionally a
+    self-refreshing watch loop)."""
+    import time as _time
+
     from .telemetry import read_status, render_status
-    status = read_status(args.share_dir,
-                         stale_claim_seconds=args.stale_seconds,
-                         heartbeat_timeout=args.heartbeat_timeout)
-    if args.json:
-        import json
-        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
-    else:
-        print(render_status(status))
-    return 0
+
+    def show() -> None:
+        status = read_status(args.share_dir,
+                             stale_claim_seconds=args.stale_seconds,
+                             heartbeat_timeout=args.heartbeat_timeout)
+        if args.json:
+            import json
+            print(json.dumps(status.as_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_status(status))
+
+    if not args.watch:
+        show()
+        return 0
+    iterations = 0
+    try:
+        while True:
+            if iterations:
+                print()
+            show()
+            iterations += 1
+            if args.watch_count and iterations >= args.watch_count:
+                return 0
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_stats_diff(args: argparse.Namespace) -> int:
@@ -225,7 +298,7 @@ def cmd_stats_diff(args: argparse.Namespace) -> int:
         a_text = handle.read()
     with open(args.b, "r", encoding="utf-8") as handle:
         b_text = handle.read()
-    differences = diff_stats(a_text, b_text)
+    differences = diff_stats(a_text, b_text, tolerance=args.tolerance)
     if not differences:
         print(f"0 differences: {args.a} and {args.b} are statistically "
               f"identical")
@@ -234,6 +307,30 @@ def cmd_stats_diff(args: argparse.Namespace) -> int:
         print(line)
     print(f"{len(differences)} differences")
     return 1
+
+
+def cmd_pipeview(args: argparse.Namespace) -> int:
+    """Render an O3 pipeline timeline from a captured JSONL trace."""
+    from .telemetry import read_jsonl, render_from_events
+    events = read_jsonl(sys.stdin) if args.trace == "-" \
+        else read_jsonl(args.trace)
+    print(render_from_events(events))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate a campaign share directory into an outcome report."""
+    from .telemetry import load_share, render_report
+    report = load_share(args.share_dir)
+    text = render_report(report, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# {report.experiments} experiments -> {args.output}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -295,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--prune", action="store_true",
                         help="skip provably-masked sites and collapse "
                              "equivalent live sites (repro.analysis)")
+    camp_p.add_argument("--flight", type=int, nargs="?", const=32,
+                        default=None, metavar="INTERVAL",
+                        help="enable the fault-propagation flight "
+                             "recorder (digest every INTERVAL committed "
+                             "instructions; default 32)")
+    camp_p.add_argument("--share-dir", default=None,
+                        help="run as a shared-directory (NoW) campaign "
+                             "rooted here, leaving the share behind for "
+                             "gemfi status / gemfi report")
+    camp_p.add_argument("--workers", type=int, default=2,
+                        help="local worker processes in --share-dir "
+                             "mode")
     camp_p.set_defaults(func=cmd_campaign)
 
     ana_p = sub.add_parser(
@@ -314,8 +423,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p = sub.add_parser(
         "trace",
         help="run one program with the structured trace bus attached")
-    trace_p.add_argument("program",
-                         help="MiniC source (.mc/.py) or assembly (.s)")
+    trace_p.add_argument("program", nargs="?", default=None,
+                         help="MiniC source (.mc/.py) or assembly (.s); "
+                              "with --follow, the JSONL file to tail")
     trace_p.add_argument("--fault-file", "-f",
                          help="Listing-1 style fault input file")
     trace_p.add_argument("--fault", action="append",
@@ -329,7 +439,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--ring", type=int, default=0,
                          help="keep only the last N events (crash "
                               "post-mortem mode)")
+    trace_p.add_argument("--pipe", action="store_true",
+                         help="also capture per-instruction O3 pipeline "
+                              "events (for gemfi pipeview)")
+    trace_p.add_argument("--follow", action="store_true",
+                         help="tail a JSONL trace file being written by "
+                              "a live run instead of simulating")
+    trace_p.add_argument("--poll", type=float, default=0.2,
+                         help="--follow poll interval in seconds")
+    trace_p.add_argument("--idle-timeout", type=float, default=None,
+                         help="--follow stops after this many seconds "
+                              "without a new event (default: forever)")
     trace_p.set_defaults(func=cmd_trace)
+
+    pipe_p = sub.add_parser(
+        "pipeview",
+        help="render an O3 fetch->commit timeline from a --pipe trace")
+    pipe_p.add_argument("trace",
+                        help="JSONL trace file ('-' reads stdin)")
+    pipe_p.set_defaults(func=cmd_pipeview)
 
     status_p = sub.add_parser(
         "status",
@@ -345,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "not counted live")
     status_p.add_argument("--json", action="store_true",
                           help="machine-readable output")
+    status_p.add_argument("--watch", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="re-read and re-print the status every "
+                               "SECONDS until interrupted")
+    status_p.add_argument("--watch-count", type=int, default=0,
+                          help="stop --watch after N refreshes "
+                               "(0 = until interrupted)")
     status_p.set_defaults(func=cmd_status)
 
     diff_p = sub.add_parser(
@@ -352,7 +487,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff two stats dumps (Section IV.A validation)")
     diff_p.add_argument("a", help="baseline stats dump")
     diff_p.add_argument("b", help="comparison stats dump")
+    diff_p.add_argument("--tolerance", type=float, default=0.0,
+                        help="ignore relative differences up to this "
+                             "fraction on timing-sensitive counters "
+                             "(ticks/cycles/latencies); default 0 = "
+                             "strict")
     diff_p.set_defaults(func=cmd_stats_diff)
+
+    report_p = sub.add_parser(
+        "report",
+        help="aggregate a campaign share into an outcome report")
+    report_p.add_argument("share_dir",
+                         help="the campaign share directory")
+    report_p.add_argument("--format", default="md",
+                          choices=("md", "html"))
+    report_p.add_argument("--output", "-o", default=None,
+                          help="write here instead of stdout")
+    report_p.set_defaults(func=cmd_report)
 
     list_p = sub.add_parser("workloads",
                             help="list the paper's benchmarks")

@@ -133,7 +133,10 @@ class FaultInjector:
     # -- def-use trace recording (repro.analysis) -------------------------------
 
     def install_tracer(self, tracer) -> None:
-        """Attach a :class:`repro.analysis.DefUseTracer`.  Recording
+        """Attach a commit-time tracer: a
+        :class:`repro.analysis.DefUseTracer` or one of the flight-
+        recorder hooks (:class:`repro.telemetry.flight.FlightRecorder` /
+        :class:`~repro.telemetry.flight.DivergenceScanner`).  Recording
         starts at the first committed instruction of an FI-active thread
         (the activating ``fi_activate_inst``) and runs to program end."""
         self.tracer = tracer

@@ -18,6 +18,7 @@ pay a redirect penalty.
 from __future__ import annotations
 
 from ..isa import instructions as ins
+from ..isa.disasm import disassemble
 from ..isa.registers import MASK64
 from ..isa.traps import SimTrap
 from .base import Core
@@ -32,11 +33,11 @@ class _Entry:
     """One reorder-buffer slot."""
 
     __slots__ = ("pc", "decoded", "pred_next", "fetch_cycle",
-                 "exception", "serializing", "result", "complete")
+                 "exception", "serializing", "result", "complete", "seq")
 
     def __init__(self, pc: int, decoded, pred_next: int,
                  fetch_cycle: int, exception: SimTrap | None = None,
-                 serializing: bool = False) -> None:
+                 serializing: bool = False, seq: int = 0) -> None:
         self.pc = pc
         self.decoded = decoded
         self.pred_next = pred_next
@@ -45,6 +46,7 @@ class _Entry:
         self.serializing = serializing
         self.result = None       # cached execution outcome (execute once)
         self.complete = 0        # scoreboard completion cycle
+        self.seq = seq           # lifetime fetch order (gemfi pipeview)
 
 
 class O3CPU:
@@ -69,6 +71,11 @@ class O3CPU:
         self.squashed_instructions = 0
         self.rob_hwm = 0            # ROB occupancy high-water mark
         self.rename_stalls = 0      # cycles the frontend found the ROB full
+        self.fetch_seq = 0          # lifetime fetch counter (pipeview ids)
+
+    def _next_seq(self) -> int:
+        self.fetch_seq += 1
+        return self.fetch_seq
 
     # -- the per-cycle step -------------------------------------------------------
 
@@ -109,7 +116,8 @@ class O3CPU:
             except SimTrap as trap:
                 # Deferred: the fault only matters if this entry commits.
                 self.rob.append(_Entry(pc, None, pc + 4, self.cycle,
-                                       exception=trap))
+                                       exception=trap,
+                                       seq=self._next_seq()))
                 self.fetch_blocked = True
                 return
             if fetch_lat > 1:
@@ -120,7 +128,8 @@ class O3CPU:
                 decoded = core.decode_cache.decode(word)
             except SimTrap as trap:
                 self.rob.append(_Entry(pc, None, pc + 4, self.cycle,
-                                       exception=trap))
+                                       exception=trap,
+                                       seq=self._next_seq()))
                 self.fetch_blocked = True
                 return
             if inj is not None and inj.hot_decode:
@@ -132,7 +141,8 @@ class O3CPU:
             else:
                 pred_next = pc + 4
             self.rob.append(_Entry(pc, decoded, pred_next & MASK64,
-                                   self.cycle, serializing=serializing))
+                                   self.cycle, serializing=serializing,
+                                   seq=self._next_seq()))
             self.fetch_pc = pred_next & MASK64
             fetched += 1
             if serializing:
@@ -191,6 +201,12 @@ class O3CPU:
         inj_all = core.injector
         if inj_all is not None and inj_all.trace_hot:
             inj_all.on_trace(core, entry.pc, decoded, result)
+        bus = core.bus
+        if bus is not None and bus.pipe_trace:
+            bus.emit("pipe_inst", seq=entry.seq, pc=entry.pc,
+                     fetch=entry.fetch_cycle, complete=entry.complete,
+                     commit=self.cycle,
+                     asm=disassemble(decoded, pc=entry.pc))
         if inj is not None and inj.hot_regfile:
             pc_changed = inj.on_commit(core, fi_thread, entry.pc)
             if pc_changed:
@@ -217,7 +233,7 @@ class O3CPU:
         return False
 
     def _redirect(self, target: int, penalty: int) -> None:
-        self._note_squash(len(self.rob), "mispredict")
+        self._note_squash(self.rob, "mispredict")
         self.squashed_instructions += len(self.rob)
         self.rob.clear()
         self.fetch_pc = target & MASK64
@@ -227,19 +243,27 @@ class O3CPU:
     def squash(self) -> None:
         """Flush every speculative instruction and refetch from the
         architectural PC (used for PC-fault redirects and model switch)."""
-        self._note_squash(len(self.rob), "flush")
+        self._note_squash(self.rob, "flush")
         self.squashed_instructions += len(self.rob)
         self.rob.clear()
         self.fetch_pc = None
         self.fetch_blocked = False
 
-    def _note_squash(self, count: int, reason: str) -> None:
-        if count == 0:
+    def _note_squash(self, entries: list[_Entry], reason: str) -> None:
+        if not entries:
             return
         bus = self.core.bus
-        if bus is not None:
-            bus.emit("cpu_squash", model=self.model_name,
-                     squashed=count, reason=reason)
+        if bus is None:
+            return
+        bus.emit("cpu_squash", model=self.model_name,
+                 squashed=len(entries), reason=reason)
+        if bus.pipe_trace:
+            for entry in entries:
+                asm = ("" if entry.decoded is None
+                       else disassemble(entry.decoded, pc=entry.pc))
+                bus.emit("pipe_squash", seq=entry.seq, pc=entry.pc,
+                         fetch=entry.fetch_cycle, squash=self.cycle,
+                         reason=reason, asm=asm)
 
     def drain(self) -> None:
         """Flush speculative state before a model switch or preemption.

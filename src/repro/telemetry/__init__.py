@@ -1,6 +1,6 @@
 """Structured tracing, metrics registry and campaign observability.
 
-Three pillars (see ``docs/observability.md``):
+The pillars (see ``docs/observability.md``):
 
 * :mod:`~repro.telemetry.metrics` — gem5-style statistics types
   (:class:`Counter`, :class:`Distribution`, :class:`Histogram`,
@@ -9,7 +9,13 @@ Three pillars (see ``docs/observability.md``):
   JSONL trace bus with ring-buffer and file sinks, zero-overhead when
   no bus is attached;
 * :mod:`~repro.telemetry.campaign` — run manifests, worker heartbeats
-  and live campaign status over a shared-directory campaign.
+  and live campaign status over a shared-directory campaign;
+* :mod:`~repro.telemetry.flight` — the fault-propagation flight
+  recorder: golden-run architectural digests and first-divergence
+  scanning of faulty runs;
+* :mod:`~repro.telemetry.pipeview` / :mod:`~repro.telemetry.report` —
+  O3 pipeline visualization and deterministic campaign outcome reports,
+  both rendered purely from captured data.
 """
 
 from .campaign import (
@@ -31,6 +37,13 @@ from .events import (
     events_from_jsonl,
     events_to_jsonl,
 )
+from .flight import (
+    DivergenceScanner,
+    FlightRecorder,
+    GoldenFlightLog,
+    hamming,
+    regfile_checksum,
+)
 from .metrics import (
     Counter,
     Distribution,
@@ -41,14 +54,33 @@ from .metrics import (
     Scope,
     format_value,
 )
-from .sinks import JsonlFileSink, ListSink, RingBufferSink, read_jsonl
+from .pipeview import collect_pipeline, render_from_events, render_pipeview
+from .report import (
+    CampaignReport,
+    latency_histogram,
+    load_share,
+    render_html,
+    render_markdown,
+    render_report,
+)
+from .sinks import (
+    JsonlFileSink,
+    ListSink,
+    RingBufferSink,
+    follow_jsonl,
+    read_jsonl,
+)
 
 __all__ = [
-    "CampaignStatus", "Counter", "Distribution", "EVENT_KINDS",
-    "Formula", "Histogram", "JsonlFileSink", "ListSink",
+    "CampaignReport", "CampaignStatus", "Counter", "Distribution",
+    "DivergenceScanner", "EVENT_KINDS", "FlightRecorder", "Formula",
+    "GoldenFlightLog", "Histogram", "JsonlFileSink", "ListSink",
     "MetricsRegistry", "RingBufferSink", "Scalar", "Scope", "TraceBus",
-    "TraceEvent", "campaign_metrics", "diff_stats", "events_from_jsonl",
-    "events_to_jsonl", "format_value", "git_describe", "parse_stats",
-    "read_heartbeats", "read_jsonl", "read_status", "render_status",
-    "run_manifest", "write_heartbeat",
+    "TraceEvent", "campaign_metrics", "collect_pipeline", "diff_stats",
+    "events_from_jsonl", "events_to_jsonl", "follow_jsonl",
+    "format_value", "git_describe", "hamming", "latency_histogram",
+    "load_share", "parse_stats", "read_heartbeats", "read_jsonl",
+    "read_status", "regfile_checksum", "render_from_events",
+    "render_html", "render_markdown", "render_pipeview",
+    "render_report", "render_status", "run_manifest", "write_heartbeat",
 ]

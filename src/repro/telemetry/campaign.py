@@ -229,15 +229,21 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
     started = min(claim_times) if claim_times else None
     if started is not None:
         status.elapsed_seconds = max(0.0, now - started)
+    remaining = status.todo + status.claimed
     if status.completed and started is not None:
         finished = max(result_times) if result_times else now
-        span = max(finished - started, 1e-9)
-        status.rate_per_second = status.completed / span
-        remaining = status.todo + status.claimed
-        if remaining and status.rate_per_second > 0:
-            status.eta_seconds = remaining / status.rate_per_second
-        elif not remaining:
+        span = finished - started
+        # Throughput needs a measurable interval.  One completed result,
+        # or a batch whose files share a single mtime (coarse filesystem
+        # timestamps), spans zero time: extrapolating would report an
+        # infinite rate and a bogus ETA, so the rate stays 0 and the ETA
+        # unknown (None) until a second distinct completion arrives.
+        if status.completed >= 2 and span > 0:
+            status.rate_per_second = status.completed / span
+        if not remaining:
             status.eta_seconds = 0.0
+        elif status.rate_per_second > 0:
+            status.eta_seconds = remaining / status.rate_per_second
     return status
 
 
@@ -311,13 +317,47 @@ def parse_stats(text: str) -> dict[str, str]:
     return stats
 
 
-def diff_stats(a_text: str, b_text: str) -> list[str]:
+# Counters whose values are timing artifacts of the CPU model rather
+# than architectural facts; only these are eligible for the
+# ``--tolerance`` relaxation of ``gemfi stats-diff``.
+TIMING_STAT_MARKERS = ("tick", "cycle", "latency", "ipc", "stall",
+                      "wall", "seconds")
+
+
+def _is_timing_stat(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in TIMING_STAT_MARKERS)
+
+
+def _within_tolerance(a_value: str, b_value: str,
+                      tolerance: float) -> bool:
+    """True iff both values parse as numbers and their relative
+    difference is within *tolerance*."""
+    try:
+        a_num = float(a_value)
+        b_num = float(b_value)
+    except ValueError:
+        return False
+    if a_num == b_num:
+        return True
+    scale = max(abs(a_num), abs(b_num))
+    return abs(a_num - b_num) <= tolerance * scale
+
+
+def diff_stats(a_text: str, b_text: str,
+               tolerance: float = 0.0) -> list[str]:
     """Differences between two stats dumps, one description per line.
 
     Empty result == byte-equivalent statistics (modulo line order, which
     the dump format already fixes).  This is the Section IV.A check —
     "the statistical results provided by the simulator [...] were
     identical" — as a first-class operation.
+
+    *tolerance* (default 0: strict) ignores relative differences up to
+    the given fraction, but only for timing-sensitive counters
+    (ticks/cycles/latencies/...): two runs of the same workload on
+    different hosts legitimately disagree there, while architectural
+    counters must still match exactly.
     """
     a = parse_stats(a_text)
     b = parse_stats(b_text)
@@ -328,5 +368,8 @@ def diff_stats(a_text: str, b_text: str) -> list[str]:
         elif name not in a:
             differences.append(f"+ {name} {b[name]}")
         elif a[name] != b[name]:
+            if tolerance > 0 and _is_timing_stat(name) and \
+                    _within_tolerance(a[name], b[name], tolerance):
+                continue
             differences.append(f"~ {name} {a[name]} -> {b[name]}")
     return differences

@@ -33,6 +33,11 @@ EVENT_KINDS = frozenset({
     "checkpoint_save", "checkpoint_restore",
     # CPU model lifecycle
     "model_switch", "cpu_drain", "cpu_squash",
+    # O3 pipeline occupancy (gemfi pipeview; emitted only while
+    # bus.pipe_trace is set — the per-commit cost is opt-in)
+    "pipe_inst", "pipe_squash",
+    # flight recorder (first golden-vs-faulty divergence)
+    "flight_divergence",
     # campaign lifecycle
     "experiment_start", "experiment_end", "worker_heartbeat",
 })
@@ -87,12 +92,18 @@ class TraceBus:
     tests hold the object graph constant while toggling telemetry.
     """
 
-    __slots__ = ("sinks", "clock", "enabled")
+    __slots__ = ("sinks", "clock", "enabled", "pipe_trace")
 
-    def __init__(self, *sinks, clock=None) -> None:
+    def __init__(self, *sinks, clock=None, pipe_trace: bool = False) -> None:
         self.sinks = list(sinks)
         self.clock = clock
         self.enabled = True
+        # Opt-in per-instruction pipeline events (pipe_inst/pipe_squash)
+        # for ``gemfi pipeview``.  Off by default: unlike the rare
+        # lifecycle events above, these fire once per committed or
+        # squashed instruction, so the O3 model tests this flag before
+        # paying for them.
+        self.pipe_trace = pipe_trace
 
     def attach(self, sink) -> None:
         self.sinks.append(sink)

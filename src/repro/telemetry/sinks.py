@@ -18,6 +18,7 @@ and in-process analysis.
 from __future__ import annotations
 
 import io
+import time
 from collections import deque
 
 from .events import TraceEvent, events_from_jsonl
@@ -103,3 +104,35 @@ def read_jsonl(source) -> list[TraceEvent]:
         return list(events_from_jsonl(source.read()))
     with open(source, "r", encoding="utf-8") as handle:
         return list(events_from_jsonl(handle.read()))
+
+
+def follow_jsonl(path: str, poll: float = 0.2,
+                 idle_timeout: float | None = None,
+                 sleep=time.sleep, clock=time.monotonic):
+    """Tail a JSONL trace file (``gemfi trace --follow``).
+
+    Yields :class:`TraceEvent` objects as lines are appended by a live
+    writer, polling every *poll* seconds.  Partial lines (a writer
+    caught mid-``write``) are left in the buffer until their newline
+    arrives.  Stops when no complete line has arrived for
+    *idle_timeout* seconds (None = follow forever, until the consumer
+    stops iterating or interrupts).
+    """
+    buffer = ""
+    last_event = clock()
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if line:
+                        last_event = clock()
+                        yield TraceEvent.from_json(line)
+            if idle_timeout is not None and \
+                    clock() - last_event > idle_timeout:
+                return
+            if not chunk:
+                sleep(poll)

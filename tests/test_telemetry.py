@@ -3,13 +3,16 @@ observability and the CLI surfaces built on them."""
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
 from repro.cli import main
 from repro.compiler import compile_source
-from repro.core import FaultInjector
+from repro.core import FaultInjector, parse_fault_file
 from repro.sim import SimConfig, Simulator
+from repro.sim.checkpoint import dumps_checkpoint, restore_checkpoint
 from repro.telemetry import (
     EVENT_KINDS,
     JsonlFileSink,
@@ -22,6 +25,7 @@ from repro.telemetry import (
     diff_stats,
     events_from_jsonl,
     events_to_jsonl,
+    follow_jsonl,
     parse_stats,
     read_heartbeats,
     read_status,
@@ -331,6 +335,58 @@ class TestCampaignObservability:
         assert "stale=1" in text
         assert "masked=1" in text
 
+    def test_single_completed_result_reports_no_bogus_eta(self,
+                                                          tmp_path):
+        """One completed result spans zero time: the rate must stay 0
+        and the ETA unknown (None), not inf or a crash."""
+        now = 1000.0
+        for sub in ("todo", "results", "claims"):
+            os.makedirs(tmp_path / sub)
+        (tmp_path / "todo" / "exp_0001.txt").write_text("x")
+        (tmp_path / "claims" / "exp_0000.txt.claim").write_text(
+            json.dumps({"worker": "ws0", "pid": 1, "time": now - 30}))
+        (tmp_path / "results" / "exp_0000.json").write_text(
+            json.dumps({"outcome": "sdc"}))
+        status = read_status(str(tmp_path), clock=lambda: now)
+        assert status.completed == 1
+        assert status.rate_per_second == 0.0
+        assert status.eta_seconds is None
+        assert "eta" not in render_status(status)
+
+    def test_results_sharing_one_mtime_report_no_infinite_rate(
+            self, tmp_path):
+        """Coarse filesystem timestamps can stamp a whole batch with a
+        single mtime; the zero-width span must not extrapolate."""
+        now = 1000.0
+        for sub in ("todo", "results", "claims"):
+            os.makedirs(tmp_path / sub)
+        (tmp_path / "todo" / "exp_0009.txt").write_text("x")
+        for index in range(3):
+            name = f"exp_{index:04d}"
+            (tmp_path / "claims" / f"{name}.txt.claim").write_text(
+                json.dumps({"worker": "ws0", "pid": 1,
+                            "time": now - 60}))
+            path = tmp_path / "results" / f"{name}.json"
+            path.write_text(json.dumps({"outcome": "masked"}))
+            os.utime(path, (now - 60, now - 60))
+        status = read_status(str(tmp_path), clock=lambda: now)
+        assert status.completed == 3
+        assert status.rate_per_second == 0.0
+        assert status.eta_seconds is None
+        assert status.elapsed_seconds == 60.0
+
+    def test_drained_queue_eta_zero_even_without_rate(self, tmp_path):
+        for sub in ("results", "claims"):
+            os.makedirs(tmp_path / sub)
+        now = 1000.0
+        (tmp_path / "claims" / "exp_0000.txt.claim").write_text(
+            json.dumps({"worker": "ws0", "pid": 1, "time": now - 10}))
+        (tmp_path / "results" / "exp_0000.json").write_text(
+            json.dumps({"outcome": "sdc"}))
+        status = read_status(str(tmp_path), clock=lambda: now)
+        assert status.todo == 0 and status.claimed == 0
+        assert status.eta_seconds == 0.0
+
     def test_campaign_metrics_from_dicts(self):
         results = [
             {"outcome": "masked", "wall_seconds": 1.0, "injected": True},
@@ -464,3 +520,180 @@ class TestCliSurfaces:
         b.write_text("x 1\ny 3\n")
         assert main(["stats-diff", str(a), str(b)]) == 1
         assert "~ y 2 -> 3" in capsys.readouterr().out
+
+
+# -- stats-diff tolerance -----------------------------------------------------
+
+
+class TestStatsDiffTolerance:
+    A = "sim.ticks 1000\nsystem.cpu0.committed 50\n"
+    B = "sim.ticks 1010\nsystem.cpu0.committed 51\n"
+
+    def test_strict_by_default(self):
+        differences = diff_stats(self.A, self.B)
+        assert len(differences) == 2
+
+    def test_tolerance_forgives_only_timing_stats(self):
+        differences = diff_stats(self.A, self.B, tolerance=0.05)
+        assert differences == [
+            "~ system.cpu0.committed 50 -> 51"]
+
+    def test_tolerance_still_reports_large_timing_drift(self):
+        differences = diff_stats("sim.ticks 1000\n", "sim.ticks 2000\n",
+                                 tolerance=0.05)
+        assert differences == ["~ sim.ticks 1000 -> 2000"]
+
+    def test_non_numeric_timing_values_stay_strict(self):
+        differences = diff_stats("boot.ticks abc\n", "boot.ticks abd\n",
+                                 tolerance=0.5)
+        assert differences == ["~ boot.ticks abc -> abd"]
+
+    def test_cli_tolerance_flag(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        a.write_text("sim.ticks 1000\nsystem.cpu0.committed 50\n")
+        b.write_text("sim.ticks 1001\nsystem.cpu0.committed 50\n")
+        assert main(["stats-diff", str(a), str(b)]) == 1
+        capsys.readouterr()
+        assert main(["stats-diff", str(a), str(b),
+                     "--tolerance", "0.01"]) == 0
+        assert "0 differences" in capsys.readouterr().out
+
+
+# -- live tailing: trace --follow and status --watch --------------------------
+
+
+def _append_events_slowly(path: str, events, delay: float = 0.02):
+    """Writer-thread body: append JSONL lines with a flush per line."""
+    with open(path, "a", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event.to_json() + "\n")
+            handle.flush()
+            time.sleep(delay)
+
+
+class TestFollowTrace:
+    EVENTS = [
+        TraceEvent("fault_armed", 0, {"fault": "f0"}),
+        TraceEvent("fault_injected", 120, {"location": "int 1"}),
+        TraceEvent("trap", 200, {"reason": "page_fault"}),
+        TraceEvent("process_exit", 260, {"code": 0}),
+    ]
+
+    def test_follow_jsonl_sees_lines_from_live_writer(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text("")
+        writer = threading.Thread(
+            target=_append_events_slowly,
+            args=(str(path), self.EVENTS))
+        writer.start()
+        try:
+            got = list(follow_jsonl(str(path), poll=0.01,
+                                    idle_timeout=0.5))
+        finally:
+            writer.join()
+        assert got == self.EVENTS
+
+    def test_follow_jsonl_buffers_partial_lines(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        line = self.EVENTS[0].to_json() + "\n"
+        path.write_text("")
+        writes = [line[:10], line[10:]]  # torn write mid-line
+
+        def feed():
+            with open(path, "a", encoding="utf-8") as handle:
+                for part in writes:
+                    handle.write(part)
+                    handle.flush()
+                    time.sleep(0.05)
+
+        writer = threading.Thread(target=feed)
+        writer.start()
+        try:
+            got = list(follow_jsonl(str(path), poll=0.01,
+                                    idle_timeout=0.4))
+        finally:
+            writer.join()
+        assert got == [self.EVENTS[0]]
+
+    def test_cli_trace_follow(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        path.write_text("")
+        writer = threading.Thread(
+            target=_append_events_slowly,
+            args=(str(path), self.EVENTS))
+        writer.start()
+        try:
+            code = main(["trace", str(path), "--follow",
+                         "--poll", "0.01", "--idle-timeout", "0.4"])
+        finally:
+            writer.join()
+        assert code == 0
+        out = capsys.readouterr().out
+        tailed = list(events_from_jsonl(out))
+        assert tailed == self.EVENTS
+
+    def test_cli_trace_follow_requires_path(self, capsys):
+        assert main(["trace", "--follow"]) == 2
+        assert "tail" in capsys.readouterr().err
+
+
+class TestStatusWatch:
+    def test_watch_count_refreshes_then_exits(self, tmp_path, capsys):
+        TestCampaignObservability()._make_share(tmp_path)
+        assert main(["status", str(tmp_path), "--watch", "0.01",
+                     "--watch-count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("experiments :") == 2
+        assert out.count("queue") == 2
+
+    def test_watch_zero_renders_once(self, tmp_path, capsys):
+        TestCampaignObservability()._make_share(tmp_path)
+        assert main(["status", str(tmp_path)]) == 0
+        assert capsys.readouterr().out.count("experiments :") == 1
+
+
+# -- trace-bus continuity across checkpoint restore ---------------------------
+
+
+class TestBusContinuityAcrossRestore:
+    """Events emitted after ``restore_checkpoint`` must land on the same
+    bus/sink, with ticks that never run backwards (satellite 4)."""
+
+    @pytest.mark.parametrize("model",
+                             ["atomic", "timing", "inorder", "o3"])
+    def test_restore_keeps_bus_and_monotonic_ticks(self, model):
+        sink = ListSink()
+        bus = TraceBus(sink)
+        injector = FaultInjector.from_text(REG_FAULT)
+        sim = Simulator(SimConfig(cpu_model=model), injector=injector,
+                        bus=bus)
+        sim.load(compile_source(WINDOWED), "test")
+        holder = {}
+        sim.on_checkpoint = lambda s: holder.__setitem__(
+            "blob", dumps_checkpoint(s))
+        sim.run(until_checkpoint=True, max_instructions=2_000_000)
+        assert "blob" in holder
+        pre_restore = len(sink.events)
+        assert sink.of_kind("checkpoint_save")
+
+        faults = parse_fault_file(REG_FAULT)
+        restored = restore_checkpoint(holder["blob"], faults=faults,
+                                      bus=bus)
+        result = restored.run(max_instructions=2_000_000)
+        assert result.status == "completed"
+        assert restored.process(0).state.value == "exited"
+
+        # Same sink kept receiving: restore marker plus the rest of the
+        # run's lifecycle landed after the pre-restore events.
+        kinds = [e.kind for e in sink.events]
+        assert "checkpoint_restore" in kinds[pre_restore:]
+        assert "process_exit" in kinds[pre_restore:]
+        assert sink.of_kind("fault_injected")
+
+        # Ticks never regress: the restored clock resumes from the
+        # checkpointed tick, not from zero.
+        ticks = [e.tick for e in sink.events]
+        assert ticks == sorted(ticks)
+        restore_event = sink.of_kind("checkpoint_restore")[0]
+        assert restore_event.tick > 0
