@@ -1,0 +1,79 @@
+"""The shared ``BENCH_*.json`` artifact schema (``gemfi-bench-v1``).
+
+Every benchmark that persists machine-readable numbers writes one
+``BENCH_<name>.json`` file **at the repository root** through
+:func:`write_bench`, so the perf trajectory of the project is a set of
+uniformly-shaped, diffable files next to the code they measure:
+
+.. code-block:: json
+
+    {
+      "schema": "gemfi-bench-v1",
+      "bench": "perf",
+      "scale": "tiny",
+      "repeats": 3,
+      "cases": {"pi/atomic": {"kips_mean": 410.2, "...": "..."}},
+      "summary": {"...": "..."}
+    }
+
+``cases`` maps a case key (for the perf suite: ``<workload>/<model>``)
+to that case's measurements; ``summary`` holds bench-wide aggregates.
+CI uploads these files as artifacts and gates on them (see the ``perf``
+job and ``benchmarks/perf/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+SCHEMA = "gemfi-bench-v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_payload(bench: str, *, scale: str, repeats: int,
+                  cases: dict, summary: dict | None = None) -> dict:
+    return {
+        "schema": SCHEMA,
+        "bench": bench,
+        "scale": scale,
+        "repeats": repeats,
+        "cases": cases,
+        "summary": summary or {},
+    }
+
+
+def write_bench(bench: str, *, scale: str, repeats: int, cases: dict,
+                summary: dict | None = None,
+                root: Path | str | None = None) -> Path:
+    """Write ``BENCH_<bench>.json`` at the repo root; returns the path."""
+    payload = bench_payload(bench, scale=scale, repeats=repeats,
+                            cases=cases, summary=summary)
+    path = Path(root or REPO_ROOT) / f"BENCH_{bench}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: Path | str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema '{SCHEMA}', "
+            f"got {payload.get('schema')!r}")
+    return payload
+
+
+def mean_stdev(values: list[float]) -> tuple[float, float]:
+    """Sample mean and (n-1) standard deviation; stdev 0 for n < 2."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance)

@@ -1,0 +1,3 @@
+# Package marker: gives benchmarks/perf/conftest.py the module name
+# "perf.conftest" so it cannot shadow the parent suite's conftest.py
+# (both would otherwise import as a bare "conftest").

@@ -1,0 +1,90 @@
+"""KIPS regression gate over two ``BENCH_perf.json`` files.
+
+Usage (the CI ``perf`` job)::
+
+    python benchmarks/perf/check_regression.py \
+        --baseline /tmp/BENCH_perf.baseline.json \
+        --current BENCH_perf.json --tolerance 0.25
+
+Per case present in BOTH files, fails (exit 1) when the current
+``kips_mean`` fell more than ``--tolerance`` below the baseline.  Cases
+present on only one side are reported but never fail the gate, so a
+partial CI run (``-k "atomic or o3"``) gates against the matching
+subset of the committed 8-case baseline.  Improvements are reported,
+not gated — ratcheting the baseline up is a deliberate commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from bench_schema import load_bench  # noqa: E402
+
+
+def check(baseline: dict, current: dict,
+          tolerance: float) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    base_cases = baseline.get("cases", {})
+    cur_cases = current.get("cases", {})
+    shared = sorted(set(base_cases) & set(cur_cases))
+    for key in sorted(set(base_cases) | set(cur_cases)):
+        if key not in shared:
+            side = "baseline" if key in base_cases else "current"
+            lines.append(f"~ {key}: only in {side}, not gated")
+            continue
+        base = float(base_cases[key].get("kips_mean", 0.0))
+        cur = float(cur_cases[key].get("kips_mean", 0.0))
+        if base <= 0:
+            lines.append(f"~ {key}: baseline kips_mean {base}, "
+                         f"not gated")
+            continue
+        delta = cur / base - 1.0
+        stdev = float(cur_cases[key].get("kips_stdev", 0.0))
+        noise = f" (stdev {stdev:.1f})" if stdev else ""
+        if delta < -tolerance:
+            regressions.append(
+                f"FAIL {key}: {base:.1f} -> {cur:.1f} KIPS "
+                f"({delta:+.1%}, tolerance -{tolerance:.0%}){noise}")
+        else:
+            lines.append(f"ok   {key}: {base:.1f} -> {cur:.1f} KIPS "
+                         f"({delta:+.1%}){noise}")
+    if not shared:
+        regressions.append(
+            "FAIL no case is present in both baseline and current — "
+            "nothing was gated")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on KIPS regression between two "
+                    "BENCH_perf.json files")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional KIPS drop "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    lines, regressions = check(baseline, current, args.tolerance)
+    for line in lines:
+        print(line)
+    for line in regressions:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}")
+        return 1
+    print(f"no KIPS regression beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

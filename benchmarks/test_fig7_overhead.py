@@ -11,7 +11,6 @@ the check below allows for symmetrically.
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro.compiler import compile_source
@@ -20,7 +19,8 @@ from repro.sim import SimConfig, Simulator
 from repro.telemetry import RingBufferSink, TraceBus
 from repro.workloads import build
 
-from conftest import RESULTS_DIR, SCALE, publish, runs_setting
+from bench_schema import write_bench
+from conftest import SCALE, publish, runs_setting
 from repro.campaign import mean_confidence_interval
 
 REPEATS = runs_setting(5)
@@ -37,7 +37,8 @@ FLIGHT_CEILING = 0.50
 
 
 def _timed_run(asm: str, with_fi: bool, with_bus: bool = False,
-               with_flight: bool = False) -> float:
+               with_flight: bool = False,
+               with_idle_profiler: bool = False) -> float:
     injector = FaultInjector() if with_fi else None
     if with_flight:
         from repro.telemetry.flight import FlightRecorder
@@ -45,6 +46,12 @@ def _timed_run(asm: str, with_fi: bool, with_bus: bool = False,
     bus = TraceBus(RingBufferSink(capacity=256)) if with_bus else None
     sim = Simulator(SimConfig(), injector=injector, bus=bus)
     sim.load(asm, "bench")
+    if with_idle_profiler:
+        # Constructed but never installed: the zero-overhead-when-
+        # disabled claim is that this changes nothing on any hot path.
+        from repro.telemetry.profiler import Profiler
+        idle = Profiler()
+        assert not idle.installed
     start = time.perf_counter()
     result = sim.run(max_instructions=50_000_000)
     elapsed = time.perf_counter() - start
@@ -131,18 +138,59 @@ def test_telemetry_overhead(benchmark):
               "mode tracing preserves the Fig. 7 property.")
     publish("telemetry_overhead", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "scale": SCALE, "repeats": REPEATS,
-        "ceiling": OVERHEAD_CEILING,
-        "average_overhead": average,
-        "workloads": {name: {"mean": mean, "ci_low": low,
-                             "ci_high": high}
-                      for name, (mean, low, high) in rows.items()},
-    }
-    with open(RESULTS_DIR / "telemetry_overhead.json", "w",
-              encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    write_bench(
+        "telemetry_overhead", scale=SCALE, repeats=REPEATS,
+        cases={name: {"overhead_mean": mean, "ci_low": low,
+                      "ci_high": high}
+               for name, (mean, low, high) in rows.items()},
+        summary={"average_overhead": average,
+                 "ceiling": OVERHEAD_CEILING})
+
+
+def test_profiler_disabled_overhead(benchmark):
+    """Zero-overhead-when-disabled guard for the self-profiler: a run
+    with the profiler merely *importable and constructed* (never
+    installed) must stay within the same ceiling the trace bus already
+    enforces on the Fig. 7 workloads.  Profiling works by per-instance
+    method replacement, so the disabled path executes the exact same
+    code objects as a build without the profiler; this benchmark pins
+    that claim against accidental hot-path coupling in the future."""
+    sources = {name: compile_source(build(name, SCALE).source)
+               for name in TELEMETRY_WORKLOADS}
+
+    def measure():
+        rows = {}
+        for name, asm in sources.items():
+            _timed_run(asm, True)       # warm caches / allocator
+            overheads = []
+            for _ in range(REPEATS):
+                fi_only = _timed_run(asm, True)
+                idle = _timed_run(asm, True, with_idle_profiler=True)
+                overheads.append(idle / fi_only - 1.0)
+            rows[name] = mean_confidence_interval(overheads,
+                                                  confidence=0.95)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = ["workload      overhead   95% CI"]
+    for name, (mean, low, high) in rows.items():
+        lines.append(f"{name:12s}  {mean:+7.1%}   "
+                     f"[{low:+7.1%}, {high:+7.1%}]")
+        assert mean < OVERHEAD_CEILING, \
+            f"{name}: disabled-profiler overhead {mean:.1%} is not " \
+            f"minimal"
+
+    average = sum(mean for mean, _, _ in rows.values()) / len(rows)
+    text = ("Self-profiler disabled-mode overhead — FI + constructed-"
+            f"but-uninstalled profiler vs FI alone ({REPEATS} paired "
+            "runs):\n\n"
+            + "\n".join(lines)
+            + f"\n\naverage overhead: {average:+.1%}"
+            + "\n\nDisabled profiling is structural (no wrappers "
+              "installed = original code\nobjects on every path), so "
+              "this should be pure measurement noise.")
+    publish("profiler_disabled_overhead", text)
 
 
 def test_flight_recorder_overhead(benchmark):
@@ -191,15 +239,10 @@ def test_flight_recorder_overhead(benchmark):
               "the plain-FI fast path.")
     publish("flight_overhead", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "scale": SCALE, "repeats": REPEATS,
-        "ceiling": FLIGHT_CEILING,
-        "average_overhead": average,
-        "workloads": {name: {"mean": mean, "ci_low": low,
-                             "ci_high": high}
-                      for name, (mean, low, high) in rows.items()},
-    }
-    with open(RESULTS_DIR / "flight_overhead.json", "w",
-              encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    write_bench(
+        "flight_overhead", scale=SCALE, repeats=REPEATS,
+        cases={name: {"overhead_mean": mean, "ci_low": low,
+                      "ci_high": high}
+               for name, (mean, low, high) in rows.items()},
+        summary={"average_overhead": average,
+                 "ceiling": FLIGHT_CEILING})

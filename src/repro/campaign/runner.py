@@ -67,6 +67,12 @@ class ExperimentResult:
     # runner's flight recorder is not enabled.
     divergence: dict | None = None
     propagation: dict | None = None
+    # Host-time attribution of wall_seconds (repro.telemetry.profiler):
+    # boot (simulator construction / checkpoint restore), window
+    # (restore point to first injection), injection (first to last
+    # injection) and drain (last injection to completion).  The four
+    # values sum to wall_seconds.
+    phases: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -89,7 +95,34 @@ class ExperimentResult:
             "predicted": self.predicted,
             "divergence": self.divergence,
             "propagation": self.propagation,
+            "phases": self.phases,
         }
+
+
+def _experiment_phases(start: float, run_start: float, run_end: float,
+                       injector) -> dict:
+    """Attribute one experiment's wall time to campaign phases.
+
+    ``boot`` is simulator construction (checkpoint restore); ``window``
+    runs from the restore point to the first injection; ``injection``
+    spans first to last injection; ``drain`` is everything after the
+    last fault fired (simulate-to-outcome).  The injector stamps the
+    injection host times inside ``_record`` — a per-experiment-rare
+    event — so the split costs nothing per instruction.  The four
+    phases sum to ``run_end - start``, i.e. exactly ``wall_seconds``.
+    """
+    boot = run_start - start
+    first = getattr(injector, "first_injection_host", None)
+    last = getattr(injector, "last_injection_host", None)
+    if first is None or last is None:
+        window = run_end - run_start
+        injection = drain = 0.0
+    else:
+        window = first - run_start
+        injection = last - first
+        drain = run_end - last
+    return {"boot": boot, "window": window,
+            "injection": injection, "drain": drain}
 
 
 @dataclass
@@ -203,8 +236,12 @@ class CampaignRunner:
         start_instructions = sim.instructions
         budget = int(self.golden.instructions * self.watchdog_factor) \
             + 100_000
+        run_start = time.perf_counter()
         result = sim.run(max_instructions=start_instructions + budget)
-        wall = time.perf_counter() - start
+        run_end = time.perf_counter()
+        wall = run_end - start
+        phases = _experiment_phases(start, run_start, run_end,
+                                    sim.injector)
         process = sim.process(0)
         injector = sim.injector
         outcome = classify(self.spec, self.golden.outputs, sim, process,
@@ -243,6 +280,7 @@ class CampaignRunner:
             fault_file=render_fault_file(faults),
             divergence=divergence,
             propagation=propagation,
+            phases=phases,
         )
 
     def run_campaign(self, fault_sets, progress=None,

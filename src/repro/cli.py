@@ -20,6 +20,7 @@ Observability surfaces (repro.telemetry):
     gemfi status /mnt/share/campaign [--watch 5]
     gemfi stats-diff golden.txt faulty.txt [--tolerance 0.02]
     gemfi report /mnt/share/campaign --format html -o report.html
+    gemfi profile dct --cpu o3 [--json] [--folded out.folded] [--sample]
 
 (`python -m repro ...` works identically.)
 """
@@ -333,6 +334,96 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Self-profile one run: where does host time go, and how fast is
+    the simulator (KIPS / ticks-per-second)?"""
+    import json
+
+    from .telemetry.profiler import (
+        Profiler,
+        SamplingProfiler,
+        sim_rates,
+    )
+
+    if args.workload in WORKLOAD_NAMES:
+        spec = build(args.workload, args.scale)
+        asm = compile_source(spec.source)
+        name = args.workload
+    else:
+        asm = _load_program(args.workload)
+        name = "app"
+
+    faults = []
+    if args.fault_file:
+        with open(args.fault_file, "r", encoding="utf-8") as handle:
+            faults.extend(parse_fault_file(handle.read()))
+    for line in args.fault or ():
+        faults.extend(parse_fault_file(line))
+
+    injector = FaultInjector(faults)
+    config = SimConfig(cpu_model=args.cpu)
+    sim = Simulator(config, injector=injector)
+    sim.load(asm, name)
+    profiler = Profiler().install(sim)
+    sampler = None
+    if args.sample:
+        sampler = SamplingProfiler(hz=args.sample)
+        try:
+            sampler.start()
+        except ValueError as exc:
+            print(f"# sampling unavailable: {exc}", file=sys.stderr)
+            sampler = None
+    result = sim.run(max_instructions=args.max_instructions)
+    if sampler is not None:
+        sampler.stop()
+
+    wall = profiler.wall_seconds
+    rates = sim_rates(result.instructions, result.ticks, wall)
+    if args.folded:
+        folded = sampler.folded() if args.folded_source == "sample" \
+            and sampler is not None else profiler.folded()
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(folded)
+    if args.json:
+        payload = {
+            "workload": name,
+            "cpu": args.cpu,
+            "status": result.status,
+            "instructions": result.instructions,
+            "ticks": result.ticks,
+            "wall_seconds": wall,
+            "kips": rates["kips"],
+            "ticks_per_second": rates["ticks_per_second"],
+            "host_seconds_per_instruction":
+                rates["host_seconds_per_instruction"],
+            "attribution": profiler.attribution(),
+            "coverage": profiler.coverage(),
+        }
+        if sampler is not None:
+            payload["samples"] = sampler.samples
+            payload["sample_attribution"] = sampler.attribution()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"workload    : {name} ({args.cpu})  status={result.status}")
+        print(f"instructions: {result.instructions}  "
+              f"ticks: {result.ticks}")
+        print(f"wall        : {wall:.4f}s  {rates['kips']:.1f} KIPS  "
+              f"{rates['ticks_per_second']:.0f} ticks/s")
+        print("--- host-time attribution ---")
+        print(profiler.render_table())
+        if sampler is not None:
+            print(f"--- sampled ({sampler.samples} samples) ---")
+            print(sampler.render_table())
+        if args.folded:
+            print(f"# folded stacks -> {args.folded} "
+                  f"(flamegraph.pl / speedscope)")
+    if args.stats:
+        with open(args.stats, "w", encoding="utf-8") as handle:
+            handle.write(sim.stats_dump())
+    profiler.uninstall()
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for name in WORKLOAD_NAMES:
         spec = build(name, "small")
@@ -504,6 +595,40 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--output", "-o", default=None,
                           help="write here instead of stdout")
     report_p.set_defaults(func=cmd_report)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="self-profile the simulator: host-time attribution and "
+             "sim-rate (KIPS) for one run")
+    prof_p.add_argument("workload",
+                        help="paper workload name, MiniC source "
+                             "(.mc/.py) or assembly (.s)")
+    prof_p.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium", "paper"),
+                        help="workload scale (workload names only)")
+    prof_p.add_argument("--cpu", default="atomic",
+                        choices=("atomic", "timing", "inorder", "o3"))
+    prof_p.add_argument("--fault-file", "-f",
+                        help="Listing-1 style fault input file")
+    prof_p.add_argument("--fault", action="append",
+                        help="inline fault description (repeatable)")
+    prof_p.add_argument("--max-instructions", type=int,
+                        default=50_000_000)
+    prof_p.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    prof_p.add_argument("--folded", metavar="FILE",
+                        help="write folded flame-graph stacks here")
+    prof_p.add_argument("--folded-source", default="timers",
+                        choices=("timers", "sample"),
+                        help="which profile feeds --folded")
+    prof_p.add_argument("--sample", type=int, nargs="?", const=97,
+                        default=None, metavar="HZ",
+                        help="also run the SIGPROF sampling profiler "
+                             "(default 97 Hz)")
+    prof_p.add_argument("--stats",
+                        help="write a stats dump (incl. host.* gauges) "
+                             "to this file")
+    prof_p.set_defaults(func=cmd_profile)
 
     list_p = sub.add_parser("workloads",
                             help="list the paper's benchmarks")

@@ -14,6 +14,8 @@ GemFI's overhead within a few percent of unmodified gem5 (Fig. 7).
 
 from __future__ import annotations
 
+import time
+
 from ..isa import disasm
 from ..isa.instructions import Decoded, decode as _decode_word
 from ..isa.traps import IllegalInstruction
@@ -80,6 +82,12 @@ class FaultInjector:
         # Set when a fi_read_init_all pseudo-instruction retires; the
         # simulator turns it into a checkpoint request.
         self.checkpoint_requested = False
+        # Host-clock stamps of the first/last injection, taken inside
+        # _record (a per-experiment-rare event, so no hot-path cost).
+        # Campaigns split wall_seconds into boot/window/injection/drain
+        # phases around them.
+        self.first_injection_host: float | None = None
+        self.last_injection_host: float | None = None
         self.refresh_hot_flags()
 
     # -- construction ----------------------------------------------------------
@@ -119,6 +127,8 @@ class FaultInjector:
         self._watches.clear()
         self.has_watches = False
         self.checkpoint_requested = False
+        self.first_injection_host = None
+        self.last_injection_host = None
         self.refresh_hot_flags()
 
     def load_faults(self, faults: list[Fault]) -> None:
@@ -389,6 +399,10 @@ class FaultInjector:
             fault=fault, tick=self.clock(), instruction_count=count,
             pc=pc, asm=asm, detail=detail, before=before, after=after)
         self.records.append(record)
+        now = time.perf_counter()
+        if self.first_injection_host is None:
+            self.first_injection_host = now
+        self.last_injection_host = now
         if self.bus is not None:
             self.bus.emit(
                 "fault_injected", tick=record.tick,

@@ -75,6 +75,10 @@ class Simulator:
         self.bus = None
         if bus is not None:
             self.attach_bus(bus)
+        # Self-profiler handle; set by Profiler.install(sim).  Never
+        # consulted on the instruction path — profiling works by method
+        # replacement, so a plain run carries no flag checks at all.
+        self.profiler = None
 
     # -- telemetry ---------------------------------------------------------------
 

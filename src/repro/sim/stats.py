@@ -65,6 +65,7 @@ def build_registry(sim) -> MetricsRegistry:
         proc_scope.set("instructions", process.instructions)
 
     _fault_injection_stats(sim, registry)
+    _host_profile_stats(sim, registry)
     return registry
 
 
@@ -95,6 +96,33 @@ def _fault_injection_stats(sim, registry: MetricsRegistry) -> None:
         fi.set(f"injections.{stage}", count)
     fi.set("injections.total", len(injector.records))
     fi.set("propagated", propagated)
+
+
+def _host_profile_stats(sim, registry: MetricsRegistry) -> None:
+    """Host-side sim-rate gauges, present only under a profiler.
+
+    Host timings are nondeterministic, so — exactly like the ``fi.*``
+    scope — they are emitted only when the run opted in by installing a
+    :class:`~repro.telemetry.profiler.Profiler`.  Unprofiled dumps stay
+    byte-identical to pre-profiler dumps (the Section IV.A property).
+    """
+    profiler = getattr(sim, "profiler", None)
+    if profiler is None or profiler.wall_seconds <= 0:
+        return
+    from ..telemetry.profiler import sim_rates
+    host = registry.scope("host")
+    host.set("wall_seconds", round(profiler.wall_seconds, 6))
+    rates = sim_rates(sim.instructions, sim.tick,
+                      profiler.wall_seconds)
+    host.set("kips", round(rates["kips"], 3))
+    host.set("ticks_per_second",
+             round(rates["ticks_per_second"], 1))
+    host.set("seconds_per_instruction",
+             round(rates["host_seconds_per_instruction"], 9))
+    profile = host.scope("profile")
+    for bucket, seconds in profiler.attribution().items():
+        profile.set(bucket, round(seconds, 6))
+    host.set("profile_coverage", round(profiler.coverage(), 4))
 
 
 def collect(sim) -> dict[str, Any]:

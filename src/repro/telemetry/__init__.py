@@ -15,7 +15,11 @@ The pillars (see ``docs/observability.md``):
   scanning of faulty runs;
 * :mod:`~repro.telemetry.pipeview` / :mod:`~repro.telemetry.report` —
   O3 pipeline visualization and deterministic campaign outcome reports,
-  both rendered purely from captured data.
+  both rendered purely from captured data;
+* :mod:`~repro.telemetry.profiler` — the simulator self-profiler:
+  scoped-timer host-time attribution across CPU stages / caches /
+  kernel / injector / sinks, SIGPROF sampling, folded flame-graph
+  output and sim-rate (KIPS) gauges, zero-overhead when not installed.
 """
 
 from .campaign import (
@@ -55,6 +59,7 @@ from .metrics import (
     format_value,
 )
 from .pipeview import collect_pipeline, render_from_events, render_pipeview
+from .profiler import Profiler, SamplingProfiler, sim_rates
 from .report import (
     CampaignReport,
     latency_histogram,
@@ -75,12 +80,14 @@ __all__ = [
     "CampaignReport", "CampaignStatus", "Counter", "Distribution",
     "DivergenceScanner", "EVENT_KINDS", "FlightRecorder", "Formula",
     "GoldenFlightLog", "Histogram", "JsonlFileSink", "ListSink",
-    "MetricsRegistry", "RingBufferSink", "Scalar", "Scope", "TraceBus",
+    "MetricsRegistry", "Profiler", "RingBufferSink", "SamplingProfiler",
+    "Scalar", "Scope", "TraceBus",
     "TraceEvent", "campaign_metrics", "collect_pipeline", "diff_stats",
     "events_from_jsonl", "events_to_jsonl", "follow_jsonl",
     "format_value", "git_describe", "hamming", "latency_histogram",
     "load_share", "parse_stats", "read_heartbeats", "read_jsonl",
     "read_status", "regfile_checksum", "render_from_events",
     "render_html", "render_markdown", "render_pipeview",
-    "render_report", "render_status", "run_manifest", "write_heartbeat",
+    "render_report", "render_status", "run_manifest", "sim_rates",
+    "write_heartbeat",
 ]

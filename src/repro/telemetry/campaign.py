@@ -120,6 +120,15 @@ def read_heartbeats(share_dir: str) -> dict[str, dict]:
 # -- live campaign status ----------------------------------------------------
 
 
+def percentile(values: list[float], fraction: float) -> float | None:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, -(-int(fraction * 100) * len(ordered) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 @dataclass
 class CampaignStatus:
     """A point-in-time snapshot of a shared-directory campaign."""
@@ -134,6 +143,21 @@ class CampaignStatus:
     rate_per_second: float = 0.0
     eta_seconds: float | None = None
     elapsed_seconds: float = 0.0
+    # Host-time roll-up over the completed results: total/mean and
+    # nearest-rank percentiles of per-experiment wall_seconds, the
+    # slowest experiments (outlier hunting on heterogeneous NoW nodes),
+    # and campaign-level KIPS (simulated instructions per host
+    # kilo-second across all completed experiments).
+    wall_total: float = 0.0
+    wall_p50: float | None = None
+    wall_p90: float | None = None
+    slowest: list[tuple[str, float]] = field(default_factory=list)
+    kips: float = 0.0
+
+    @property
+    def wall_mean(self) -> float:
+        return self.wall_total / self.completed if self.completed \
+            else 0.0
 
     @property
     def total(self) -> int:
@@ -153,6 +177,12 @@ class CampaignStatus:
             "rate_per_second": self.rate_per_second,
             "eta_seconds": self.eta_seconds,
             "elapsed_seconds": self.elapsed_seconds,
+            "wall_total": self.wall_total,
+            "wall_mean": self.wall_mean,
+            "wall_p50": self.wall_p50,
+            "wall_p90": self.wall_p90,
+            "slowest": [list(item) for item in self.slowest],
+            "kips": self.kips,
         }
 
 
@@ -185,6 +215,8 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
             status.claimed += 1
 
     result_times: list[float] = []
+    walls: list[tuple[float, str]] = []
+    instructions_total = 0
     for name in listing("results"):
         if not name.endswith(".json"):
             continue
@@ -197,10 +229,24 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
         status.completed += 1
         outcome = entry.get("outcome", "unknown")
         status.outcomes[outcome] = status.outcomes.get(outcome, 0) + 1
+        wall = entry.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            walls.append((float(wall), name[:-len(".json")]))
+            instructions_total += int(entry.get("instructions") or 0)
         try:
             result_times.append(os.path.getmtime(path))
         except OSError:
             pass
+    if walls:
+        values = [wall for wall, _ in walls]
+        status.wall_total = sum(values)
+        status.wall_p50 = percentile(values, 0.5)
+        status.wall_p90 = percentile(values, 0.9)
+        status.slowest = [
+            (name, wall) for wall, name in
+            sorted(walls, key=lambda item: (-item[0], item[1]))[:3]]
+        if status.wall_total > 0:
+            status.kips = instructions_total / status.wall_total / 1e3
 
     claim_times: list[float] = []
     for name in listing("claims"):
@@ -266,6 +312,18 @@ def render_status(status: CampaignStatus) -> str:
                      f"experiments/min")
     if status.eta_seconds is not None:
         lines.append(f"eta         : {status.eta_seconds:.0f} s")
+    if status.wall_total > 0:
+        lines.append(
+            f"host time   : total={status.wall_total:.2f}s "
+            f"mean={status.wall_mean:.3f}s "
+            f"p50={status.wall_p50:.3f}s p90={status.wall_p90:.3f}s")
+        if status.kips > 0:
+            lines.append(f"sim rate    : {status.kips:.1f} KIPS "
+                         f"(campaign aggregate)")
+        if status.slowest:
+            outliers = "  ".join(f"{name}={wall:.3f}s"
+                                 for name, wall in status.slowest)
+            lines.append(f"slowest     : {outliers}")
     return "\n".join(lines)
 
 
@@ -284,21 +342,41 @@ def campaign_metrics(results) -> MetricsRegistry:
     campaign = registry.scope("campaign")
     total = campaign.counter("experiments")
     injected = campaign.counter("injected")
+    instructions_total = 0
+    wall_total = 0.0
+    phase_totals: dict[str, float] = {}
     for result in results:
         if isinstance(result, dict):
             outcome = result.get("outcome", "unknown")
             wall = float(result.get("wall_seconds", 0.0))
             was_injected = bool(result.get("injected"))
+            instructions = int(result.get("instructions") or 0)
+            phases = result.get("phases")
         else:
             outcome = result.outcome.value
             wall = result.wall_seconds
             was_injected = result.injected
+            instructions = result.instructions
+            phases = getattr(result, "phases", None)
         total.inc()
         if was_injected:
             injected.inc()
         campaign.counter(f"outcome.{outcome}").inc()
         campaign.distribution(f"wall_seconds.{outcome}").record(wall)
         campaign.distribution("wall_seconds.all").record(wall)
+        instructions_total += instructions
+        wall_total += wall
+        if phases:
+            for phase, seconds in phases.items():
+                phase_totals[phase] = \
+                    phase_totals.get(phase, 0.0) + float(seconds)
+    # Host-side roll-up: campaign KIPS and the boot/window/injection/
+    # drain attribution of the total wall time (profiler phase stamps).
+    if wall_total > 0:
+        campaign.set("host.kips",
+                     round(instructions_total / wall_total / 1e3, 3))
+    for phase, seconds in sorted(phase_totals.items()):
+        campaign.set(f"host.phase_seconds.{phase}", round(seconds, 6))
     return registry
 
 

@@ -62,6 +62,12 @@ class CampaignReport:
     # flight-recorder injection-to-divergence latencies (ticks)
     latencies: list[int] = field(default_factory=list)
     divergence_kinds: dict[str, int] = field(default_factory=dict)
+    # host-time roll-up: (wall_seconds, experiment name) per result,
+    # total simulated instructions, and boot/window/injection/drain
+    # phase sums (the repro.telemetry.profiler campaign attribution)
+    walls: list[tuple[float, str]] = field(default_factory=list)
+    instructions_total: int = 0
+    phase_totals: dict[str, float] = field(default_factory=dict)
 
     def outcome_columns(self) -> list[str]:
         extra = sorted(set(self.outcomes) - set(OUTCOME_ORDER))
@@ -105,11 +111,12 @@ def load_share(share_dir: str) -> CampaignReport:
                 entry = json.load(handle)
         except (OSError, ValueError):
             continue  # mid-write, exactly like read_status
-        add_result(report, entry)
+        add_result(report, entry, name=name[:-len(".json")])
     return report
 
 
-def add_result(report: CampaignReport, entry: dict) -> None:
+def add_result(report: CampaignReport, entry: dict,
+               name: str = "") -> None:
     """Fold one result record into the aggregates."""
     report.experiments += 1
     outcome = entry.get("outcome", "unknown")
@@ -130,6 +137,17 @@ def add_result(report: CampaignReport, entry: dict) -> None:
         latency = divergence.get("latency")
         if isinstance(latency, int) and latency >= 0:
             report.latencies.append(latency)
+    wall = entry.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        report.walls.append((float(wall),
+                             name or f"exp_{report.experiments:05d}"))
+        report.instructions_total += int(entry.get("instructions") or 0)
+    phases = entry.get("phases")
+    if isinstance(phases, dict):
+        for phase, seconds in phases.items():
+            if isinstance(seconds, (int, float)):
+                report.phase_totals[phase] = \
+                    report.phase_totals.get(phase, 0.0) + float(seconds)
 
 
 # -- the divergence-latency histogram ----------------------------------------
@@ -191,6 +209,52 @@ def _location_groups(report: CampaignReport) -> list[tuple[str, dict]]:
     return [(label, report.by_location[label]) for label in labels]
 
 
+PHASE_ORDER = ("boot", "window", "injection", "drain")
+
+
+def _host_table(report: CampaignReport
+                ) -> tuple[list[str], list[list]] | None:
+    """Host-time summary table; None when the results carry no
+    wall_seconds (pre-telemetry result sets)."""
+    if not report.walls:
+        return None
+    from .campaign import percentile
+    values = [wall for wall, _ in report.walls]
+    total = sum(values)
+    rows = [
+        ["wall total (s)", f"{total:.3f}"],
+        ["wall mean (s)", f"{total / len(values):.4f}"],
+        ["wall p50 (s)", f"{percentile(values, 0.5):.4f}"],
+        ["wall p90 (s)", f"{percentile(values, 0.9):.4f}"],
+    ]
+    if total > 0 and report.instructions_total:
+        kips = report.instructions_total / total / 1e3
+        rows.append(["campaign KIPS", f"{kips:.1f}"])
+    return ["metric", "value"], rows
+
+
+def _slowest_table(report: CampaignReport, top: int = 3
+                   ) -> tuple[list[str], list[list]]:
+    ordered = sorted(report.walls,
+                     key=lambda item: (-item[0], item[1]))[:top]
+    return (["experiment", "wall (s)"],
+            [[name, f"{wall:.4f}"] for wall, name in ordered])
+
+
+def _phase_table(report: CampaignReport
+                 ) -> tuple[list[str], list[list]] | None:
+    if not report.phase_totals:
+        return None
+    phases = [p for p in PHASE_ORDER if p in report.phase_totals]
+    phases += sorted(set(report.phase_totals) - set(PHASE_ORDER))
+    total = sum(report.phase_totals.values())
+    scale = total if total > 0 else 1.0
+    rows = [[phase, f"{report.phase_totals[phase]:.3f}",
+             f"{report.phase_totals[phase] / scale:.1%}"]
+            for phase in phases]
+    return ["phase", "seconds", "share"], rows
+
+
 def _time_groups(report: CampaignReport) -> list[tuple[str, dict]]:
     groups = []
     for index, counts in enumerate(report.by_time):
@@ -243,6 +307,15 @@ def render_markdown(report: CampaignReport) -> str:
             parts.append(f"{label.rjust(width)} | "
                          f"{_bar(count, peak)} {count}")
         parts += ["```"]
+    host = _host_table(report)
+    if host:
+        parts += ["", "## Host time", "", _md_table(*host),
+                  "", "### Slowest experiments", "",
+                  _md_table(*_slowest_table(report))]
+        phases = _phase_table(report)
+        if phases:
+            parts += ["", "### Wall time by campaign phase", "",
+                      _md_table(*phases)]
     parts.append("")
     return "\n".join(parts)
 
@@ -298,6 +371,15 @@ def render_html(report: CampaignReport) -> str:
                          for label, count in histogram)
         parts += ["<h2>Divergence latency (ticks)</h2>",
                   f"<pre>{_html.escape(body)}</pre>"]
+    host = _host_table(report)
+    if host:
+        parts += ["<h2>Host time</h2>", _html_table(*host),
+                  "<h3>Slowest experiments</h3>",
+                  _html_table(*_slowest_table(report))]
+        phases = _phase_table(report)
+        if phases:
+            parts += ["<h3>Wall time by campaign phase</h3>",
+                      _html_table(*phases)]
     parts.append("</body></html>\n")
     return "\n".join(parts)
 
