@@ -25,13 +25,16 @@ import json
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 
 from ..core.parser import parse_fault_file, render_fault_file
 from ..telemetry.campaign import (HEARTBEAT_DIR, MANIFEST_DIR,
-                                  git_describe, run_manifest,
-                                  write_heartbeat)
+                                  git_describe, read_heartbeats,
+                                  run_manifest, write_heartbeat)
+from ..telemetry.spans import (CAMPAIGN_PATH, JsonlSpanSink,
+                               TraceContext, Tracer, span_log_path)
 from .runner import CampaignRunner
 
 
@@ -86,16 +89,22 @@ class SharedDirCampaign:
           results/exp_NNNN.json   outcome records written by workers
           heartbeats/<ws>.json    worker liveness beacons (telemetry)
           manifests/exp_NNNN.json per-run manifests: who ran what, when
+          spans/<ws>.jsonl        span records (only when tracing is on)
+          alerts.jsonl            watchdog journal (only when alerts fire)
     """
 
     def __init__(self, share_dir: str, workload_name: str,
                  scale: str = "small",
                  stale_claim_seconds: float = 600.0,
+                 heartbeat_timeout: float = 120.0,
+                 heartbeat_interval: float = 15.0,
                  clock=time.time) -> None:
         self.share_dir = share_dir
         self.workload_name = workload_name
         self.scale = scale
         self.stale_claim_seconds = stale_claim_seconds
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
         self._clock = clock
         for sub in ("todo", "claimed", "results", "claims",
                     HEARTBEAT_DIR, MANIFEST_DIR):
@@ -105,11 +114,17 @@ class SharedDirCampaign:
 
     def publish(self, runner: CampaignRunner,
                 fault_sets: list, seed: int | None = None,
-                flight: int | None = None) -> None:
+                flight: int | None = None,
+                trace: bool = False) -> None:
+        workload = {"name": self.workload_name, "scale": self.scale,
+                    "seed": seed, "flight": flight}
+        if trace:
+            # Only written when tracing is on, so an untraced share's
+            # workload.json stays byte-identical to the old protocol.
+            workload["trace"] = True
         with open(os.path.join(self.share_dir, "workload.json"), "w",
                   encoding="utf-8") as handle:
-            json.dump({"name": self.workload_name, "scale": self.scale,
-                       "seed": seed, "flight": flight}, handle)
+            json.dump(workload, handle)
         if runner.golden.checkpoint is not None:
             with open(os.path.join(self.share_dir, "checkpoint.bin"),
                       "wb") as handle:
@@ -181,9 +196,21 @@ class SharedDirCampaign:
 
     def _recover_stale_claims(self, worker_id: str) -> bool:
         """Return experiments whose claimant died back to the todo
-        queue.  A claim is stale when it is older than
-        *stale_claim_seconds* and no result has been written."""
+        queue.
+
+        Liveness comes from the claimant's *heartbeat*, not the claim
+        file's age: a live worker legitimately running one slow
+        experiment past ``stale_claim_seconds`` keeps refreshing its
+        heartbeat and must never be robbed (a double-run corrupts the
+        outcome statistics), while a worker whose heartbeat has aged
+        past ``heartbeat_timeout`` is presumed dead and its claims are
+        reclaimed immediately — no need to wait out the much longer
+        claim timeout.  Claims from workers that never heartbeated
+        (pre-telemetry shares, hand-placed claims) fall back to the old
+        claim-age rule.
+        """
         claims_dir = os.path.join(self.share_dir, "claims")
+        beats = read_heartbeats(self.share_dir)
         recovered = False
         for name in sorted(os.listdir(claims_dir)):
             if not name.endswith(".claim"):
@@ -200,8 +227,13 @@ class SharedDirCampaign:
                     entry = json.load(handle)
             except (OSError, ValueError):
                 continue  # being written or already stolen
-            if self._clock() - entry.get("time", 0) \
-                    <= self.stale_claim_seconds:
+            beat = beats.get(entry.get("worker", ""))
+            now = self._clock()
+            if beat is not None:
+                if now - beat.get("time", 0.0) <= self.heartbeat_timeout:
+                    continue  # claimant is demonstrably alive
+                # heartbeat aged out: dead worker, steal right away
+            elif now - entry.get("time", 0) <= self.stale_claim_seconds:
                 continue
             # Single-winner steal: only one workstation's rename of the
             # claim file succeeds.
@@ -228,49 +260,108 @@ class SharedDirCampaign:
 
     # steps 4-5: run locally, move results back to the share.
 
-    def worker_loop(self, worker_id: str,
-                    runner: CampaignRunner) -> int:
+    def run_one(self, worker_id: str, runner: CampaignRunner,
+                completed: int = 0, seed: int | None = None,
+                git_rev: str | None = None, tracer=None,
+                status: dict | None = None) -> str | None:
+        """Claim and run exactly one experiment; returns its name or
+        None when the queue is drained.  *status* (if given) is the
+        worker's mutable ``{"experiment", "completed"}`` view shared
+        with its heartbeater thread."""
+        claimed = self.claim(worker_id)
+        if claimed is None:
+            return None
+        experiment = os.path.basename(claimed).split("_", 1)[1]
+        exp_name = experiment.replace(".txt", "")
+        if status is not None:
+            status["experiment"] = exp_name
+        write_heartbeat(self.share_dir, worker_id, completed,
+                        current_experiment=exp_name, clock=self._clock)
+        with open(claimed, "r", encoding="utf-8") as handle:
+            fault_text = handle.read()
+        faults = parse_fault_file(fault_text)
+        if seed is None:
+            seed = self._published_seed()
+        started = self._clock()
+        span = None
+        if tracer is not None:
+            span = tracer.start(exp_name, kind="experiment",
+                                experiment=exp_name)
+        result = runner.run_experiment(faults, seed=seed)
+        if span is not None:
+            tracer.finish(span)
+        out = os.path.join(self.share_dir, "results",
+                           experiment.replace(".txt", ".json"))
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle)
+        extra = {}
+        if result.divergence is not None:
+            extra["divergence"] = result.divergence
+        if result.propagation is not None:
+            extra["propagation"] = result.propagation
+        manifest = run_manifest(
+            experiment=exp_name,
+            workload=self.workload_name, scale=self.scale,
+            fault_text=fault_text, seed=seed, worker=worker_id,
+            started=started, wall_seconds=result.wall_seconds,
+            outcome=result.outcome.value, git_rev=git_rev,
+            extra=extra or None)
+        manifest_path = os.path.join(
+            self.share_dir, MANIFEST_DIR,
+            experiment.replace(".txt", ".json"))
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        if status is not None:
+            status["experiment"] = None
+            status["completed"] = completed + 1
+        return exp_name
+
+    def worker_loop(self, worker_id: str, runner: CampaignRunner,
+                    tracer=None) -> int:
         completed = 0
         seed = self._published_seed()
         git_rev = git_describe()
+        status = {"experiment": None, "completed": 0}
         write_heartbeat(self.share_dir, worker_id, completed,
                         clock=self._clock)
-        while True:
-            claimed = self.claim(worker_id)
-            if claimed is None:
+        # A long experiment must not let this worker's heartbeat age
+        # out (the liveness-based recovery above would then hand its
+        # claim to somebody else), so a daemon thread keeps beating
+        # while the main thread simulates.  interval <= 0 disables it
+        # (deterministic single-threaded tests).
+        stop = threading.Event()
+        beater = None
+        if self.heartbeat_interval and self.heartbeat_interval > 0:
+            def _beat() -> None:
+                while not stop.wait(self.heartbeat_interval):
+                    try:
+                        write_heartbeat(
+                            self.share_dir, worker_id,
+                            status["completed"],
+                            current_experiment=status["experiment"],
+                            clock=self._clock)
+                    except OSError:
+                        pass  # share hiccup; next beat retries
+            beater = threading.Thread(target=_beat, daemon=True)
+            beater.start()
+        try:
+            while True:
+                ran = self.run_one(worker_id, runner,
+                                   completed=completed, seed=seed,
+                                   git_rev=git_rev, tracer=tracer,
+                                   status=status)
+                if ran is None:
+                    break
+                completed += 1
                 write_heartbeat(self.share_dir, worker_id, completed,
                                 clock=self._clock)
-                return completed
-            with open(claimed, "r", encoding="utf-8") as handle:
-                fault_text = handle.read()
-            faults = parse_fault_file(fault_text)
-            started = self._clock()
-            result = runner.run_experiment(faults, seed=seed)
-            experiment = os.path.basename(claimed).split("_", 1)[1]
-            out = os.path.join(self.share_dir, "results",
-                               experiment.replace(".txt", ".json"))
-            with open(out, "w", encoding="utf-8") as handle:
-                json.dump(result.as_dict(), handle)
-            extra = {}
-            if result.divergence is not None:
-                extra["divergence"] = result.divergence
-            if result.propagation is not None:
-                extra["propagation"] = result.propagation
-            manifest = run_manifest(
-                experiment=experiment.replace(".txt", ""),
-                workload=self.workload_name, scale=self.scale,
-                fault_text=fault_text, seed=seed, worker=worker_id,
-                started=started, wall_seconds=result.wall_seconds,
-                outcome=result.outcome.value, git_rev=git_rev,
-                extra=extra or None)
-            manifest_path = os.path.join(
-                self.share_dir, MANIFEST_DIR,
-                experiment.replace(".txt", ".json"))
-            with open(manifest_path, "w", encoding="utf-8") as handle:
-                json.dump(manifest, handle, indent=2, sort_keys=True)
-            completed += 1
-            write_heartbeat(self.share_dir, worker_id, completed,
-                            clock=self._clock)
+        finally:
+            stop.set()
+            if beater is not None:
+                beater.join(timeout=5.0)
+        write_heartbeat(self.share_dir, worker_id, completed,
+                        clock=self._clock)
+        return completed
 
     def _published_seed(self) -> int | None:
         """The generator seed recorded by ``publish`` (None for
@@ -281,6 +372,10 @@ class SharedDirCampaign:
         """Flight-recorder digest interval recorded by ``publish``, or
         None when the coordinator left the recorder off."""
         return self._published_field("flight")
+
+    def published_trace(self) -> bool:
+        """True when the coordinator published with span tracing on."""
+        return bool(self._published_field("trace"))
 
     def _published_field(self, key: str):
         path = os.path.join(self.share_dir, "workload.json")
@@ -302,6 +397,19 @@ class SharedDirCampaign:
     # orchestration: spawn worker processes (one per local "workstation").
 
     def run_local(self, workers: int = 2) -> list[dict]:
+        tracer = None
+        if self.published_trace():
+            # The coordinator owns the campaign root span; workers
+            # parent their experiment spans under it by id arithmetic
+            # (same seed -> same ids), so no handshake is needed.
+            tracer = Tracer(
+                TraceContext(self._published_seed()),
+                sink=JsonlSpanSink(
+                    span_log_path(self.share_dir, "coordinator")),
+                worker="coordinator")
+            root = tracer.start("campaign", kind="campaign",
+                                workload=self.workload_name,
+                                scale=self.scale, workers=workers)
         processes = []
         for index in range(workers):
             process = multiprocessing.Process(
@@ -312,7 +420,11 @@ class SharedDirCampaign:
             processes.append(process)
         for process in processes:
             process.join()
-        return self.collect()
+        results = self.collect()
+        if tracer is not None:
+            tracer.finish(root, results=len(results))
+            tracer.close()
+        return results
 
 
 def _worker_main(share_dir: str, worker_id: str, workload_name: str,
@@ -326,7 +438,18 @@ def _worker_main(share_dir: str, worker_id: str, workload_name: str,
     flight = campaign.published_flight()
     if flight:
         runner.enable_flight(flight)
-    campaign.worker_loop(worker_id, runner)
+    tracer = None
+    if campaign.published_trace():
+        tracer = Tracer(
+            TraceContext(campaign._published_seed()),
+            sink=JsonlSpanSink(span_log_path(share_dir, worker_id)),
+            worker=worker_id, base_path=CAMPAIGN_PATH)
+        runner.enable_tracing(tracer)
+    try:
+        campaign.worker_loop(worker_id, runner, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def outcome_counts(result_dicts: list[dict]) -> dict[str, int]:

@@ -160,6 +160,9 @@ class CampaignRunner:
         # Optional repro.telemetry trace bus: experiment lifecycle events
         # plus every simulator/injector event of each experiment run.
         self.bus = bus
+        # Optional repro.telemetry.spans tracer: per-experiment spans
+        # with phase children, threaded into checkpoint save/restore.
+        self.tracer = None
         self.asm = compile_source(spec.source)
         self._trace = None
         self._liveness = None
@@ -226,8 +229,21 @@ class CampaignRunner:
             self.bus.emit("experiment_start", tick=0,
                           experiment=index, workload=self.spec.name,
                           faults=[f.describe() for f in faults])
+        tracer = self.tracer
+        span = None
+        owns_span = False
+        if tracer is not None:
+            # A SharedDirCampaign worker opens the experiment span
+            # before calling us; standalone runners open their own.
+            span = tracer.current
+            if span is None:
+                span = tracer.start(f"exp_{index:04d}",
+                                    kind="experiment",
+                                    experiment=f"exp_{index:04d}")
+                owns_span = True
         start = time.perf_counter()
         sim = self._fresh_simulator(faults)
+        start_tick = sim.tick
         scanner = None
         if self._flight_interval is not None:
             from ..telemetry.flight import DivergenceScanner
@@ -259,6 +275,13 @@ class CampaignRunner:
                           outcome=outcome.value,
                           injected=bool(injector.records),
                           wall_seconds=wall)
+        if span is not None:
+            self._emit_spans(tracer, span, phases, start_tick, sim,
+                             injector, outcome, wall,
+                             result.instructions - start_instructions,
+                             divergence)
+            if owns_span:
+                tracer.finish(span)
         return ExperimentResult(
             fault=fault,
             outcome=outcome,
@@ -291,6 +314,56 @@ class CampaignRunner:
             if progress is not None:
                 progress(index + 1, len(fault_sets))
         return results
+
+    # -- span tracing (repro.telemetry.spans) ----------------------------------
+
+    def enable_tracing(self, tracer) -> None:
+        """Attach a span tracer: every subsequent experiment emits an
+        experiment span whose phase children (boot/window/injection/
+        drain) partition its wall time exactly, with checkpoint
+        save/restore spans nested inside."""
+        self.tracer = tracer
+
+    def _emit_spans(self, tracer, span, phases, start_tick, sim,
+                    injector, outcome, wall, instructions,
+                    divergence) -> None:
+        """Retro-record the phase children and annotate the experiment
+        span with its outcome and tick bounds (host times come from the
+        already-computed phase split, so this costs four dict writes per
+        experiment)."""
+        records = injector.records
+        end_tick = sim.tick
+        first_tick = records[0].tick if records else None
+        last_tick = records[-1].tick if records else None
+        if first_tick is None:
+            bounds = {"boot": (start_tick, start_tick),
+                      "window": (start_tick, end_tick),
+                      "injection": (end_tick, end_tick),
+                      "drain": (end_tick, end_tick)}
+        else:
+            bounds = {"boot": (start_tick, start_tick),
+                      "window": (start_tick, first_tick),
+                      "injection": (first_tick, last_tick),
+                      "drain": (last_tick, end_tick)}
+        edge = span.t0
+        for name in ("boot", "window", "injection", "drain"):
+            seconds = float(phases.get(name, 0.0))
+            tick0, tick1 = bounds[name]
+            tracer.record(name, edge, edge + seconds, tick0=tick0,
+                          tick1=tick1, parent=span, kind="phase",
+                          seconds=seconds)
+            edge += seconds
+        span.tick0 = start_tick
+        span.tick1 = end_tick
+        attrs = {"outcome": outcome.value, "injected": bool(records),
+                 "wall_seconds": wall, "instructions": instructions,
+                 "ticks": end_tick - start_tick,
+                 "phases": dict(phases),
+                 "injection_tick": first_tick,
+                 "last_injection_tick": last_tick}
+        if divergence is not None:
+            attrs["divergence_tick"] = divergence.get("tick")
+        tracer.annotate(span, **attrs)
 
     # -- flight recorder (repro.telemetry.flight) ------------------------------
 
@@ -427,13 +500,16 @@ class CampaignRunner:
             sim = restore_checkpoint(self.golden.checkpoint,
                                      faults=faults,
                                      config_override=config_override,
-                                     bus=self.bus)
+                                     bus=self.bus,
+                                     tracer=self.tracer)
             return sim
         config = (self._detailed_config()
                   if self.detailed_model is not None else self.config)
         injector = FaultInjector(faults)
         sim = Simulator(config, injector=injector, bus=self.bus)
         sim.load(self.asm, self.spec.name)
+        if self.tracer is not None:
+            sim.tracer = self.tracer
         return sim
 
     def _detailed_config(self) -> SimConfig:

@@ -21,6 +21,9 @@ Observability surfaces (repro.telemetry):
     gemfi stats-diff golden.txt faulty.txt [--tolerance 0.02]
     gemfi report /mnt/share/campaign --format html -o report.html
     gemfi profile dct --cpu o3 [--json] [--folded out.folded] [--sample]
+    gemfi campaign -w pi -n 20 --share-dir /mnt/share/pi --trace
+    gemfi timeline /mnt/share/pi -o trace.json    # Perfetto-loadable
+    gemfi dashboard /mnt/share/pi [--once]        # live view + alerts
 
 (`python -m repro ...` works identically.)
 """
@@ -117,7 +120,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         generator = SEUGenerator(runner.golden.profile, seed=args.seed)
         faults = generator.batch(args.experiments, location=location)
         campaign.publish(runner, faults, seed=args.seed,
-                         flight=args.flight or None)
+                         flight=args.flight or None,
+                         trace=args.trace)
         results = campaign.run_local(workers=args.workers)
         counts = outcome_counts(results)
         print(f"# share: {args.share_dir} — {len(results)} results")
@@ -125,7 +129,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"#   {name:10s} {count}")
         print(f"# inspect with: gemfi status {args.share_dir} / "
               f"gemfi report {args.share_dir}")
+        if args.trace:
+            print(f"# span tracing on: gemfi timeline {args.share_dir} "
+                  f"/ gemfi dashboard {args.share_dir}")
         return 0
+    if args.trace:
+        print("# warning: --trace needs --share-dir (span tracing "
+              "follows the NoW campaign protocol); ignoring",
+              file=sys.stderr)
     progress = lambda done, total: print(  # noqa: E731
         f"\r# {done}/{total}", end="", file=sys.stderr)
     if args.prune:
@@ -281,14 +292,83 @@ def cmd_status(args: argparse.Namespace) -> int:
     iterations = 0
     try:
         while True:
-            if iterations:
-                print()
+            if not args.json:
+                # Rehome the cursor and clear: each refresh repaints
+                # one screen instead of scroll-stacking frames.
+                print("\x1b[H\x1b[2J", end="")
             show()
+            sys.stdout.flush()
             iterations += 1
             if args.watch_count and iterations >= args.watch_count:
                 return 0
             _time.sleep(args.watch)
     except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Merge a traced campaign's span logs into one Chrome trace-event
+    JSON, loadable at https://ui.perfetto.dev or chrome://tracing."""
+    from .telemetry import (
+        render_timeline,
+        timeline_summary,
+        validate_trace,
+    )
+    try:
+        text = render_timeline(args.share_dir, timebase=args.timebase,
+                               slots=args.slots, indent=args.indent)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events = validate_trace(text)
+    summary = timeline_summary(args.share_dir)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# {summary['experiments']} experiments / {events} "
+              f"events -> {args.output}", file=sys.stderr)
+        print("# open it at https://ui.perfetto.dev (or "
+              "chrome://tracing)", file=sys.stderr)
+    else:
+        print(text, end="")
+    if summary["open_spans"]:
+        print(f"# note: {summary['open_spans']} span(s) still open "
+              f"(in-flight or dead workers) — not on the timeline",
+              file=sys.stderr)
+    if not summary["experiments"]:
+        print("# no experiment spans on the share — was the campaign "
+              "run with --trace?", file=sys.stderr)
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Live campaign dashboard: status, workers x current experiment,
+    and the watchdog alert strip (also journalled to alerts.jsonl)."""
+    import time as _time
+
+    from .telemetry import (
+        WatchdogConfig,
+        append_alerts,
+        render_dashboard,
+    )
+    config = WatchdogConfig(
+        heartbeat_timeout=args.heartbeat_timeout,
+        stale_claim_seconds=args.stale_seconds)
+    try:
+        while True:
+            text, alerts = render_dashboard(args.share_dir, config)
+            if not args.once:
+                print("\x1b[H\x1b[2J", end="")
+            print(text)
+            sys.stdout.flush()
+            if alerts and not args.no_alerts:
+                append_alerts(args.share_dir, alerts)
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
         return 0
 
 
@@ -495,6 +575,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--workers", type=int, default=2,
                         help="local worker processes in --share-dir "
                              "mode")
+    camp_p.add_argument("--trace", action="store_true",
+                        help="span-trace the campaign (share mode): "
+                             "workers append span logs for gemfi "
+                             "timeline / gemfi dashboard")
     camp_p.set_defaults(func=cmd_campaign)
 
     ana_p = sub.add_parser(
@@ -572,6 +656,46 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stop --watch after N refreshes "
                                "(0 = until interrupted)")
     status_p.set_defaults(func=cmd_status)
+
+    tl_p = sub.add_parser(
+        "timeline",
+        help="merge a traced campaign's span logs into Chrome "
+             "trace-event JSON (Perfetto / chrome://tracing)")
+    tl_p.add_argument("share_dir",
+                      help="the campaign share directory")
+    tl_p.add_argument("--output", "-o", default=None,
+                      help="write the trace JSON here instead of stdout")
+    tl_p.add_argument("--timebase", default="host",
+                      choices=("host", "ticks"),
+                      help="host = real wall-clock tracks; ticks = "
+                           "deterministic simulated-tick layout "
+                           "(byte-identical across same-seed reruns)")
+    tl_p.add_argument("--slots", type=int, default=None,
+                      help="workstation slots for --timebase ticks "
+                           "(default: the workers that heartbeated)")
+    tl_p.add_argument("--indent", type=int, default=None,
+                      help="pretty-print the JSON with this indent")
+    tl_p.set_defaults(func=cmd_timeline)
+
+    dash_p = sub.add_parser(
+        "dashboard",
+        help="live campaign dashboard with watchdog alerts")
+    dash_p.add_argument("share_dir",
+                        help="the campaign share directory")
+    dash_p.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds")
+    dash_p.add_argument("--once", action="store_true",
+                        help="print one frame and exit (scripts/CI)")
+    dash_p.add_argument("--no-alerts", action="store_true",
+                        help="do not journal alerts to alerts.jsonl")
+    dash_p.add_argument("--stale-seconds", type=float, default=600.0,
+                        help="claim-age fallback for workers that "
+                             "never heartbeated")
+    dash_p.add_argument("--heartbeat-timeout", type=float,
+                        default=120.0,
+                        help="workers silent longer than this are "
+                             "presumed dead")
+    dash_p.set_defaults(func=cmd_dashboard)
 
     diff_p = sub.add_parser(
         "stats-diff",

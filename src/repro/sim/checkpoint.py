@@ -63,7 +63,7 @@ def dumps_checkpoint(sim: Simulator) -> bytes:
 
 def restore_checkpoint(source, faults: list[Fault] | None = None,
                        config_override: SimConfig | None = None,
-                       bus=None) -> Simulator:
+                       bus=None, tracer=None) -> Simulator:
     """Rebuild a simulator from a checkpoint.
 
     ``source`` is a path or a bytes blob.  ``faults`` installs a fresh
@@ -72,8 +72,28 @@ def restore_checkpoint(source, faults: list[Fault] | None = None,
     ``config_override`` lets campaigns restore into a different CPU model
     (e.g. the detailed O3 model for the injection window).  ``bus``
     attaches a :class:`~repro.telemetry.TraceBus` to the restored
-    platform and reports the restore on it.
+    platform and reports the restore on it.  ``tracer`` wraps the
+    restore in a ``checkpoint_restore`` span and stays attached to the
+    simulator, so span context survives the save/restore boundary.
     """
+    span = None
+    if tracer is not None:
+        span = tracer.start("checkpoint_restore", kind="checkpoint")
+    try:
+        sim = _restore(source, faults, config_override, bus)
+    except Exception:
+        if span is not None:
+            tracer.finish(span, error=True)
+        raise
+    if tracer is not None:
+        sim.tracer = tracer
+        tracer.finish(span, tick=sim.tick,
+                      instructions=sim.instructions,
+                      faults=len(faults or []))
+    return sim
+
+
+def _restore(source, faults, config_override, bus) -> Simulator:
     if isinstance(source, (bytes, bytearray)):
         state = pickle.loads(bytes(source))
     else:

@@ -79,6 +79,10 @@ class Simulator:
         # consulted on the instruction path — profiling works by method
         # replacement, so a plain run carries no flag checks at all.
         self.profiler = None
+        # Span tracer (repro.telemetry.spans); None = tracing off.
+        # Only consulted on checkpoint saves — a per-experiment-rare
+        # event — so the run loop stays untouched.
+        self.tracer = None
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -219,6 +223,17 @@ class Simulator:
     # -- checkpointing ------------------------------------------------------------------------
 
     def _take_checkpoint(self) -> None:
+        if self.tracer is not None and \
+                (self.on_checkpoint is not None
+                 or self.checkpoint_path is not None):
+            with self.tracer.span("checkpoint_save", tick=self.tick,
+                                  kind="checkpoint",
+                                  instructions=self.instructions):
+                self._write_checkpoint()
+        else:
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
         from . import checkpoint as ckpt
         if self.on_checkpoint is not None:
             self.on_checkpoint(self)

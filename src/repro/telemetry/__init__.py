@@ -19,7 +19,16 @@ The pillars (see ``docs/observability.md``):
 * :mod:`~repro.telemetry.profiler` — the simulator self-profiler:
   scoped-timer host-time attribution across CPU stages / caches /
   kernel / injector / sinks, SIGPROF sampling, folded flame-graph
-  output and sim-rate (KIPS) gauges, zero-overhead when not installed.
+  output and sim-rate (KIPS) gauges, zero-overhead when not installed;
+* :mod:`~repro.telemetry.spans` — distributed span tracing across the
+  NoW campaign with deterministic seed-derived ids (same seed, same
+  trace), zero-overhead when no tracer is attached;
+* :mod:`~repro.telemetry.timeline` — merges all workers' span logs into
+  one Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
+* :mod:`~repro.telemetry.watchdog` — declarative campaign alert rules
+  (dead-worker / stalled-experiment / throughput-collapse /
+  outcome-drift) plus the ``gemfi dashboard`` live view and the
+  ``alerts.jsonl`` journal.
 """
 
 from .campaign import (
@@ -75,19 +84,51 @@ from .sinks import (
     follow_jsonl,
     read_jsonl,
 )
+from .spans import (
+    JsonlSpanSink,
+    ListSpanSink,
+    Span,
+    TraceContext,
+    Tracer,
+    load_spans,
+    read_span_records,
+    span_log_path,
+)
+from .timeline import (
+    build_timeline,
+    render_timeline,
+    timeline_summary,
+    validate_trace,
+    write_timeline,
+)
+from .watchdog import (
+    Alert,
+    WatchdogConfig,
+    append_alerts,
+    dashboard_view,
+    evaluate_alerts,
+    read_alerts,
+    render_dashboard,
+    snapshot_share,
+)
 
 __all__ = [
-    "CampaignReport", "CampaignStatus", "Counter", "Distribution",
-    "DivergenceScanner", "EVENT_KINDS", "FlightRecorder", "Formula",
-    "GoldenFlightLog", "Histogram", "JsonlFileSink", "ListSink",
+    "Alert", "CampaignReport", "CampaignStatus", "Counter",
+    "Distribution", "DivergenceScanner", "EVENT_KINDS",
+    "FlightRecorder", "Formula", "GoldenFlightLog", "Histogram",
+    "JsonlFileSink", "JsonlSpanSink", "ListSink", "ListSpanSink",
     "MetricsRegistry", "Profiler", "RingBufferSink", "SamplingProfiler",
-    "Scalar", "Scope", "TraceBus",
-    "TraceEvent", "campaign_metrics", "collect_pipeline", "diff_stats",
-    "events_from_jsonl", "events_to_jsonl", "follow_jsonl",
-    "format_value", "git_describe", "hamming", "latency_histogram",
-    "load_share", "parse_stats", "read_heartbeats", "read_jsonl",
-    "read_status", "regfile_checksum", "render_from_events",
-    "render_html", "render_markdown", "render_pipeview",
-    "render_report", "render_status", "run_manifest", "sim_rates",
-    "write_heartbeat",
+    "Scalar", "Scope", "Span", "TraceBus", "TraceContext", "TraceEvent",
+    "Tracer", "WatchdogConfig", "append_alerts", "build_timeline",
+    "campaign_metrics", "collect_pipeline", "dashboard_view",
+    "diff_stats", "evaluate_alerts", "events_from_jsonl",
+    "events_to_jsonl", "follow_jsonl", "format_value", "git_describe",
+    "hamming", "latency_histogram", "load_share", "load_spans",
+    "parse_stats", "read_alerts", "read_heartbeats", "read_jsonl",
+    "read_span_records", "read_status", "regfile_checksum",
+    "render_dashboard", "render_from_events", "render_html",
+    "render_markdown", "render_pipeview", "render_report",
+    "render_status", "render_timeline", "run_manifest", "sim_rates",
+    "snapshot_share", "span_log_path", "timeline_summary",
+    "validate_trace", "write_heartbeat", "write_timeline",
 ]

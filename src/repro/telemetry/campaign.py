@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -33,6 +34,18 @@ from .metrics import MetricsRegistry
 
 HEARTBEAT_DIR = "heartbeats"
 MANIFEST_DIR = "manifests"
+
+_HOSTNAME: str | None = None
+
+
+def _hostname() -> str:
+    global _HOSTNAME
+    if _HOSTNAME is None:
+        try:
+            _HOSTNAME = socket.gethostname()
+        except OSError:
+            _HOSTNAME = "?"
+    return _HOSTNAME
 
 
 # -- code revision -----------------------------------------------------------
@@ -85,13 +98,21 @@ def run_manifest(*, experiment: str, workload: str, scale: str,
 
 
 def write_heartbeat(share_dir: str, worker_id: str, completed: int,
+                    current_experiment: str | None = None,
                     clock=time.time) -> str:
-    """Atomically refresh *worker_id*'s heartbeat file on the share."""
+    """Atomically refresh *worker_id*'s heartbeat file on the share.
+
+    *current_experiment* names the experiment the worker is holding
+    right now (None between experiments), so the dashboard and the
+    dead-worker rule can pin exactly what a silent worker was running.
+    """
     directory = os.path.join(share_dir, HEARTBEAT_DIR)
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{worker_id}.json")
     payload = {"worker": worker_id, "pid": os.getpid(),
-               "time": clock(), "completed": completed}
+               "hostname": _hostname(), "time": clock(),
+               "completed": completed,
+               "current_experiment": current_experiment}
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
@@ -183,6 +204,8 @@ class CampaignStatus:
             "wall_p90": self.wall_p90,
             "slowest": [list(item) for item in self.slowest],
             "kips": self.kips,
+            "workers": {name: dict(beat) for name, beat
+                        in self.workers.items()},
         }
 
 
@@ -268,9 +291,11 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
             status.stale += 1
 
     status.workers = read_heartbeats(share_dir)
+    for beat in status.workers.values():
+        beat["age"] = max(0.0, now - beat.get("time", 0.0))
+        beat["live"] = beat["age"] <= heartbeat_timeout
     status.live_workers = sum(
-        1 for beat in status.workers.values()
-        if now - beat.get("time", 0.0) <= heartbeat_timeout)
+        1 for beat in status.workers.values() if beat["live"])
 
     started = min(claim_times) if claim_times else None
     if started is not None:
@@ -303,6 +328,20 @@ def render_status(status: CampaignStatus) -> str:
         f"workers     : {status.live_workers} live / "
         f"{len(status.workers)} seen",
     ]
+    for name in sorted(status.workers):
+        beat = status.workers[name]
+        state = "live" if beat.get("live", True) else "silent"
+        detail = f"  {name}: {state}"
+        if "age" in beat:
+            detail += f" {beat['age']:.0f}s ago"
+        detail += f" done={beat.get('completed', 0)}"
+        if beat.get("current_experiment"):
+            detail += f" running={beat['current_experiment']}"
+        host = beat.get("hostname")
+        pid = beat.get("pid")
+        if host or pid:
+            detail += f" [{host or '?'}:{pid or '?'}]"
+        lines.append(detail)
     if status.outcomes:
         mix = "  ".join(f"{name}={count}" for name, count
                         in sorted(status.outcomes.items()))

@@ -1,0 +1,322 @@
+"""Merge per-worker span logs into one Chrome trace-event timeline.
+
+``gemfi timeline <share>`` turns the ``share/spans/*.jsonl`` written by
+:mod:`repro.telemetry.spans` into a single JSON document in the Chrome
+trace-event format — loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` — with one track per workstation slot, one complete
+(``ph: "X"``) event per experiment, child events for the
+boot/window/injection/drain phase split, and instant (``ph: "i"``)
+markers for injections and architectural divergences.
+
+Two timebases:
+
+* ``host`` (default) — real wall-clock: events sit where they actually
+  ran, tracks are the real workers, and every experiment's phase
+  children partition its duration *exactly* (integer microseconds, the
+  last phase absorbs the rounding remainder, so child durations sum to
+  the experiment duration which is ``round(wall_seconds * 1e6)``).
+* ``ticks`` — fully deterministic: durations are simulated ticks,
+  experiments are laid out over ``--slots`` tracks by the paper's
+  earliest-free-slot discipline (the same arithmetic as
+  :func:`repro.campaign.now.simulate_makespan`), and every field is a
+  pure function of the campaign seed — so the merged timeline is
+  **byte-identical across reruns**, making traces diffable regression
+  artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .campaign import read_heartbeats
+from .spans import load_spans
+
+PID = 1
+PHASE_NAMES = ("boot", "window", "injection", "drain")
+
+
+def _experiment_spans(finished: list[dict]) -> list[dict]:
+    spans = [r for r in finished
+             if r.get("attrs", {}).get("kind") == "experiment"]
+    spans.sort(key=lambda r: (r.get("name", ""), r.get("span", "")))
+    return spans
+
+
+def _slot_count(share_dir: str, experiments: list[dict]) -> int:
+    """Deterministic slot count: the workers that heartbeated, falling
+    back to the distinct workers seen in the span logs."""
+    beats = read_heartbeats(share_dir)
+    workers = {name for name in beats if name != "coordinator"}
+    if workers:
+        return len(workers)
+    seen = {r.get("worker") for r in experiments if r.get("worker")}
+    return max(1, len(seen))
+
+
+def _metadata(track_names: list[str], label: str) -> list[dict]:
+    events = [{"ph": "M", "pid": PID, "name": "process_name",
+               "args": {"name": label}}]
+    for tid, name in enumerate(track_names):
+        events.append({"ph": "M", "pid": PID, "tid": tid,
+                       "name": "thread_name", "args": {"name": name}})
+    return events
+
+
+def _complete(name: str, cat: str, ts: int, dur: int, tid: int,
+              args: dict | None = None) -> dict:
+    event = {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+             "pid": PID, "tid": tid}
+    if args:
+        event["args"] = args
+    return event
+
+
+def _instant(name: str, cat: str, ts: int, tid: int,
+             args: dict | None = None) -> dict:
+    event = {"name": name, "cat": cat, "ph": "i", "s": "t", "ts": ts,
+             "pid": PID, "tid": tid}
+    if args:
+        event["args"] = args
+    return event
+
+
+def _phase_partition(total_us: int, phases: dict) -> list[tuple[str, int]]:
+    """Partition *total_us* across the four phases exactly.
+
+    Each phase rounds independently; the last one absorbs the rounding
+    remainder, so the four integer durations always sum to *total_us*.
+    """
+    out: list[tuple[str, int]] = []
+    used = 0
+    for index, name in enumerate(PHASE_NAMES):
+        if index == len(PHASE_NAMES) - 1:
+            dur = total_us - used
+        else:
+            dur = int(round(float(phases.get(name, 0.0)) * 1e6))
+            dur = max(0, min(dur, total_us - used))
+        out.append((name, dur))
+        used += dur
+    return out
+
+
+def _host_events(experiments: list[dict]) -> list[dict]:
+    starts = [r.get("t0") for r in experiments
+              if isinstance(r.get("t0"), (int, float))]
+    if not starts:
+        return _metadata([], "gemfi campaign")
+    origin = min(starts)
+    workers = sorted({r.get("worker") or "?" for r in experiments})
+    track = {worker: tid for tid, worker in enumerate(workers)}
+    events = _metadata(workers, "gemfi campaign")
+    for record in experiments:
+        attrs = record.get("attrs", {})
+        worker = record.get("worker") or "?"
+        tid = track[worker]
+        t0 = record.get("t0")
+        if not isinstance(t0, (int, float)):
+            continue
+        wall = attrs.get("wall_seconds")
+        if not isinstance(wall, (int, float)):
+            t1 = record.get("t1")
+            wall = (t1 - t0) if isinstance(t1, (int, float)) else 0.0
+        ts = int(round((t0 - origin) * 1e6))
+        dur = max(0, int(round(float(wall) * 1e6)))
+        name = attrs.get("experiment") or record.get("name", "?")
+        events.append(_complete(name, "experiment", ts, dur, tid, {
+            "outcome": attrs.get("outcome"),
+            "injected": attrs.get("injected"),
+            "worker": worker,
+            "wall_seconds": wall,
+        }))
+        phases = attrs.get("phases") or {}
+        parts = _phase_partition(dur, phases) if phases else []
+        edge = ts
+        for phase, phase_dur in parts:
+            events.append(_complete(phase, "phase", edge, phase_dur,
+                                    tid, {"seconds": phases.get(phase)}))
+            edge += phase_dur
+        if attrs.get("injected") and parts:
+            inj_ts = ts + parts[0][1] + parts[1][1]
+            events.append(_instant("injection", "injection", inj_ts, tid,
+                                   {"tick": attrs.get("injection_tick")}))
+        div_tick = attrs.get("divergence_tick")
+        tick0, tick1 = record.get("tick0"), record.get("tick1")
+        if div_tick is not None and isinstance(tick0, int) \
+                and isinstance(tick1, int) and tick1 > tick0 and parts:
+            # Host time inside the run is not stamped per tick; place
+            # the divergence proportionally within the post-boot region.
+            boot = parts[0][1]
+            frac = (div_tick - tick0) / (tick1 - tick0)
+            frac = min(1.0, max(0.0, frac))
+            div_ts = ts + boot + int(round(frac * (dur - boot)))
+            events.append(_instant("divergence", "divergence", div_ts,
+                                   tid, {"tick": div_tick}))
+    return events
+
+
+def _tick_events(experiments: list[dict], slots: int) -> list[dict]:
+    slots = max(1, int(slots))
+    names = [f"slot{index}" for index in range(slots)]
+    events = _metadata(names, "gemfi campaign (ticks)")
+    slot_free = [0] * slots
+    for record in experiments:
+        attrs = record.get("attrs", {})
+        tick0 = record.get("tick0")
+        tick1 = record.get("tick1")
+        if not isinstance(tick0, int) or not isinstance(tick1, int):
+            continue
+        dur = max(0, tick1 - tick0)
+        tid = min(range(slots), key=slot_free.__getitem__)
+        ts = slot_free[tid]
+        slot_free[tid] += dur
+        name = attrs.get("experiment") or record.get("name", "?")
+        events.append(_complete(name, "experiment", ts, dur, tid, {
+            "outcome": attrs.get("outcome"),
+            "injected": attrs.get("injected"),
+            "ticks": dur,
+            "instructions": attrs.get("instructions"),
+        }))
+        first = attrs.get("injection_tick")
+        last = attrs.get("last_injection_tick")
+        if isinstance(first, int) and isinstance(last, int):
+            window = max(0, min(dur, first - tick0))
+            injection = max(0, min(dur - window, last - first))
+            drain = dur - window - injection
+        else:
+            window, injection, drain = dur, 0, 0
+        edge = ts
+        for phase, phase_dur in (("window", window),
+                                 ("injection", injection),
+                                 ("drain", drain)):
+            events.append(_complete(phase, "phase", edge, phase_dur,
+                                    tid, {"ticks": phase_dur}))
+            edge += phase_dur
+        if isinstance(first, int):
+            events.append(_instant("injection", "injection",
+                                   ts + window, tid, {"tick": first}))
+        div_tick = attrs.get("divergence_tick")
+        if isinstance(div_tick, int) and tick1 > tick0:
+            offset = min(dur, max(0, div_tick - tick0))
+            events.append(_instant("divergence", "divergence",
+                                   ts + offset, tid, {"tick": div_tick}))
+    return events
+
+
+def build_timeline(share_dir: str, timebase: str = "host",
+                   slots: int | None = None) -> dict:
+    """The merged campaign timeline as a Chrome trace-event dict."""
+    finished, _open = load_spans(share_dir)
+    experiments = _experiment_spans(finished)
+    if timebase == "host":
+        events = _host_events(experiments)
+    elif timebase == "ticks":
+        events = _tick_events(
+            experiments, slots if slots else
+            _slot_count(share_dir, experiments))
+    else:
+        raise ValueError(f"unknown timebase '{timebase}' "
+                         "(expected 'host' or 'ticks')")
+    trace_ids = sorted({r.get("trace") for r in experiments
+                        if r.get("trace")})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "gemfi timeline",
+            "timebase": timebase,
+            "experiments": len(experiments),
+            "trace": trace_ids[0] if len(trace_ids) == 1 else trace_ids,
+        },
+    }
+
+
+def render_timeline(share_dir: str, timebase: str = "host",
+                    slots: int | None = None,
+                    indent: int | None = None) -> str:
+    """The timeline serialised deterministically (sorted keys, fixed
+    separators) — same share, same bytes."""
+    payload = build_timeline(share_dir, timebase=timebase, slots=slots)
+    if indent is None:
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+    else:
+        text = json.dumps(payload, sort_keys=True, indent=indent)
+    return text + "\n"
+
+
+def write_timeline(share_dir: str, output: str,
+                   timebase: str = "host",
+                   slots: int | None = None) -> int:
+    """Render to *output*; returns the event count."""
+    text = render_timeline(share_dir, timebase=timebase, slots=slots)
+    count = validate_trace(text)
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return count
+
+
+# -- validation ---------------------------------------------------------------
+
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n"}
+
+
+def validate_trace(source) -> int:
+    """Check *source* is well-formed Chrome trace-event JSON.
+
+    Accepts the JSON text or an already-parsed dict; returns the event
+    count, raising :class:`ValueError` on the first malformation.  This
+    backs the CI smoke job ("the artifact must load in Perfetto").
+    """
+    payload = json.loads(source) if isinstance(source, (str, bytes)) \
+        else source
+    if not isinstance(payload, dict):
+        raise ValueError("trace must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace missing 'traceEvents' list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown ph {phase!r}")
+        if "name" not in event:
+            raise ValueError(f"{where}: missing name")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    raise ValueError(f"{where}: non-numeric {key}")
+            if event["dur"] < 0:
+                raise ValueError(f"{where}: negative dur")
+            for key in ("pid", "tid"):
+                if key not in event:
+                    raise ValueError(f"{where}: missing {key}")
+        elif phase == "i":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError(f"{where}: non-numeric ts")
+            if event.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"{where}: bad instant scope")
+        elif phase == "M":
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"{where}: metadata without args")
+    return len(events)
+
+
+def timeline_summary(share_dir: str) -> dict:
+    """Quick share-level counts for CLI chatter (no rendering)."""
+    finished, opened = load_spans(share_dir)
+    experiments = _experiment_spans(finished)
+    workers = sorted({r.get("worker") for r in experiments
+                      if r.get("worker")})
+    return {
+        "experiments": len(experiments),
+        "spans": len(finished),
+        "open_spans": len(opened),
+        "workers": workers,
+        "span_files": sorted(
+            name for name in os.listdir(os.path.join(share_dir, "spans"))
+            if name.endswith(".jsonl")) if os.path.isdir(
+                os.path.join(share_dir, "spans")) else [],
+    }
