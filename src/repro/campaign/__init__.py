@@ -1,5 +1,11 @@
 """Campaign orchestration: sampling, generation, execution, analysis."""
 
+from .backend import (
+    CampaignBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .classify import OUTCOME_ORDER, Outcome, classify
 from .generator import (
     DEFAULT_LOCATIONS,
@@ -41,7 +47,8 @@ from .sampling import (
 )
 
 __all__ = [
-    "CampaignRunner", "DEFAULT_LOCATIONS", "Distribution",
+    "CampaignBackend", "CampaignRunner", "DEFAULT_LOCATIONS",
+    "Distribution", "backend_names", "get_backend", "register_backend",
     "ExperimentResult", "GoldenRun", "LOCATION_WIDTHS", "NoWConfig",
     "OUTCOME_ORDER", "Outcome", "PlannedRun", "PredictedSite",
     "PrunedGenerator", "PrunedPlan", "SEUGenerator",

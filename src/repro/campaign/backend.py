@@ -1,0 +1,83 @@
+"""Pluggable campaign execution backends.
+
+The paper's shared-network-filesystem protocol (Section III.E) is one
+way to execute a published campaign; the service layer
+(:mod:`repro.service`) needs to dispatch queued jobs to *whichever*
+execution substrate a deployment provides — the shared directory
+today, and later container pools or batch schedulers.  This module
+defines the contract between campaign publication and execution and a
+tiny registry so backends are selectable by name (the job spec's
+``backend`` field).
+
+:class:`~repro.campaign.now.SharedDirCampaign` is the reference
+implementation, registered as ``"shared-dir"``.  The extraction is a
+pure refactor: shared-dir campaigns behave byte-identically whether or
+not a service sits in front of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class CampaignBackend(ABC):
+    """One way of executing a published fault-injection campaign.
+
+    Constructor contract: ``Backend(share_dir, workload_name, scale,
+    **kwargs)`` — every backend is rooted at a directory it owns for
+    the duration of one campaign (the service allocates a private root
+    per job), knows which workload it runs, and is otherwise free to
+    organise its state however it likes.
+    """
+
+    #: registry key; set by :func:`register_backend`.
+    name: str = "?"
+
+    @abstractmethod
+    def publish(self, runner, fault_sets: list, seed: int | None = None,
+                flight: int | None = None, trace: bool = False) -> None:
+        """Make the campaign available to workers: the checkpoint, the
+        workload description and one fault input file per experiment."""
+
+    @abstractmethod
+    def worker_loop(self, worker_id: str, runner, tracer=None) -> int:
+        """Drain the published queue as one worker; returns the number
+        of experiments this worker completed."""
+
+    @abstractmethod
+    def collect(self) -> list[dict]:
+        """All result records published so far, in experiment order."""
+
+    @abstractmethod
+    def run_local(self, workers: int = 2) -> list[dict]:
+        """Publish-side convenience: drain the whole campaign with
+        *workers* local worker processes and return the results."""
+
+
+_BACKENDS: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: register *cls* under *name* (also sets
+    ``cls.name``) so job specs can select it."""
+
+    def decorate(cls: type) -> type:
+        cls.name = name
+        _BACKENDS[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_backend(name: str) -> type:
+    """The backend class registered under *name*."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS)) or "(none)"
+        raise KeyError(f"unknown campaign backend '{name}' "
+                       f"(registered: {known})") from None
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKENDS)

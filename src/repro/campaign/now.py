@@ -31,11 +31,36 @@ from dataclasses import dataclass
 
 from ..core.parser import parse_fault_file, render_fault_file
 from ..telemetry.campaign import (HEARTBEAT_DIR, MANIFEST_DIR,
-                                  git_describe, read_heartbeats,
-                                  run_manifest, write_heartbeat)
+                                  PeriodicBeat, git_describe,
+                                  read_heartbeats, run_manifest,
+                                  write_heartbeat)
 from ..telemetry.spans import (CAMPAIGN_PATH, JsonlSpanSink,
                                TraceContext, Tracer, span_log_path)
+from .backend import CampaignBackend, register_backend
 from .runner import CampaignRunner
+
+
+def _write_text_atomic(path: str, text: str) -> None:
+    """Publish *text* at *path* via temp file + ``os.replace``: readers
+    polling the share (collect, read_status, other workers) either see
+    the complete file or no file, never a truncated one — a worker
+    crashing mid-write leaves only a ``.tmp.*`` file behind, which
+    every reader ignores."""
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+def _write_json_atomic(path: str, payload, **dump_kwargs) -> None:
+    _write_text_atomic(path, json.dumps(payload, **dump_kwargs))
+
+
+def _write_bytes_atomic(path: str, data: bytes) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
 
 
 @dataclass
@@ -76,7 +101,8 @@ def now_speedup(durations: list[float], config: NoWConfig,
 # -- the shared-directory protocol ------------------------------------------------
 
 
-class SharedDirCampaign:
+@register_backend("shared-dir")
+class SharedDirCampaign(CampaignBackend):
     """Steps 1-6 of Section III.E over a real directory tree.
 
     Layout of the share::
@@ -122,23 +148,20 @@ class SharedDirCampaign:
             # Only written when tracing is on, so an untraced share's
             # workload.json stays byte-identical to the old protocol.
             workload["trace"] = True
-        with open(os.path.join(self.share_dir, "workload.json"), "w",
-                  encoding="utf-8") as handle:
-            json.dump(workload, handle)
+        _write_json_atomic(
+            os.path.join(self.share_dir, "workload.json"), workload)
         if runner.golden.checkpoint is not None:
-            with open(os.path.join(self.share_dir, "checkpoint.bin"),
-                      "wb") as handle:
-                handle.write(runner.golden.checkpoint)
-        with open(os.path.join(self.share_dir, "golden.pkl"),
-                  "wb") as handle:
-            pickle.dump(runner.golden, handle)
+            _write_bytes_atomic(
+                os.path.join(self.share_dir, "checkpoint.bin"),
+                runner.golden.checkpoint)
+        _write_bytes_atomic(os.path.join(self.share_dir, "golden.pkl"),
+                            pickle.dumps(runner.golden))
         for index, faults in enumerate(fault_sets):
             if not isinstance(faults, list):
                 faults = [faults]
             path = os.path.join(self.share_dir, "todo",
                                 f"exp_{index:04d}.txt")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(render_fault_file(faults))
+            _write_text_atomic(path, render_fault_file(faults))
 
     # step 4: atomic claim.  A claim file created with O_CREAT|O_EXCL is
     # the lock for one experiment — exactly one workstation can create
@@ -160,6 +183,8 @@ class SharedDirCampaign:
     def _claim_once(self, worker_id: str) -> str | None:
         todo = os.path.join(self.share_dir, "todo")
         for name in sorted(os.listdir(todo)):
+            if not name.endswith(".txt"):
+                continue  # a .tmp.* file of an in-flight publish
             claim_path = os.path.join(self.share_dir, "claims",
                                       name + ".claim")
             if not self._try_acquire(claim_path, worker_id):
@@ -292,8 +317,7 @@ class SharedDirCampaign:
             tracer.finish(span)
         out = os.path.join(self.share_dir, "results",
                            experiment.replace(".txt", ".json"))
-        with open(out, "w", encoding="utf-8") as handle:
-            json.dump(result.as_dict(), handle)
+        _write_json_atomic(out, result.as_dict())
         extra = {}
         if result.divergence is not None:
             extra["divergence"] = result.divergence
@@ -309,8 +333,8 @@ class SharedDirCampaign:
         manifest_path = os.path.join(
             self.share_dir, MANIFEST_DIR,
             experiment.replace(".txt", ".json"))
-        with open(manifest_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
+        _write_json_atomic(manifest_path, manifest, indent=2,
+                           sort_keys=True)
         if status is not None:
             status["experiment"] = None
             status["completed"] = completed + 1
@@ -324,27 +348,26 @@ class SharedDirCampaign:
         status = {"experiment": None, "completed": 0}
         write_heartbeat(self.share_dir, worker_id, completed,
                         clock=self._clock)
+
         # A long experiment must not let this worker's heartbeat age
         # out (the liveness-based recovery above would then hand its
         # claim to somebody else), so a daemon thread keeps beating
         # while the main thread simulates.  interval <= 0 disables it
-        # (deterministic single-threaded tests).
-        stop = threading.Event()
-        beater = None
-        if self.heartbeat_interval and self.heartbeat_interval > 0:
-            def _beat() -> None:
-                while not stop.wait(self.heartbeat_interval):
-                    try:
-                        write_heartbeat(
-                            self.share_dir, worker_id,
-                            status["completed"],
-                            current_experiment=status["experiment"],
-                            clock=self._clock)
-                    except OSError:
-                        pass  # share hiccup; next beat retries
-            beater = threading.Thread(target=_beat, daemon=True)
-            beater.start()
-        try:
+        # (deterministic single-threaded tests).  PeriodicBeat joins
+        # the thread on exit, so embedding this loop in a long-lived
+        # process (the service dispatcher runs one per job) never
+        # leaks beat threads across jobs.
+        def _beat() -> None:
+            try:
+                write_heartbeat(self.share_dir, worker_id,
+                                status["completed"],
+                                current_experiment=status["experiment"],
+                                clock=self._clock)
+            except OSError:
+                pass  # share hiccup; next beat retries
+
+        with PeriodicBeat(self.heartbeat_interval, _beat,
+                          name=f"heartbeat-{worker_id}"):
             while True:
                 ran = self.run_one(worker_id, runner,
                                    completed=completed, seed=seed,
@@ -355,10 +378,6 @@ class SharedDirCampaign:
                 completed += 1
                 write_heartbeat(self.share_dir, worker_id, completed,
                                 clock=self._clock)
-        finally:
-            stop.set()
-            if beater is not None:
-                beater.join(timeout=5.0)
         write_heartbeat(self.share_dir, worker_id, completed,
                         clock=self._clock)
         return completed
@@ -389,9 +408,17 @@ class SharedDirCampaign:
         results_dir = os.path.join(self.share_dir, "results")
         out = []
         for name in sorted(os.listdir(results_dir)):
-            with open(os.path.join(results_dir, name), "r",
-                      encoding="utf-8") as handle:
-                out.append(json.load(handle))
+            if not name.endswith(".json"):
+                continue  # a .tmp.* file of a mid-write worker
+            try:
+                with open(os.path.join(results_dir, name), "r",
+                          encoding="utf-8") as handle:
+                    out.append(json.load(handle))
+            except ValueError:
+                # Results are published atomically, so a malformed
+                # file is hand-damage (or a pre-atomic-writer crash);
+                # skip it rather than losing the whole collection.
+                continue
         return out
 
     # orchestration: spawn worker processes (one per local "workstation").

@@ -25,6 +25,13 @@ Observability surfaces (repro.telemetry):
     gemfi timeline /mnt/share/pi -o trace.json    # Perfetto-loadable
     gemfi dashboard /mnt/share/pi [--once]        # live view + alerts
 
+Campaign-as-a-service (repro.service):
+
+    gemfi serve /var/lib/gemfi --port 8642        # API + dispatcher
+    gemfi submit --url http://host:8642 -w dct -n 50 --wait
+    gemfi jobs --url http://host:8642
+    gemfi fetch --url http://host:8642 <digest> -o results.json
+
 (`python -m repro ...` works identically.)
 """
 
@@ -521,6 +528,140 @@ def cmd_sample_size(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service: HTTP API on a background thread,
+    job dispatch on this (main) thread so campaign workers can fork."""
+    from .service import Service
+    from .telemetry import WatchdogConfig
+    service = Service(args.data_dir, host=args.host, port=args.port,
+                      default_quota=args.quota,
+                      lease_seconds=args.lease_seconds,
+                      watchdog_config=WatchdogConfig())
+    service.start_http()
+    print(f"# gemfi service on {service.url}  data={args.data_dir}",
+          file=sys.stderr)
+    print(f"# submit with: gemfi submit --url {service.url} "
+          f"-w dct -n 20", file=sys.stderr)
+    try:
+        service.dispatch_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign job to a running service."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url, tenant=args.tenant)
+    spec = {"workload": args.workload, "scale": args.scale,
+            "experiments": args.experiments, "seed": args.seed,
+            "location": args.location, "workers": args.workers}
+    try:
+        job = client.submit(spec, priority=args.priority,
+                            reuse=not args.no_reuse)
+        if args.wait and job["state"] not in ("done", "failed",
+                                              "cancelled"):
+            job = client.wait(job["id"], timeout=args.timeout,
+                              poll=args.poll)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        print(f"job     : {job['id']}  state={job['state']}"
+              + (f"  (reused {job['reused_from']})"
+                 if job.get("reused_from") else ""))
+        print(f"spec    : {job['spec_digest']}")
+        if job.get("result_digest"):
+            print(f"results : {job['result_digest']}")
+            print(f"fetch   : gemfi fetch --url {args.url} "
+                  f"{job['result_digest']}")
+        if job.get("error"):
+            print(f"error   : {job['error']}")
+    if job["state"] == "failed":
+        return 1
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List jobs (and queue/tenant state) on a running service."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        listing = client.jobs(tenant=args.tenant
+                              if args.mine else None)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    print(f"# queue depth: {listing['queue_depth']}")
+    for tenant, counts in sorted(listing["tenants"].items()):
+        states = " ".join(f"{state}={count}" for state, count
+                          in sorted(counts.items()))
+        print(f"# tenant {tenant}: {states}")
+    for job in listing["jobs"]:
+        spec = job["spec"]
+        print(f"{job['id']}  {job['state']:9s} p{job['priority']} "
+              f"{job['tenant']:10s} {spec['workload']}/{spec['scale']} "
+              f"n={spec['experiments']} seed={spec['seed']}"
+              + (f"  -> {job['result_digest'][:12]}"
+                 if job.get("result_digest") else ""))
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """Fetch a stored artifact by digest (or a job's results/report)
+    and verify the content address on the way out."""
+    import hashlib
+
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        if args.digest.startswith("job-"):
+            job = client.job(args.digest)
+            if args.report:
+                text = client.report(args.digest)
+                data = text.encode("utf-8")
+                digest = None
+            else:
+                digest = job.get("result_digest")
+                if not digest:
+                    print(f"error: job {args.digest} has no results "
+                          f"(state={job['state']})", file=sys.stderr)
+                    return 1
+                data = client.fetch(digest)
+        else:
+            digest = args.digest
+            data = client.fetch(digest)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if digest is not None:
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            print(f"error: digest mismatch: asked {digest}, "
+                  f"got {actual}", file=sys.stderr)
+            return 1
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"# {len(data)} bytes -> {args.output}"
+              + ("  (sha256 verified)" if digest else ""),
+              file=sys.stderr)
+    else:
+        sys.stdout.write(data.decode("utf-8", "replace"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gemfi",
@@ -757,6 +898,80 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("workloads",
                             help="list the paper's benchmarks")
     list_p.set_defaults(func=cmd_workloads)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign service (HTTP API + job dispatcher)")
+    serve_p.add_argument("data_dir",
+                         help="service state directory (queue.db, "
+                              "content store, per-job shares)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = pick a free one)")
+    serve_p.add_argument("--quota", type=int, default=0,
+                         help="default per-tenant cap on active "
+                              "(queued+leased) jobs; 0 = unlimited")
+    serve_p.add_argument("--lease-seconds", type=float, default=600.0,
+                         help="job lease length; a dispatcher that "
+                              "dies is recovered after this long")
+    serve_p.set_defaults(func=cmd_serve)
+
+    sub_p = sub.add_parser(
+        "submit", help="submit a campaign job to a running service")
+    sub_p.add_argument("--url", default="http://127.0.0.1:8642",
+                       help="service URL (see gemfi serve)")
+    sub_p.add_argument("--tenant", default="default")
+    sub_p.add_argument("--workload", "-w", default="dct",
+                       choices=WORKLOAD_NAMES)
+    sub_p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "medium", "paper"))
+    sub_p.add_argument("--experiments", "-n", type=int, default=40)
+    sub_p.add_argument("--seed", type=int, default=0)
+    sub_p.add_argument("--location", default=None,
+                       help="pin the fault location (e.g. pc, fetch, "
+                            "int_reg)")
+    sub_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for this job (0/1 = run "
+                            "inside the dispatcher)")
+    sub_p.add_argument("--priority", type=int, default=0,
+                       help="higher runs first")
+    sub_p.add_argument("--no-reuse", action="store_true",
+                       help="run even if an identical job already "
+                            "finished (skip result dedup)")
+    sub_p.add_argument("--wait", action="store_true",
+                       help="block until the job is terminal")
+    sub_p.add_argument("--timeout", type=float, default=600.0,
+                       help="--wait limit in seconds")
+    sub_p.add_argument("--poll", type=float, default=0.5,
+                       help="--wait poll interval in seconds")
+    sub_p.add_argument("--json", action="store_true",
+                       help="print the final job record as JSON")
+    sub_p.set_defaults(func=cmd_submit)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list jobs on a running service")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8642")
+    jobs_p.add_argument("--tenant", default="default")
+    jobs_p.add_argument("--mine", action="store_true",
+                        help="only this tenant's jobs")
+    jobs_p.add_argument("--json", action="store_true")
+    jobs_p.set_defaults(func=cmd_jobs)
+
+    fetch_p = sub.add_parser(
+        "fetch",
+        help="fetch a stored artifact by digest (sha256-verified), "
+             "or a job's results by job id")
+    fetch_p.add_argument("digest",
+                         help="a SHA-256 digest, or a job-... id "
+                              "(fetches its result set)")
+    fetch_p.add_argument("--url", default="http://127.0.0.1:8642")
+    fetch_p.add_argument("--tenant", default="default")
+    fetch_p.add_argument("--report", action="store_true",
+                         help="with a job id: fetch the markdown "
+                              "report instead of the result set")
+    fetch_p.add_argument("--output", "-o", default=None,
+                         help="write here instead of stdout")
+    fetch_p.set_defaults(func=cmd_fetch)
 
     size_p = sub.add_parser(
         "sample-size",

@@ -1,0 +1,357 @@
+"""The campaign service API and its composition root.
+
+ProFIPy-style FIaaS surface over the job queue, the dispatcher and the
+content store::
+
+    GET    /v1/healthz               liveness + queue/store summary
+    POST   /v1/jobs                  submit a workload+fault-config job
+    GET    /v1/jobs[?tenant=]        list jobs + per-tenant state counts
+    GET    /v1/jobs/{id}             one job
+    DELETE /v1/jobs/{id}             cancel (queued jobs only)
+    GET    /v1/jobs/{id}/status      job + live campaign share status
+    GET    /v1/jobs/{id}/events      chunked JSONL: status + watchdog
+                                     alerts until the job is terminal
+    GET    /v1/jobs/{id}/report      outcome report (md/html)
+    GET    /v1/jobs/{id}/results     canonical result set (JSON)
+    GET    /v1/blobs/{digest}        any stored artifact by digest
+    GET    /v1/store/stats           content-store object/byte counts
+
+Status and event streams are the existing telemetry health plane —
+``read_status`` and the watchdog rules — evaluated over the job's
+private share directory; the service adds no second source of truth.
+
+:class:`Service` wires queue + store + dispatcher + HTTP server into
+one deployable unit (``gemfi serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from ..telemetry.campaign import read_status
+from ..telemetry.watchdog import WatchdogConfig, evaluate_alerts
+from .dispatcher import Dispatcher
+from .http import (
+    HTTPError,
+    Request,
+    Response,
+    Router,
+    bound_port,
+    start_http_server,
+)
+from .jobs import JobSpec, JobSpecError
+from .queue import JobQueue, QuotaExceeded, UnknownJobError
+from .store import ContentStore
+
+
+def _jsonl(obj) -> bytes:
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+class ServiceApp:
+    """Endpoint handlers over a queue + store pair."""
+
+    def __init__(self, queue: JobQueue, store: ContentStore,
+                 watchdog_config: WatchdogConfig | None = None,
+                 clock=time.time) -> None:
+        self.queue = queue
+        self.store = store
+        self.watchdog_config = watchdog_config or WatchdogConfig()
+        self._clock = clock
+        self.router = Router()
+        add = self.router.add
+        add("GET", "/v1/healthz", self.healthz)
+        add("POST", "/v1/jobs", self.submit)
+        add("GET", "/v1/jobs", self.list_jobs)
+        add("GET", "/v1/jobs/{id}", self.job_detail)
+        add("DELETE", "/v1/jobs/{id}", self.cancel)
+        add("GET", "/v1/jobs/{id}/status", self.job_status)
+        add("GET", "/v1/jobs/{id}/events", self.job_events)
+        add("GET", "/v1/jobs/{id}/report", self.job_report)
+        add("GET", "/v1/jobs/{id}/results", self.job_results)
+        add("GET", "/v1/blobs/{digest}", self.blob)
+        add("GET", "/v1/store/stats", self.store_stats)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _job(self, request: Request):
+        try:
+            return self.queue.get(request.params["id"])
+        except UnknownJobError:
+            raise HTTPError(404,
+                            f"no such job: {request.params['id']}") \
+                from None
+
+    @staticmethod
+    def _share(job) -> str | None:
+        if job.share_dir and os.path.isdir(job.share_dir):
+            return job.share_dir
+        return None
+
+    # -- handlers -------------------------------------------------------------
+
+    async def healthz(self, request: Request) -> Response:
+        return Response.json({
+            "ok": True,
+            "queue_depth": self.queue.depth(),
+            "tenants": self.queue.tenant_counts(),
+            "store": self.store.stats(),
+        })
+
+    async def submit(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "job submission must be a JSON "
+                                 "object")
+        tenant = request.headers.get("x-tenant") \
+            or payload.pop("tenant", None) or "default"
+        priority = payload.pop("priority", 0)
+        reuse = bool(payload.pop("reuse", True))
+        if not isinstance(priority, int):
+            raise HTTPError(400, "priority must be an integer")
+        try:
+            spec = JobSpec.from_dict(payload)
+        except JobSpecError as exc:
+            raise HTTPError(400, str(exc)) from None
+        try:
+            job = self.queue.submit(spec, tenant=tenant,
+                                    priority=priority, reuse=reuse)
+        except QuotaExceeded as exc:
+            raise HTTPError(429, str(exc)) from None
+        # A dedup hit is born done (200); fresh submissions are 201.
+        status = 200 if job.state == "done" else 201
+        return Response.json({"job": job.as_dict()}, status=status)
+
+    async def list_jobs(self, request: Request) -> Response:
+        tenant = request.query.get("tenant")
+        jobs = self.queue.list_jobs(tenant=tenant)
+        return Response.json({
+            "jobs": [job.as_dict() for job in jobs],
+            "tenants": self.queue.tenant_counts(),
+            "queue_depth": self.queue.depth(),
+        })
+
+    async def job_detail(self, request: Request) -> Response:
+        return Response.json({"job": self._job(request).as_dict()})
+
+    async def cancel(self, request: Request) -> Response:
+        job = self._job(request)
+        if not self.queue.cancel(job.id):
+            raise HTTPError(
+                409, f"job {job.id} is {job.state}; only queued jobs "
+                     f"can be cancelled")
+        return Response.json(
+            {"job": self.queue.get(job.id).as_dict()})
+
+    async def job_status(self, request: Request) -> Response:
+        job = self._job(request)
+        payload = {"job": job.as_dict()}
+        share = self._share(job)
+        if share is not None:
+            payload["campaign"] = read_status(
+                share, clock=self._clock).as_dict()
+        return Response.json(payload)
+
+    async def job_events(self, request: Request) -> Response:
+        job = self._job(request)
+        try:
+            poll = max(0.05, float(request.query.get("poll", "0.5")))
+            limit = int(request.query.get("max", "0"))
+        except ValueError:
+            raise HTTPError(400, "poll/max must be numbers") from None
+        queue = self.queue
+        config = self.watchdog_config
+        clock = self._clock
+
+        async def stream():
+            seen_alerts: set[tuple] = set()
+            frames = 0
+            while True:
+                current = queue.get(job.id)
+                frame = {"type": "status", "job": current.id,
+                         "state": current.state, "time": clock()}
+                share = self._share(current)
+                if share is not None:
+                    frame["campaign"] = read_status(
+                        share, clock=clock).as_dict()
+                yield _jsonl(frame)
+                if share is not None:
+                    _, alerts = evaluate_alerts(share, config,
+                                                clock=clock)
+                    for alert in alerts:
+                        if alert.key in seen_alerts:
+                            continue
+                        seen_alerts.add(alert.key)
+                        entry = alert.as_dict()
+                        entry["type"] = "alert"
+                        entry["job"] = current.id
+                        yield _jsonl(entry)
+                frames += 1
+                if current.terminal:
+                    yield _jsonl({"type": "end", "job": current.id,
+                                  "state": current.state,
+                                  "result_digest":
+                                      current.result_digest})
+                    return
+                if limit and frames >= limit:
+                    return
+                await asyncio.sleep(poll)
+
+        return Response.streaming(stream())
+
+    async def job_report(self, request: Request) -> Response:
+        job = self._job(request)
+        fmt = request.query.get("format", "md")
+        if fmt not in ("md", "html"):
+            raise HTTPError(400, "format must be md or html")
+        share = self._share(job)
+        if share is not None:
+            from ..telemetry.report import load_share, render_report
+            text = render_report(load_share(share), fmt=fmt)
+            content_type = "text/html; charset=utf-8" \
+                if fmt == "html" else "text/markdown; charset=utf-8"
+            return Response.text(text, content_type=content_type)
+        if fmt == "md" and job.report_digest \
+                and self.store.has(job.report_digest):
+            return Response.text(
+                self.store.get(job.report_digest).decode("utf-8"),
+                content_type="text/markdown; charset=utf-8")
+        raise HTTPError(404, f"no report for job {job.id} yet")
+
+    async def job_results(self, request: Request) -> Response:
+        job = self._job(request)
+        if not job.result_digest \
+                or not self.store.has(job.result_digest):
+            raise HTTPError(404,
+                            f"no stored results for job {job.id} yet")
+        return Response.binary(self.store.get(job.result_digest),
+                               content_type="application/json")
+
+    async def blob(self, request: Request) -> Response:
+        digest = request.params["digest"]
+        try:
+            data = self.store.get(digest)
+        except ValueError:
+            raise HTTPError(400, f"not a digest: {digest}") from None
+        except KeyError:
+            raise HTTPError(404, f"no object {digest}") from None
+        content_type = "application/json" \
+            if data[:1] in (b"{", b"[") else "application/octet-stream"
+        return Response.binary(data, content_type=content_type)
+
+    async def store_stats(self, request: Request) -> Response:
+        return Response.json(self.store.stats())
+
+
+class Service:
+    """queue + store + dispatcher + HTTP server, one data directory::
+
+        data_dir/
+          queue.db      the persistent job queue (SQLite WAL)
+          store/        the content-addressed artifact store
+          shares/<job>  one campaign share per job (telemetry plane)
+    """
+
+    def __init__(self, data_dir: str, host: str = "127.0.0.1",
+                 port: int = 0, default_quota: int = 0,
+                 lease_seconds: float = 600.0,
+                 poll_seconds: float = 0.5,
+                 watchdog_config: WatchdogConfig | None = None,
+                 clock=time.time) -> None:
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.host = host
+        self.requested_port = port
+        self.port: int | None = None
+        self.queue = JobQueue(os.path.join(data_dir, "queue.db"),
+                              default_quota=default_quota, clock=clock)
+        self.store = ContentStore(os.path.join(data_dir, "store"))
+        self.dispatcher = Dispatcher(
+            self.queue, self.store, data_dir,
+            lease_seconds=lease_seconds, poll_seconds=poll_seconds,
+            clock=clock)
+        self.app = ServiceApp(self.queue, self.store,
+                              watchdog_config=watchdog_config,
+                              clock=clock)
+        self._stop = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._http_thread: threading.Thread | None = None
+        self._dispatch_thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start_http(self) -> "Service":
+        """Bind and serve the API on a daemon thread with its own
+        event loop; returns once the port is bound."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def _serve() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                server = loop.run_until_complete(start_http_server(
+                    self.app.router, self.host, self.requested_port))
+            except BaseException as exc:
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            self.port = bound_port(server)
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                loop.close()
+
+        self._http_thread = threading.Thread(
+            target=_serve, name="service-http", daemon=True)
+        self._http_thread.start()
+        started.wait(timeout=10.0)
+        if failure:
+            raise RuntimeError(
+                f"could not bind {self.host}:{self.requested_port}: "
+                f"{failure[0]}") from failure[0]
+        if self.port is None:
+            raise RuntimeError("HTTP server did not start")
+        return self
+
+    def start_dispatcher(self) -> "Service":
+        """Run the dispatch loop on a background thread (tests and
+        embedded use; `gemfi serve` dispatches on the main thread so
+        worker processes fork from there)."""
+        self._dispatch_thread = threading.Thread(
+            target=self.dispatcher.run_forever, args=(self._stop,),
+            name="service-dispatcher", daemon=True)
+        self._dispatch_thread.start()
+        return self
+
+    def start(self) -> "Service":
+        return self.start_http().start_dispatcher()
+
+    def dispatch_forever(self) -> None:
+        """Blocking dispatch loop for the CLI main thread."""
+        self.dispatcher.run_forever(self._stop)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._dispatch_thread is not None:
+            self._dispatch_thread.join(timeout=30.0)
+            self._dispatch_thread = None
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+            self._http_thread = None

@@ -1,0 +1,178 @@
+"""Stdlib client for the campaign service.
+
+``http.client`` against the service API — used by ``gemfi submit`` /
+``gemfi jobs`` / ``gemfi fetch`` and by tests, and importable by any
+script that wants to drive a campaign service programmatically.  One
+connection per request, matching the server's ``Connection: close``
+discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlencode, urlsplit
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 payload: dict | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    def __init__(self, url: str, tenant: str = "default",
+                 timeout: float = 30.0) -> None:
+        split = urlsplit(url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"not an http:// service URL: {url}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connect(self, timeout: float | None = None
+                 ) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout)
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None,
+                 query: dict | None = None) -> tuple[int, bytes]:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        headers = {"X-Tenant": self.tenant}
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connect()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: dict | None = None,
+              query: dict | None = None) -> dict:
+        status, data = self._request(method, path, body=body,
+                                     query=query)
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = {}
+        if status >= 400:
+            raise ServiceError(status,
+                               payload.get("error", data[:200].decode(
+                                   "utf-8", "replace")),
+                               payload)
+        return payload
+
+    # -- API surface ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/v1/healthz")
+
+    def submit(self, spec: dict, priority: int = 0,
+               reuse: bool = True) -> dict:
+        body = dict(spec)
+        body["priority"] = priority
+        body["reuse"] = reuse
+        return self._json("POST", "/v1/jobs", body=body)["job"]
+
+    def jobs(self, tenant: str | None = None) -> dict:
+        query = {"tenant": tenant} if tenant else None
+        return self._json("GET", "/v1/jobs", query=query)
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/status")
+
+    def report(self, job_id: str, fmt: str = "md") -> str:
+        status, data = self._request(
+            "GET", f"/v1/jobs/{job_id}/report", query={"format": fmt})
+        if status >= 400:
+            raise ServiceError(status,
+                               data[:200].decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def results(self, job_id: str) -> list[dict]:
+        status, data = self._request("GET",
+                                     f"/v1/jobs/{job_id}/results")
+        if status >= 400:
+            raise ServiceError(status,
+                               data[:200].decode("utf-8", "replace"))
+        return json.loads(data.decode("utf-8"))
+
+    def fetch(self, digest: str) -> bytes:
+        status, data = self._request("GET", f"/v1/blobs/{digest}")
+        if status >= 400:
+            raise ServiceError(status,
+                               data[:200].decode("utf-8", "replace"))
+        return data
+
+    def store_stats(self) -> dict:
+        return self._json("GET", "/v1/store/stats")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.5) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str, poll: float = 0.5,
+               limit: int = 0, timeout: float | None = None):
+        """Yield decoded JSONL records from the chunked event stream
+        until the server ends it (terminal job or *limit* frames)."""
+        query = urlencode({"poll": poll, "max": limit})
+        conn = self._connect(timeout=timeout or max(
+            self.timeout, poll * 4 + 30.0))
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?{query}",
+                         headers={"X-Tenant": self.tenant})
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data)["error"]
+                except (ValueError, KeyError):
+                    message = data[:200].decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            # http.client strips the chunked framing for us; the
+            # payload is plain JSONL at this point.
+            buffer = b""
+            while True:
+                block = response.read(4096)
+                if not block:
+                    break
+                buffer += block
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            conn.close()

@@ -1,0 +1,168 @@
+"""Lease-based job dispatch into campaign backends.
+
+The dispatcher is the service's execution half: it drains the
+persistent queue, runs each job as a campaign on a **private share**
+under the service data directory (``shares/<job-id>``), and lands the
+artifacts in the content store.  Execution goes through the pluggable
+:class:`~repro.campaign.backend.CampaignBackend` registry — today
+that means the paper's shared-dir NoW protocol, with workers either
+
+* forked as real OS processes (``spec.workers >= 2``, the existing
+  ``run_local`` path), or
+* embedded in the dispatcher process (``spec.workers <= 1``), which
+  wraps ``worker_loop`` directly and reuses a cached
+  :class:`~repro.campaign.runner.CampaignRunner` — identical golden
+  runs are computed once per (workload, scale) and their checkpoints
+  deduplicated by the content store.
+
+While a job runs, a :class:`~repro.telemetry.campaign.PeriodicBeat`
+thread keeps extending the lease, so slow campaigns are not stolen;
+if the dispatcher dies instead, the lease expires and
+``requeue_expired`` hands the job to the next dispatcher — crash
+recovery without a coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..campaign import CampaignRunner, SEUGenerator, get_backend
+from ..telemetry.campaign import SERVICE_FILE, PeriodicBeat
+from ..workloads import build
+from .jobs import Job, canonical_results
+from .queue import JobQueue, LeaseError
+from .store import ContentStore, canonical_json_bytes
+
+
+class Dispatcher:
+    def __init__(self, queue: JobQueue, store: ContentStore,
+                 data_dir: str, lease_seconds: float = 600.0,
+                 poll_seconds: float = 0.5, owner: str | None = None,
+                 clock=time.time) -> None:
+        self.queue = queue
+        self.store = store
+        self.data_dir = data_dir
+        self.shares_dir = os.path.join(data_dir, "shares")
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.owner = owner or f"dispatcher-{os.getpid()}"
+        self._clock = clock
+        # Golden runs are the expensive part of a job; identical
+        # (workload, scale) pairs share one runner within this
+        # process, and the checkpoint bytes dedupe in the store.
+        self._runners: dict[tuple[str, str], CampaignRunner] = {}
+        os.makedirs(self.shares_dir, exist_ok=True)
+
+    # -- runners --------------------------------------------------------------
+
+    def runner_for(self, workload: str, scale: str) -> CampaignRunner:
+        key = (workload, scale)
+        if key not in self._runners:
+            self._runners[key] = CampaignRunner(build(workload, scale))
+        return self._runners[key]
+
+    # -- one job --------------------------------------------------------------
+
+    def run_job(self, job: Job) -> dict:
+        """Execute one leased job end to end; returns the artifact
+        digests for :meth:`JobQueue.complete`."""
+        spec = job.spec
+        share_dir = os.path.join(self.shares_dir, job.id)
+        runner = self.runner_for(spec.workload, spec.scale)
+        backend_cls = get_backend(spec.backend)
+        campaign = backend_cls(share_dir, spec.workload, spec.scale)
+        self.queue.record_share(job.id, share_dir)
+        self._mark_share(share_dir, job)
+
+        checkpoint_digest = None
+        if runner.golden.checkpoint is not None:
+            checkpoint_digest = self.store.put_bytes(
+                runner.golden.checkpoint)
+
+        location = None
+        if spec.location is not None:
+            from ..core import LocationKind
+            location = LocationKind(spec.location)
+        generator = SEUGenerator(runner.golden.profile, seed=spec.seed)
+        faults = generator.batch(spec.experiments, location=location)
+        campaign.publish(runner, faults, seed=spec.seed)
+
+        def _extend() -> None:
+            try:
+                self.queue.extend_lease(job.id, self.owner,
+                                        self.lease_seconds)
+            except Exception:
+                pass  # queue hiccup; the next beat retries
+
+        with PeriodicBeat(max(1.0, self.lease_seconds / 3.0), _extend,
+                          name=f"lease-{job.id}"):
+            if spec.workers >= 2:
+                campaign.run_local(workers=spec.workers)
+            else:
+                campaign.worker_loop(f"svc-{self.owner}", runner)
+
+        results = campaign.collect()
+        if len(results) != spec.experiments:
+            raise RuntimeError(
+                f"job {job.id}: {len(results)} results for "
+                f"{spec.experiments} experiments")
+        result_digest = self.store.put_bytes(
+            canonical_json_bytes(canonical_results(results)))
+        report_digest = self._store_report(share_dir)
+        return {"result_digest": result_digest,
+                "report_digest": report_digest,
+                "checkpoint_digest": checkpoint_digest}
+
+    def _mark_share(self, share_dir: str, job: Job) -> None:
+        """Write the service marker so ``gemfi status`` on this share
+        shows the owning job/tenant and live queue numbers."""
+        os.makedirs(share_dir, exist_ok=True)
+        import json
+        path = os.path.join(share_dir, SERVICE_FILE)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"job": job.id, "tenant": job.tenant,
+                       "queue_db": os.path.abspath(self.queue.path)},
+                      handle)
+        os.replace(tmp, path)
+
+    def _store_report(self, share_dir: str) -> str | None:
+        from ..telemetry.report import load_share, render_report
+        try:
+            report = render_report(load_share(share_dir), fmt="md")
+        except Exception:
+            return None  # a report failure must not fail the job
+        return self.store.put_text(report)
+
+    # -- the dispatch loop ----------------------------------------------------
+
+    def poll_once(self) -> bool:
+        """Recover expired leases, then lease and run at most one job.
+        Returns True when a job was processed."""
+        self.queue.requeue_expired()
+        job = self.queue.lease(self.owner,
+                               lease_seconds=self.lease_seconds)
+        if job is None:
+            return False
+        try:
+            digests = self.run_job(job)
+        except Exception as exc:
+            try:
+                self.queue.fail(job.id,
+                                error=f"{type(exc).__name__}: {exc}",
+                                owner=self.owner)
+            except LeaseError:
+                pass  # lease already reassigned; its holder decides
+            return True
+        try:
+            self.queue.complete(job.id, owner=self.owner, **digests)
+        except LeaseError:
+            pass  # ran past our lease; the re-run's verdict wins
+        return True
+
+    def run_forever(self, stop: threading.Event) -> None:
+        while not stop.is_set():
+            if not self.poll_once():
+                stop.wait(self.poll_seconds)

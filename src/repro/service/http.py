@@ -1,0 +1,244 @@
+"""Minimal asyncio HTTP/1.1 layer (stdlib only).
+
+Implements exactly what the campaign service needs and nothing more:
+request-line + header parsing with ``Content-Length`` bodies in;
+fixed-length JSON/text responses and **chunked transfer encoding**
+(for JSONL event streams) out; a path-template router.  One request
+per connection (``Connection: close``) keeps the state machine
+trivial and works with curl, urllib and ``http.client`` alike — this
+is a control plane serving small JSON documents, not a data plane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 204: "No Content",
+    400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class HTTPError(Exception):
+    """Raise inside a handler to produce a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    params: dict[str, str] = field(default_factory=dict)
+
+    def json(self):
+        if not self.body:
+            raise HTTPError(400, "request body must be JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HTTPError(400, "request body is not valid JSON") \
+                from None
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+    #: async iterator of bytes chunks; set => chunked transfer.
+    stream = None
+
+    @classmethod
+    def json(cls, obj, status: int = 200) -> "Response":
+        text = json.dumps(obj, indent=2, sort_keys=True) + "\n"
+        return cls(status=status, body=text.encode("utf-8"))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8"
+             ) -> "Response":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type)
+
+    @classmethod
+    def binary(cls, data: bytes, status: int = 200,
+               content_type: str = "application/octet-stream"
+               ) -> "Response":
+        return cls(status=status, body=data,
+                   content_type=content_type)
+
+    @classmethod
+    def streaming(cls, aiter, status: int = 200,
+                  content_type: str = "application/jsonl"
+                  ) -> "Response":
+        response = cls(status=status, content_type=content_type)
+        response.stream = aiter
+        return response
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json({"error": message}, status=status)
+
+
+class Router:
+    """Path-template routing: ``/v1/jobs/{id}/status`` binds ``{id}``
+    into ``request.params``."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, object]] = []
+
+    def add(self, method: str, template: str, handler) -> None:
+        pattern = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
+            + "$")
+        self._routes.append((method.upper(), pattern, handler))
+
+    def match(self, method: str, path: str):
+        """(handler, params) — raises HTTPError 404/405."""
+        allowed = set()
+        for route_method, pattern, handler in self._routes:
+            found = pattern.match(path)
+            if found is None:
+                continue
+            if route_method != method.upper():
+                allowed.add(route_method)
+                continue
+            return handler, {name: unquote(value) for name, value
+                             in found.groupdict().items()}
+        if allowed:
+            raise HTTPError(405, f"{method} not allowed here "
+                                 f"(try: {', '.join(sorted(allowed))})")
+        raise HTTPError(404, f"no such resource: {path}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; None on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, "malformed request line")
+    method, target = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    total = len(line)
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HTTPError(400, "headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HTTPError(400, "bad Content-Length") from None
+        if size > MAX_BODY_BYTES:
+            raise HTTPError(400, "request body too large")
+        body = await reader.readexactly(size)
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method=method, path=unquote(split.path),
+                   query=query, headers=headers, body=body)
+
+
+def _head(response: Response, chunked: bool) -> bytes:
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}",
+             f"Content-Type: {response.content_type}",
+             "Connection: close"]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {len(response.body)}")
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Response) -> None:
+    if response.stream is None:
+        writer.write(_head(response, chunked=False) + response.body)
+        await writer.drain()
+        return
+    writer.write(_head(response, chunked=True))
+    await writer.drain()
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1")
+                     + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+async def handle_connection(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            router: Router) -> None:
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            handler, params = router.match(request.method,
+                                           request.path)
+            request.params = params
+            response = await handler(request)
+        except HTTPError as exc:
+            response = Response.error(exc.status, exc.message)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except Exception as exc:  # handler bug: report, don't die
+            response = Response.error(
+                500, f"{type(exc).__name__}: {exc}")
+        try:
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-stream
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_http_server(router: Router, host: str,
+                            port: int) -> asyncio.Server:
+    """Bind and return the asyncio server (``server.sockets`` exposes
+    the actual port when *port* is 0)."""
+    return await asyncio.start_server(
+        lambda reader, writer: handle_connection(reader, writer,
+                                                 router),
+        host=host, port=port)
+
+
+def bound_port(server: asyncio.Server) -> int:
+    return server.sockets[0].getsockname()[1]

@@ -1,0 +1,113 @@
+"""Content-addressed artifact store: SHA-256 over canonical bytes.
+
+Every artifact the service keeps — campaign result sets, reports,
+golden-run checkpoints — is stored once under the SHA-256 digest of
+its bytes, git-object style::
+
+    store/
+      objects/ab/cdef0123...    (62 hex chars after the 2-char fan-out)
+
+JSON artifacts are hashed over their **canonical encoding** (sorted
+keys, minimal separators, UTF-8), so two runs that produce the same
+logical result — a re-submitted campaign, the same seed on another
+machine — map to the same digest and are stored exactly once.  Writes
+go through a temp file + ``os.replace``, so a crashed writer never
+leaves a partial object; an object, once present, is immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+_HEX = set("0123456789abcdef")
+
+
+def canonical_json_bytes(obj) -> bytes:
+    """The canonical (digest-stable) encoding of a JSON value."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+
+
+def digest_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ContentStore:
+    """A directory of immutable objects keyed by content digest."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+
+    # -- addressing -----------------------------------------------------------
+
+    def path(self, digest: str) -> str:
+        if len(digest) != 64 or not set(digest) <= _HEX:
+            raise ValueError(f"not a SHA-256 digest: {digest!r}")
+        return os.path.join(self.objects_dir, digest[:2], digest[2:])
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self.path(digest))
+
+    # -- writing --------------------------------------------------------------
+
+    def put_bytes(self, data: bytes) -> str:
+        """Store *data*, returning its digest.  Idempotent: an object
+        that already exists is not rewritten (dedup)."""
+        digest = digest_bytes(data)
+        path = self.path(digest)
+        if os.path.exists(path):
+            return digest
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+        return digest
+
+    def put_json(self, obj) -> str:
+        """Store the canonical encoding of *obj*."""
+        return self.put_bytes(canonical_json_bytes(obj))
+
+    def put_text(self, text: str) -> str:
+        return self.put_bytes(text.encode("utf-8"))
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, digest: str) -> bytes:
+        try:
+            with open(self.path(digest), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise KeyError(digest) from None
+
+    def get_json(self, digest: str):
+        return json.loads(self.get(digest).decode("utf-8"))
+
+    def verify(self, digest: str) -> bool:
+        """Recompute the digest of a stored object (bit-rot check)."""
+        return digest_bytes(self.get(digest)) == digest
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        objects = 0
+        total = 0
+        for fan in sorted(os.listdir(self.objects_dir)):
+            fan_dir = os.path.join(self.objects_dir, fan)
+            if not os.path.isdir(fan_dir):
+                continue
+            for name in os.listdir(fan_dir):
+                if name.endswith(".tmp") or ".tmp." in name:
+                    continue
+                try:
+                    total += os.path.getsize(
+                        os.path.join(fan_dir, name))
+                except OSError:
+                    continue
+                objects += 1
+        return {"objects": objects, "bytes": total}

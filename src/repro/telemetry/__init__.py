@@ -33,11 +33,13 @@ The pillars (see ``docs/observability.md``):
 
 from .campaign import (
     CampaignStatus,
+    PeriodicBeat,
     campaign_metrics,
     diff_stats,
     git_describe,
     parse_stats,
     read_heartbeats,
+    read_service_context,
     read_status,
     render_status,
     run_manifest,
@@ -117,7 +119,8 @@ __all__ = [
     "Distribution", "DivergenceScanner", "EVENT_KINDS",
     "FlightRecorder", "Formula", "GoldenFlightLog", "Histogram",
     "JsonlFileSink", "JsonlSpanSink", "ListSink", "ListSpanSink",
-    "MetricsRegistry", "Profiler", "RingBufferSink", "SamplingProfiler",
+    "MetricsRegistry", "PeriodicBeat", "Profiler", "RingBufferSink",
+    "SamplingProfiler",
     "Scalar", "Scope", "Span", "TraceBus", "TraceContext", "TraceEvent",
     "Tracer", "WatchdogConfig", "append_alerts", "build_timeline",
     "campaign_metrics", "collect_pipeline", "dashboard_view",
@@ -125,7 +128,8 @@ __all__ = [
     "events_to_jsonl", "follow_jsonl", "format_value", "git_describe",
     "hamming", "latency_histogram", "load_share", "load_spans",
     "parse_stats", "read_alerts", "read_heartbeats", "read_jsonl",
-    "read_span_records", "read_status", "regfile_checksum",
+    "read_service_context", "read_span_records", "read_status",
+    "regfile_checksum",
     "render_dashboard", "render_from_events", "render_html",
     "render_markdown", "render_pipeview", "render_report",
     "render_status", "render_timeline", "run_manifest", "sim_rates",

@@ -27,6 +27,7 @@ import json
 import os
 import socket
 import subprocess
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -34,6 +35,11 @@ from .metrics import MetricsRegistry
 
 HEARTBEAT_DIR = "heartbeats"
 MANIFEST_DIR = "manifests"
+# Written into a share by the service dispatcher (repro.service): marks
+# the share as one job of a campaign service and points back at the
+# job queue, so `gemfi status` can surface queue depth and per-tenant
+# counts next to the campaign's own numbers.
+SERVICE_FILE = "service.json"
 
 _HOSTNAME: str | None = None
 
@@ -95,6 +101,55 @@ def run_manifest(*, experiment: str, workload: str, scale: str,
 
 
 # -- heartbeats --------------------------------------------------------------
+
+
+class PeriodicBeat:
+    """A daemon thread that calls *fn* every *interval* seconds until
+    stopped.
+
+    Context manager: ``__exit__`` sets the stop event and **joins** the
+    thread, so long-lived processes that run many campaigns back to
+    back (a campaign worker's heartbeater, the service dispatcher's
+    lease extender) never accumulate beat threads across jobs.  A
+    non-positive *interval* disables the thread entirely
+    (deterministic single-threaded tests).  Exceptions from *fn* stop
+    the beat rather than killing the process; transient errors (a
+    share hiccup) are *fn*'s job to swallow.
+    """
+
+    def __init__(self, interval: float, fn, name: str = "beat") -> None:
+        self.interval = interval
+        self.fn = fn
+        self.name = name
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "PeriodicBeat":
+        if self.interval and self.interval > 0:
+            self._thread = threading.Thread(
+                target=self._run, name=self.name, daemon=True)
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.fn()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "PeriodicBeat":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
 
 def write_heartbeat(share_dir: str, worker_id: str, completed: int,
@@ -174,6 +229,12 @@ class CampaignStatus:
     wall_p90: float | None = None
     slowest: list[tuple[str, float]] = field(default_factory=list)
     kips: float = 0.0
+    # Service context (only when the share belongs to a repro.service
+    # job, i.e. service.json is present): the owning job and tenant,
+    # plus queue depth and per-tenant job-state counts read straight
+    # from the service's job queue.  None for plain NoW shares, so
+    # their status output stays byte-identical to the pre-service tool.
+    service: dict | None = None
 
     @property
     def wall_mean(self) -> float:
@@ -190,7 +251,7 @@ class CampaignStatus:
         return self.completed / total if total else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "todo": self.todo, "claimed": self.claimed,
             "completed": self.completed, "stale": self.stale,
             "total": self.total, "outcomes": dict(self.outcomes),
@@ -207,6 +268,53 @@ class CampaignStatus:
             "workers": {name: dict(beat) for name, beat
                         in self.workers.items()},
         }
+        if self.service is not None:
+            payload["service"] = dict(self.service)
+        return payload
+
+
+def read_service_context(share_dir: str) -> dict | None:
+    """The service marker of a share (``service.json``), or None for a
+    plain NoW share."""
+    path = os.path.join(share_dir, SERVICE_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return entry if isinstance(entry, dict) else None
+
+
+def _queue_summary(queue_db: str) -> dict | None:
+    """Queue depth and per-tenant job-state counts, read directly from
+    the service's SQLite job queue.
+
+    Deliberately raw SQL rather than an import of ``repro.service`` —
+    telemetry stays a leaf package, and a read-only connection works
+    from any machine that mounts the share, even while the service is
+    writing (WAL).
+    """
+    import sqlite3
+    try:
+        conn = sqlite3.connect(f"file:{queue_db}?mode=ro", uri=True,
+                               timeout=1.0)
+    except sqlite3.Error:
+        return None
+    try:
+        rows = conn.execute(
+            "SELECT tenant, state, COUNT(*) FROM jobs "
+            "GROUP BY tenant, state").fetchall()
+    except sqlite3.Error:
+        return None
+    finally:
+        conn.close()
+    tenants: dict[str, dict[str, int]] = {}
+    depth = 0
+    for tenant, state, count in rows:
+        tenants.setdefault(tenant, {})[state] = count
+        if state == "queued":
+            depth += count
+    return {"queue_depth": depth, "tenants": tenants}
 
 
 def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
@@ -315,6 +423,17 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
             status.eta_seconds = 0.0
         elif status.rate_per_second > 0:
             status.eta_seconds = remaining / status.rate_per_second
+
+    context = read_service_context(share_dir)
+    if context is not None:
+        info = {"job": context.get("job"),
+                "tenant": context.get("tenant")}
+        queue_db = context.get("queue_db")
+        if queue_db:
+            summary = _queue_summary(queue_db)
+            if summary is not None:
+                info.update(summary)
+        status.service = info
     return status
 
 
@@ -328,6 +447,18 @@ def render_status(status: CampaignStatus) -> str:
         f"workers     : {status.live_workers} live / "
         f"{len(status.workers)} seen",
     ]
+    if status.service is not None:
+        line = (f"service     : job={status.service.get('job') or '?'} "
+                f"tenant={status.service.get('tenant') or '?'}")
+        depth = status.service.get("queue_depth")
+        if depth is not None:
+            line += f" queue_depth={depth}"
+        lines.append(line)
+        for tenant in sorted(status.service.get("tenants") or {}):
+            counts = status.service["tenants"][tenant]
+            mix = " ".join(f"{state}={count}" for state, count
+                           in sorted(counts.items()))
+            lines.append(f"  tenant {tenant}: {mix}")
     for name in sorted(status.workers):
         beat = status.workers[name]
         state = "live" if beat.get("live", True) else "silent"

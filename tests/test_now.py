@@ -195,3 +195,71 @@ class TestSharedDirProtocol:
         results = campaign.run_local(workers=2)
         assert len(results) == 4
         assert all("outcome" in entry for entry in results)
+
+
+class TestAtomicPublication:
+    """Result/workload files appear atomically: a reader (collect, a
+    claiming worker, gemfi status) must never observe a half-written
+    file, only a complete one or a skippable ``.tmp.*`` leftover."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return CampaignRunner(build("pi", "tiny"))
+
+    def test_collect_skips_tmp_leftovers(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=21)
+        campaign.publish(runner, generator.batch(2))
+        campaign.worker_loop("w0", runner)
+        # a writer that crashed mid-publish leaves its temp file
+        (tmp_path / "results" / "exp_0009.json.tmp.1234.5678"
+         ).write_text('{"outcome": "tru')
+        results = campaign.collect()
+        assert len(results) == 2
+        assert all(entry["outcome"] for entry in results)
+
+    def test_collect_survives_truncated_result(self, tmp_path,
+                                               runner):
+        """Regression: a torn write (pre-atomic-publication crash)
+        must not take down every reader of the share."""
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=22)
+        campaign.publish(runner, generator.batch(1))
+        campaign.worker_loop("w0", runner)
+        (tmp_path / "results" / "exp_0099.json").write_text(
+            '{"outcome": "sd')  # torn mid-value
+        results = campaign.collect()
+        assert len(results) == 1
+
+    def test_claim_skips_tmp_todo_files(self, tmp_path, runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=23)
+        campaign.publish(runner, generator.batch(1))
+        (tmp_path / "todo" / "exp_0042.txt.tmp.1.2").write_text("Re")
+        first = campaign.claim("w0")
+        assert os.path.basename(first) == "w0_exp_0000.txt"
+        assert campaign.claim("w0") is None  # the .tmp is not a job
+
+    def test_published_files_have_no_tmp_residue(self, tmp_path,
+                                                 runner):
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=24)
+        campaign.publish(runner, generator.batch(3))
+        campaign.worker_loop("w0", runner)
+        leftovers = [
+            os.path.join(root, name)
+            for root, _, names in os.walk(tmp_path)
+            for name in names if ".tmp." in name]
+        assert leftovers == []
+
+    def test_worker_loop_joins_heartbeat_threads(self, tmp_path,
+                                                 runner):
+        """Embedding worker_loop in a long-lived process (the service
+        dispatcher) must not accumulate heartbeat threads."""
+        campaign = SharedDirCampaign(str(tmp_path), "pi", "tiny")
+        generator = SEUGenerator(runner.golden.profile, seed=25)
+        campaign.publish(runner, generator.batch(3))
+        before = threading.active_count()
+        for worker in ("w0", "w1", "w2"):
+            campaign.worker_loop(worker, runner)
+        assert threading.active_count() == before

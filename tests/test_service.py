@@ -1,0 +1,565 @@
+"""Campaign-as-a-service tests: store, queue, HTTP API, dispatch."""
+
+import hashlib
+import json
+import os
+import threading
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    SEUGenerator,
+    SharedDirCampaign,
+    backend_names,
+    get_backend,
+)
+from repro.service import (
+    ContentStore,
+    Dispatcher,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    LeaseError,
+    QuotaExceeded,
+    Service,
+    ServiceClient,
+    ServiceError,
+    UnknownJobError,
+    canonical_json_bytes,
+    canonical_results,
+    digest_bytes,
+)
+from repro.service.http import HTTPError, Request, Router
+from repro.telemetry import PeriodicBeat
+from repro.workloads import build
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- content store ------------------------------------------------------------
+
+
+class TestContentStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        digest = store.put_bytes(b"hello")
+        assert digest == hashlib.sha256(b"hello").hexdigest()
+        assert store.get(digest) == b"hello"
+        assert store.has(digest)
+        assert store.verify(digest)
+
+    def test_put_is_idempotent_dedup(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        first = store.put_bytes(b"same bytes")
+        second = store.put_bytes(b"same bytes")
+        assert first == second
+        assert store.stats() == {"objects": 1,
+                                 "bytes": len(b"same bytes")}
+
+    def test_canonical_json_is_order_insensitive(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        a = store.put_json({"b": 2, "a": 1})
+        b = store.put_json({"a": 1, "b": 2})
+        assert a == b
+        assert store.get_json(a) == {"a": 1, "b": 2}
+
+    def test_missing_object_raises_keyerror(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+
+    def test_malformed_digest_raises_valueerror(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.get("../../etc/passwd")
+        with pytest.raises(ValueError):
+            store.path("abc")
+
+    def test_stats_counts_objects_and_bytes(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        store.put_bytes(b"x" * 10)
+        store.put_bytes(b"y" * 20)
+        assert store.stats() == {"objects": 2, "bytes": 30}
+
+
+# -- job specs ----------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_digest_is_stable_across_field_order(self):
+        a = JobSpec.from_dict({"workload": "pi", "seed": 3})
+        b = JobSpec.from_dict({"seed": 3, "workload": "pi"})
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_seed(self):
+        a = JobSpec.from_dict({"workload": "pi", "seed": 1})
+        b = JobSpec.from_dict({"workload": "pi", "seed": 2})
+        assert a.digest() != b.digest()
+
+    @pytest.mark.parametrize("payload", [
+        {},                                        # no workload
+        {"workload": "nope"},                      # unknown workload
+        {"workload": "pi", "scale": "galactic"},   # unknown scale
+        {"workload": "pi", "experiments": 0},      # too few
+        {"workload": "pi", "experiments": "ten"},  # wrong type
+        {"workload": "pi", "seed": "zero"},        # wrong type
+        {"workload": "pi", "location": "moon"},    # unknown location
+        {"workload": "pi", "workers": -1},         # negative
+        {"workload": "pi", "backend": "carrier-pigeon"},
+        {"workload": "pi", "frobnicate": True},    # unknown field
+    ])
+    def test_invalid_specs_rejected(self, payload):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_dict(payload)
+
+    def test_canonical_results_strips_host_fields(self):
+        results = [{"outcome": "sdc", "wall_seconds": 1.23,
+                    "phases": {"run": 1.0}, "instructions": 42}]
+        assert canonical_results(results) == [
+            {"outcome": "sdc", "instructions": 42}]
+
+
+# -- job queue ----------------------------------------------------------------
+
+
+def _spec(seed=0, **kwargs):
+    return JobSpec.from_dict({"workload": "pi", "experiments": 2,
+                              "seed": seed, **kwargs})
+
+
+class TestJobQueue:
+    def test_submit_and_get(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec(), tenant="alice")
+        assert job.state == "queued"
+        assert queue.get(job.id).tenant == "alice"
+        assert queue.depth() == 1
+        with pytest.raises(UnknownJobError):
+            queue.get("job-doesnotexist")
+
+    def test_priority_ordering_then_fifo(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(str(tmp_path / "q.db"), clock=clock)
+        low = queue.submit(_spec(seed=1), priority=0)
+        clock.advance(1)
+        high = queue.submit(_spec(seed=2), priority=5)
+        clock.advance(1)
+        low2 = queue.submit(_spec(seed=3), priority=0)
+        order = [queue.lease("w").id for _ in range(3)]
+        assert order == [high.id, low.id, low2.id]
+        assert queue.lease("w") is None
+
+    def test_quota_enforced_on_active_jobs(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"), default_quota=2)
+        queue.submit(_spec(seed=1), tenant="alice")
+        queue.submit(_spec(seed=2), tenant="alice")
+        with pytest.raises(QuotaExceeded):
+            queue.submit(_spec(seed=3), tenant="alice")
+        # other tenants have their own budget
+        queue.submit(_spec(seed=3), tenant="bob")
+
+    def test_quota_frees_up_when_jobs_finish(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"), default_quota=1)
+        first = queue.submit(_spec(seed=1), tenant="alice")
+        leased = queue.lease("w")
+        queue.complete(leased.id, owner="w",
+                       result_digest="0" * 64)
+        # done jobs no longer count against the quota
+        queue.submit(_spec(seed=2), tenant="alice")
+        assert queue.get(first.id).state == "done"
+
+    def test_per_tenant_quota_override(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"), default_quota=1)
+        queue.set_quota("vip", 3)
+        for seed in range(3):
+            queue.submit(_spec(seed=seed), tenant="vip")
+        with pytest.raises(QuotaExceeded):
+            queue.submit(_spec(seed=9), tenant="vip")
+
+    def test_crash_recovery_requeues_expired_lease(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(str(tmp_path / "q.db"), clock=clock)
+        job = queue.submit(_spec())
+        leased = queue.lease("crashed-worker", lease_seconds=60)
+        assert leased.id == job.id
+        assert queue.lease("other") is None  # nothing left to lease
+        clock.advance(61)
+        assert queue.requeue_expired() == [job.id]
+        recovered = queue.lease("other", lease_seconds=60)
+        assert recovered.id == job.id
+        assert recovered.attempts == 2  # both leases counted
+
+    def test_lease_extension_prevents_requeue(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(str(tmp_path / "q.db"), clock=clock)
+        job = queue.submit(_spec())
+        queue.lease("w", lease_seconds=60)
+        clock.advance(50)
+        queue.extend_lease(job.id, "w", 60)
+        clock.advance(50)  # past the original expiry, not the new one
+        assert queue.requeue_expired() == []
+        assert queue.get(job.id).state == "leased"
+
+    def test_queue_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "q.db")
+        job = JobQueue(path).submit(_spec(), tenant="alice",
+                                    priority=7)
+        reopened = JobQueue(path)  # a fresh process would do this
+        restored = reopened.get(job.id)
+        assert restored.state == "queued"
+        assert restored.priority == 7
+        assert restored.spec.as_dict() == _spec().as_dict()
+
+    def test_complete_requires_the_lease(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec())
+        with pytest.raises(LeaseError):
+            queue.complete(job.id, owner="w")  # never leased
+        queue.lease("w")
+        with pytest.raises(LeaseError):
+            queue.complete(job.id, owner="thief")
+        queue.complete(job.id, owner="w", result_digest="0" * 64)
+        assert queue.get(job.id).state == "done"
+
+    def test_fail_with_retry_requeues(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec())
+        queue.lease("w")
+        queue.fail(job.id, error="boom", owner="w", retry=True)
+        assert queue.get(job.id).state == "queued"
+        queue.lease("w")
+        queue.fail(job.id, error="boom again", owner="w")
+        failed = queue.get(job.id)
+        assert failed.state == "failed"
+        assert "boom again" in failed.error
+
+    def test_cancel_only_queued_jobs(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec())
+        assert queue.cancel(job.id) is True
+        assert queue.get(job.id).state == "cancelled"
+        other = queue.submit(_spec(seed=1))
+        queue.lease("w")
+        assert queue.cancel(other.id) is False  # already leased
+
+    def test_dedup_reuses_finished_identical_spec(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        first = queue.submit(_spec())
+        queue.lease("w")
+        queue.complete(first.id, owner="w", result_digest="a" * 64,
+                       report_digest="b" * 64)
+        again = queue.submit(_spec())
+        assert again.id != first.id
+        assert again.state == "done"
+        assert again.reused_from == first.id
+        assert again.result_digest == "a" * 64
+        # and dedup can be declined
+        fresh = queue.submit(_spec(), reuse=False)
+        assert fresh.state == "queued"
+
+    def test_tenant_counts(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        queue.submit(_spec(seed=1), tenant="alice")
+        queue.submit(_spec(seed=2), tenant="alice")
+        queue.submit(_spec(seed=3), tenant="bob")
+        queue.lease("w")
+        counts = queue.tenant_counts()
+        assert counts["alice"] in ({"queued": 1, "leased": 1},
+                                   {"queued": 2},)
+        assert sum(counts["alice"].values()) == 2
+        assert counts["bob"] == {"queued": 1}
+
+
+# -- periodic beat ------------------------------------------------------------
+
+
+class TestPeriodicBeat:
+    def test_beats_and_joins_on_exit(self):
+        before = threading.active_count()
+        ticks = []
+        with PeriodicBeat(0.01, lambda: ticks.append(1)) as beat:
+            assert beat.alive
+            deadline = threading.Event()
+            deadline.wait(0.08)
+        assert not beat.alive
+        assert ticks  # it beat at least once
+        assert threading.active_count() == before  # joined, not leaked
+
+    def test_nonpositive_interval_never_starts_a_thread(self):
+        before = threading.active_count()
+        with PeriodicBeat(0.0, lambda: 1 / 0) as beat:
+            assert not beat.alive
+        assert threading.active_count() == before
+
+    def test_no_thread_accumulation_across_many_uses(self):
+        before = threading.active_count()
+        for _ in range(10):
+            with PeriodicBeat(0.01, lambda: None):
+                pass
+        assert threading.active_count() == before
+
+
+# -- HTTP plumbing ------------------------------------------------------------
+
+
+class TestRouter:
+    def _router(self):
+        async def handler(request):
+            return request
+        router = Router()
+        router.add("GET", "/v1/jobs/{id}/status", handler)
+        router.add("GET", "/v1/jobs", handler)
+        router.add("POST", "/v1/jobs", handler)
+        return router
+
+    def test_template_binds_params(self):
+        router = self._router()
+        _, params = router.match("GET", "/v1/jobs/job-abc/status")
+        assert params == {"id": "job-abc"}
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HTTPError) as err:
+            self._router().match("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self):
+        with pytest.raises(HTTPError) as err:
+            self._router().match("DELETE", "/v1/jobs")
+        assert err.value.status == 405
+
+    def test_request_json_rejects_garbage(self):
+        request = Request(method="POST", path="/", body=b"not json")
+        with pytest.raises(HTTPError) as err:
+            request.json()
+        assert err.value.status == 400
+
+
+# -- the API over a live server -----------------------------------------------
+
+
+@pytest.fixture
+def api_service(tmp_path):
+    """HTTP API only — no dispatcher thread; tests drive dispatch."""
+    service = Service(str(tmp_path / "data"), default_quota=3)
+    service.start_http()
+    yield service
+    service.stop()
+
+
+class TestServiceApi:
+    def test_healthz(self, api_service):
+        client = ServiceClient(api_service.url)
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["queue_depth"] == 0
+
+    def test_submit_validates_and_lists(self, api_service):
+        client = ServiceClient(api_service.url, tenant="alice")
+        job = client.submit({"workload": "pi", "experiments": 2})
+        assert job["state"] == "queued"
+        assert job["tenant"] == "alice"
+        listing = client.jobs(tenant="alice")
+        assert [j["id"] for j in listing["jobs"]] == [job["id"]]
+        assert listing["tenants"]["alice"] == {"queued": 1}
+
+    def test_submit_bad_spec_is_400(self, api_service):
+        client = ServiceClient(api_service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit({"workload": "nope"})
+        assert err.value.status == 400
+        assert "unknown workload" in err.value.message
+
+    def test_quota_exhaustion_is_429(self, api_service):
+        client = ServiceClient(api_service.url, tenant="greedy")
+        for seed in range(3):
+            client.submit({"workload": "pi", "seed": seed})
+        with pytest.raises(ServiceError) as err:
+            client.submit({"workload": "pi", "seed": 99})
+        assert err.value.status == 429
+
+    def test_unknown_job_is_404(self, api_service):
+        client = ServiceClient(api_service.url)
+        with pytest.raises(ServiceError) as err:
+            client.job("job-missing")
+        assert err.value.status == 404
+
+    def test_cancel_queued_then_conflict(self, api_service):
+        client = ServiceClient(api_service.url)
+        job = client.submit({"workload": "pi"})
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        with pytest.raises(ServiceError) as err:
+            client.cancel(job["id"])  # already terminal
+        assert err.value.status == 409
+
+    def test_results_missing_is_404(self, api_service):
+        client = ServiceClient(api_service.url)
+        job = client.submit({"workload": "pi"})
+        with pytest.raises(ServiceError) as err:
+            client.results(job["id"])
+        assert err.value.status == 404
+
+    def test_blob_validation(self, api_service):
+        client = ServiceClient(api_service.url)
+        with pytest.raises(ServiceError) as err:
+            client.fetch("zz")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.fetch("0" * 64)
+        assert err.value.status == 404
+
+    def test_events_stream_ends_on_terminal_job(self, api_service):
+        client = ServiceClient(api_service.url)
+        job = client.submit({"workload": "pi"})
+        client.cancel(job["id"])
+        frames = list(client.events(job["id"], poll=0.05))
+        assert [f["type"] for f in frames] == ["status", "end"]
+        assert frames[-1]["state"] == "cancelled"
+
+
+# -- dispatch + end-to-end ----------------------------------------------------
+
+
+class TestDispatcherAndE2E:
+    @pytest.fixture(scope="class")
+    def service(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("svc")
+        service = Service(str(root / "data")).start()
+        yield service
+        service.stop()
+
+    @pytest.fixture(scope="class")
+    def done_job(self, service):
+        client = ServiceClient(service.url, tenant="e2e")
+        job = client.submit({"workload": "pi", "scale": "tiny",
+                             "experiments": 3, "seed": 11})
+        return client.wait(job["id"], timeout=180)
+
+    def test_job_completes_with_digests(self, done_job):
+        assert done_job["state"] == "done"
+        assert done_job["error"] is None
+        assert done_job["result_digest"]
+        assert done_job["report_digest"]
+        assert done_job["checkpoint_digest"]
+
+    def test_results_digest_round_trip(self, service, done_job):
+        client = ServiceClient(service.url)
+        blob = client.fetch(done_job["result_digest"])
+        assert hashlib.sha256(blob).hexdigest() \
+            == done_job["result_digest"]
+        results = json.loads(blob)
+        assert len(results) == 3
+        assert all("wall_seconds" not in entry for entry in results)
+
+    def test_service_results_match_direct_campaign(
+            self, service, done_job, tmp_path):
+        """The acceptance bar: the service's stored result set is
+        byte-identical to a direct SharedDirCampaign run of the same
+        spec and seed on this machine."""
+        runner = CampaignRunner(build("pi", "tiny"))
+        campaign = SharedDirCampaign(str(tmp_path / "share"),
+                                     "pi", "tiny")
+        faults = SEUGenerator(runner.golden.profile,
+                              seed=11).batch(3)
+        campaign.publish(runner, faults, seed=11)
+        campaign.worker_loop("direct", runner)
+        direct = canonical_json_bytes(
+            canonical_results(campaign.collect()))
+        served = ServiceClient(service.url).fetch(
+            done_job["result_digest"])
+        assert served == direct
+        assert digest_bytes(direct) == done_job["result_digest"]
+
+    def test_resubmit_same_spec_reuses_result(self, service,
+                                              done_job):
+        client = ServiceClient(service.url, tenant="e2e")
+        again = client.submit({"workload": "pi", "scale": "tiny",
+                               "experiments": 3, "seed": 11})
+        assert again["state"] == "done"
+        assert again["reused_from"] == done_job["id"]
+        assert again["result_digest"] == done_job["result_digest"]
+
+    def test_same_seed_rerun_lands_on_same_digest(self, service,
+                                                  done_job):
+        """Digest stability: forcing a full re-run (reuse=False) of
+        the same seed must produce the same content address, and the
+        store keeps a single deduplicated object."""
+        client = ServiceClient(service.url, tenant="e2e")
+        before = client.store_stats()["objects"]
+        job = client.submit({"workload": "pi", "scale": "tiny",
+                             "experiments": 3, "seed": 11},
+                            reuse=False)
+        assert job["state"] != "done" or not job["reused_from"]
+        final = client.wait(job["id"], timeout=180)
+        assert final["state"] == "done"
+        assert final["result_digest"] == done_job["result_digest"]
+        # results + checkpoint dedupe; only the report (which names
+        # its per-job share directory) is a new object
+        assert client.store_stats()["objects"] <= before + 1
+        assert final["checkpoint_digest"] \
+            == done_job["checkpoint_digest"]
+
+    def test_job_status_exposes_campaign_share(self, service,
+                                               done_job):
+        client = ServiceClient(service.url)
+        status = client.status(done_job["id"])
+        assert status["job"]["state"] == "done"
+        assert status["campaign"]["completed"] == 3
+        assert status["campaign"]["service"]["job"] == done_job["id"]
+
+    def test_report_renders(self, service, done_job):
+        client = ServiceClient(service.url)
+        report = client.report(done_job["id"])
+        assert "Campaign report" in report
+        html = client.report(done_job["id"], fmt="html")
+        assert html.lstrip().startswith("<")
+
+    def test_failed_job_records_error(self, tmp_path):
+        """A job whose campaign collapses must land in 'failed' with
+        the cause, not wedge the dispatcher."""
+        queue = JobQueue(str(tmp_path / "q.db"))
+        store = ContentStore(str(tmp_path / "store"))
+        dispatcher = Dispatcher(queue, store, str(tmp_path),
+                                lease_seconds=60)
+
+        spec = JobSpec.from_dict({"workload": "pi",
+                                  "experiments": 2})
+        job = queue.submit(spec)
+
+        def exploding(job):
+            raise RuntimeError("simulated worker loss")
+        dispatcher.run_job = exploding
+        assert dispatcher.poll_once() is True
+        failed = queue.get(job.id)
+        assert failed.state == "failed"
+        assert "simulated worker loss" in failed.error
+
+    def test_backend_registry_resolves_shared_dir(self):
+        assert "shared-dir" in backend_names()
+        assert get_backend("shared-dir") is SharedDirCampaign
+        with pytest.raises(KeyError):
+            get_backend("carrier-pigeon")
+
+    def test_dispatcher_marks_share_for_status(self, service,
+                                               done_job):
+        """gemfi status on a service-run share names its job/tenant
+        and live queue numbers (the service.json marker)."""
+        from repro.telemetry import read_status
+        share = ServiceClient(service.url).job(
+            done_job["id"])["share_dir"]
+        assert os.path.isfile(os.path.join(share, "service.json"))
+        status = read_status(share)
+        assert status.service["job"] == done_job["id"]
+        assert status.service["tenant"] == "e2e"
+        assert "queue_depth" in status.service
+        assert "e2e" in status.service["tenants"]
