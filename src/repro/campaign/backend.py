@@ -35,9 +35,12 @@ class CampaignBackend(ABC):
 
     @abstractmethod
     def publish(self, runner, fault_sets: list, seed: int | None = None,
-                flight: int | None = None, trace: bool = False) -> None:
+                flight: int | None = None, trace: bool = False,
+                request: dict | None = None) -> None:
         """Make the campaign available to workers: the checkpoint, the
-        workload description and one fault input file per experiment."""
+        workload description and one fault input file per experiment.
+        *request* (optional) is the originating HTTP-request context
+        (``{"id", "span"}``) when a service published the campaign."""
 
     @abstractmethod
     def worker_loop(self, worker_id: str, runner, tracer=None) -> int:

@@ -141,13 +141,20 @@ class SharedDirCampaign(CampaignBackend):
     def publish(self, runner: CampaignRunner,
                 fault_sets: list, seed: int | None = None,
                 flight: int | None = None,
-                trace: bool = False) -> None:
+                trace: bool = False,
+                request: dict | None = None) -> None:
         workload = {"name": self.workload_name, "scale": self.scale,
                     "seed": seed, "flight": flight}
         if trace:
             # Only written when tracing is on, so an untraced share's
             # workload.json stays byte-identical to the old protocol.
             workload["trace"] = True
+        if request is not None:
+            # Originating-request context from the campaign service
+            # ({"id": ..., "span": ...}): run_local roots the campaign
+            # span under that request span.  Absent outside the
+            # service, keeping plain shares byte-identical.
+            workload["request"] = request
         _write_json_atomic(
             os.path.join(self.share_dir, "workload.json"), workload)
         if runner.golden.checkpoint is not None:
@@ -396,6 +403,13 @@ class SharedDirCampaign(CampaignBackend):
         """True when the coordinator published with span tracing on."""
         return bool(self._published_field("trace"))
 
+    def published_request(self) -> dict | None:
+        """Originating-request context recorded by ``publish`` (the
+        campaign service's ``{"id", "span"}``), or None for campaigns
+        published outside the service."""
+        request = self._published_field("request")
+        return request if isinstance(request, dict) else None
+
     def _published_field(self, key: str):
         path = os.path.join(self.share_dir, "workload.json")
         try:
@@ -429,14 +443,24 @@ class SharedDirCampaign(CampaignBackend):
             # The coordinator owns the campaign root span; workers
             # parent their experiment spans under it by id arithmetic
             # (same seed -> same ids), so no handshake is needed.
+            # When the service published the campaign from an HTTP
+            # request, the request's span id becomes the root's
+            # parent — ids and paths are untouched, so the workers'
+            # arithmetic still holds.
+            request = self.published_request() or {}
             tracer = Tracer(
                 TraceContext(self._published_seed()),
                 sink=JsonlSpanSink(
                     span_log_path(self.share_dir, "coordinator")),
-                worker="coordinator")
+                worker="coordinator",
+                root_parent=request.get("span"))
+            root_attrs = {}
+            if request.get("id"):
+                root_attrs["request_id"] = request["id"]
             root = tracer.start("campaign", kind="campaign",
                                 workload=self.workload_name,
-                                scale=self.scale, workers=workers)
+                                scale=self.scale, workers=workers,
+                                **root_attrs)
         processes = []
         for index in range(workers):
             process = multiprocessing.Process(

@@ -318,10 +318,19 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     """Merge a traced campaign's span logs into one Chrome trace-event
     JSON, loadable at https://ui.perfetto.dev or chrome://tracing."""
     from .telemetry import (
+        render_span_tree,
         render_timeline,
         timeline_summary,
         validate_trace,
     )
+    if args.tree:
+        text = render_span_tree(args.share_dir)
+        if not text:
+            print("# no span records on the share — was the campaign "
+                  "run with --trace?", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
     try:
         text = render_timeline(args.share_dir, timebase=args.timebase,
                                slots=args.slots, indent=args.indent)
@@ -351,9 +360,52 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 def cmd_dashboard(args: argparse.Namespace) -> int:
     """Live campaign dashboard: status, workers x current experiment,
-    and the watchdog alert strip (also journalled to alerts.jsonl)."""
+    and the watchdog alert strip (also journalled to alerts.jsonl).
+
+    With ``--url --job``, frames are rendered server-side by the
+    campaign service (``GET /v1/jobs/{id}/dashboard``) — no filesystem
+    access to the share needed."""
     import time as _time
 
+    if args.url:
+        if not args.job:
+            print("error: --url needs --job (which job's dashboard?)",
+                  file=sys.stderr)
+            return 2
+        from .service import ServiceClient, ServiceError
+        client = ServiceClient(args.url)
+        try:
+            while True:
+                try:
+                    frame = client.dashboard(args.job)
+                except ServiceError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                if not args.once:
+                    print("\x1b[H\x1b[2J", end="")
+                job = frame.get("job", {})
+                print(f"# job {job.get('id')}  state={job.get('state')}"
+                      f"  tenant={job.get('tenant')}")
+                if frame.get("text"):
+                    print(frame["text"])
+                else:
+                    print("# no campaign share yet (job still queued)")
+                sys.stdout.flush()
+                if args.once:
+                    return 0
+                if job.get("state") in ("done", "failed", "cancelled"):
+                    return 0
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+            return 0
+        finally:
+            client.close()
+
+    if not args.share_dir:
+        print("error: give a share directory (or --url --job)",
+              file=sys.stderr)
+        return 2
     from .telemetry import (
         WatchdogConfig,
         append_alerts,
@@ -559,7 +611,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url, tenant=args.tenant)
     spec = {"workload": args.workload, "scale": args.scale,
             "experiments": args.experiments, "seed": args.seed,
-            "location": args.location, "workers": args.workers}
+            "location": args.location, "workers": args.workers,
+            "trace": args.trace}
     try:
         job = client.submit(spec, priority=args.priority,
                             reuse=not args.no_reuse)
@@ -615,6 +668,37 @@ def cmd_jobs(args: argparse.Namespace) -> int:
               f"n={spec['experiments']} seed={spec['seed']}"
               + (f"  -> {job['result_digest'][:12]}"
                  if job.get("result_digest") else ""))
+    return 0
+
+
+def cmd_usage(args: argparse.Namespace) -> int:
+    """Per-tenant usage metering from a running service: completed
+    jobs, experiments, simulated instructions and campaign wall time
+    (persisted in the queue database across restarts)."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        usage = client.usage(tenant=args.tenant if args.mine else None)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(usage, indent=2, sort_keys=True))
+        return 0
+    if not usage:
+        print("# no metered usage yet")
+        return 0
+    print(f"{'tenant':<16} {'jobs':>6} {'experiments':>12} "
+          f"{'instructions':>14} {'wall_s':>10}")
+    for tenant, totals in sorted(usage.items()):
+        print(f"{tenant:<16} {totals['jobs']:>6} "
+              f"{totals['experiments']:>12} "
+              f"{totals['instructions']:>14} "
+              f"{totals['wall_seconds']:>10.2f}")
     return 0
 
 
@@ -816,13 +900,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: the workers that heartbeated)")
     tl_p.add_argument("--indent", type=int, default=None,
                       help="pretty-print the JSON with this indent")
+    tl_p.add_argument("--tree", action="store_true",
+                      help="print the span tree as indented text "
+                           "instead of trace-event JSON (service jobs "
+                           "root at their originating HTTP request)")
     tl_p.set_defaults(func=cmd_timeline)
 
     dash_p = sub.add_parser(
         "dashboard",
         help="live campaign dashboard with watchdog alerts")
-    dash_p.add_argument("share_dir",
-                        help="the campaign share directory")
+    dash_p.add_argument("share_dir", nargs="?", default=None,
+                        help="the campaign share directory (omit "
+                             "with --url)")
+    dash_p.add_argument("--url", default=None,
+                        help="drive the dashboard from a campaign "
+                             "service instead of a local share")
+    dash_p.add_argument("--job", default=None,
+                        help="job id to watch (with --url)")
     dash_p.add_argument("--interval", type=float, default=2.0,
                         help="refresh interval in seconds")
     dash_p.add_argument("--once", action="store_true",
@@ -938,6 +1032,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub_p.add_argument("--no-reuse", action="store_true",
                        help="run even if an identical job already "
                             "finished (skip result dedup)")
+    sub_p.add_argument("--trace", action="store_true",
+                       help="span-trace the campaign; its tree roots "
+                            "at this submit request (gemfi timeline "
+                            "--tree on the job's share)")
     sub_p.add_argument("--wait", action="store_true",
                        help="block until the job is terminal")
     sub_p.add_argument("--timeout", type=float, default=600.0,
@@ -956,6 +1054,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only this tenant's jobs")
     jobs_p.add_argument("--json", action="store_true")
     jobs_p.set_defaults(func=cmd_jobs)
+
+    usage_p = sub.add_parser(
+        "usage",
+        help="per-tenant usage metering from a running service")
+    usage_p.add_argument("--url", default="http://127.0.0.1:8642")
+    usage_p.add_argument("--tenant", default="default")
+    usage_p.add_argument("--mine", action="store_true",
+                         help="only this tenant's usage")
+    usage_p.add_argument("--json", action="store_true")
+    usage_p.set_defaults(func=cmd_usage)
 
     fetch_p = sub.add_parser(
         "fetch",

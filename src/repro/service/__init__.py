@@ -20,7 +20,11 @@ directories and become **jobs** submitted to a long-lived service —
   :class:`~repro.service.api.Service` composition root behind
   ``gemfi serve``;
 * :mod:`repro.service.client` — the stdlib client behind
-  ``gemfi submit`` / ``gemfi jobs`` / ``gemfi fetch``.
+  ``gemfi submit`` / ``gemfi jobs`` / ``gemfi fetch``;
+* :mod:`repro.service.observability` — the shared
+  :class:`~repro.service.observability.ServiceObserver`: one metrics
+  registry behind ``GET /metrics`` (OpenMetrics), request ids, and
+  JSONL access/error logs.
 
 The existing heartbeat/span/watchdog machinery is the service's
 health plane: job status streams reuse ``read_status`` and the
@@ -38,6 +42,7 @@ from .jobs import (
     JobSpecError,
     canonical_results,
 )
+from .observability import ServiceObserver, new_request_id
 from .queue import JobQueue, LeaseError, QuotaExceeded, UnknownJobError
 from .store import ContentStore, canonical_json_bytes, digest_bytes
 
@@ -45,6 +50,7 @@ __all__ = [
     "ContentStore", "Dispatcher", "JOB_STATES", "Job", "JobQueue",
     "JobSpec", "JobSpecError", "LeaseError", "QuotaExceeded",
     "Service", "ServiceApp", "ServiceClient", "ServiceError",
-    "TERMINAL_STATES", "UnknownJobError", "canonical_json_bytes",
-    "canonical_results", "digest_bytes",
+    "ServiceObserver", "TERMINAL_STATES", "UnknownJobError",
+    "canonical_json_bytes", "canonical_results", "digest_bytes",
+    "new_request_id",
 ]

@@ -13,12 +13,21 @@ content store::
                                      alerts until the job is terminal
     GET    /v1/jobs/{id}/report      outcome report (md/html)
     GET    /v1/jobs/{id}/results     canonical result set (JSON)
+    GET    /v1/jobs/{id}/dashboard   one rendered watchdog frame (for
+                                     ``gemfi dashboard --url``)
     GET    /v1/blobs/{digest}        any stored artifact by digest
     GET    /v1/store/stats           content-store object/byte counts
+    GET    /v1/usage[?tenant=]       persisted per-tenant metering
+    GET    /metrics                  OpenMetrics exposition
 
 Status and event streams are the existing telemetry health plane —
 ``read_status`` and the watchdog rules — evaluated over the job's
 private share directory; the service adds no second source of truth.
+The same discipline holds for ``/metrics``: every counter is hung off
+one shared :class:`~repro.service.observability.ServiceObserver` by
+the layer that owns the event (HTTP handler, queue, store,
+dispatcher), and the handler only refreshes the point-in-time gauges
+(queue depth, store size, usage totals) at scrape time.
 
 :class:`Service` wires queue + store + dispatcher + HTTP server into
 one deployable unit (``gemfi serve``).
@@ -33,7 +42,15 @@ import threading
 import time
 
 from ..telemetry.campaign import read_status
-from ..telemetry.watchdog import WatchdogConfig, evaluate_alerts
+from ..telemetry.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+)
+from ..telemetry.watchdog import (
+    WatchdogConfig,
+    evaluate_alerts,
+    render_dashboard,
+)
 from .dispatcher import Dispatcher
 from .http import (
     HTTPError,
@@ -44,7 +61,8 @@ from .http import (
     start_http_server,
 )
 from .jobs import JobSpec, JobSpecError
-from .queue import JobQueue, QuotaExceeded, UnknownJobError
+from .observability import HELP_TEXTS, LOG_DIR, ServiceObserver
+from .queue import USAGE_FIELDS, JobQueue, QuotaExceeded, UnknownJobError
 from .store import ContentStore
 
 
@@ -58,10 +76,12 @@ class ServiceApp:
 
     def __init__(self, queue: JobQueue, store: ContentStore,
                  watchdog_config: WatchdogConfig | None = None,
+                 observer: ServiceObserver | None = None,
                  clock=time.time) -> None:
         self.queue = queue
         self.store = store
         self.watchdog_config = watchdog_config or WatchdogConfig()
+        self.observer = observer
         self._clock = clock
         self.router = Router()
         add = self.router.add
@@ -74,8 +94,11 @@ class ServiceApp:
         add("GET", "/v1/jobs/{id}/events", self.job_events)
         add("GET", "/v1/jobs/{id}/report", self.job_report)
         add("GET", "/v1/jobs/{id}/results", self.job_results)
+        add("GET", "/v1/jobs/{id}/dashboard", self.job_dashboard)
         add("GET", "/v1/blobs/{digest}", self.blob)
         add("GET", "/v1/store/stats", self.store_stats)
+        add("GET", "/v1/usage", self.usage)
+        add("GET", "/metrics", self.metrics)
 
     # -- helpers --------------------------------------------------------------
 
@@ -120,7 +143,8 @@ class ServiceApp:
             raise HTTPError(400, str(exc)) from None
         try:
             job = self.queue.submit(spec, tenant=tenant,
-                                    priority=priority, reuse=reuse)
+                                    priority=priority, reuse=reuse,
+                                    request_id=request.id or None)
         except QuotaExceeded as exc:
             raise HTTPError(429, str(exc)) from None
         # A dedup hit is born done (200); fresh submissions are 201.
@@ -244,8 +268,66 @@ class ServiceApp:
             if data[:1] in (b"{", b"[") else "application/octet-stream"
         return Response.binary(data, content_type=content_type)
 
+    async def job_dashboard(self, request: Request) -> Response:
+        """One server-rendered watchdog frame for the job's share —
+        ``gemfi dashboard --url`` polls this instead of needing
+        filesystem access to the share."""
+        job = self._job(request)
+        share = self._share(job)
+        payload = {"job": job.as_dict(), "text": None, "alerts": []}
+        if share is not None:
+            text, alerts = render_dashboard(share, self.watchdog_config,
+                                            clock=self._clock)
+            payload["text"] = text
+            payload["alerts"] = [alert.as_dict() for alert in alerts]
+        return Response.json(payload)
+
     async def store_stats(self, request: Request) -> Response:
         return Response.json(self.store.stats())
+
+    async def usage(self, request: Request) -> Response:
+        tenant = request.query.get("tenant")
+        return Response.json({"usage": self.queue.usage(tenant=tenant)})
+
+    # -- metrics --------------------------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time families recomputed at scrape time (counters
+        and histograms accumulate where the events happen)."""
+        observer = self.observer
+        registry = observer.registry
+        with observer._lock:
+            for prefix in ("queue.depth", "queue.tenant_active",
+                           "queue.tenant_quota", "store.objects",
+                           "store.bytes", "usage.jobs",
+                           "usage.experiments", "usage.instructions",
+                           "usage.wall_seconds"):
+                registry.prune(prefix)
+        observer.set_gauge("queue.depth", self.queue.depth())
+        for tenant, states in sorted(self.queue.tenant_counts().items()):
+            active = states.get("queued", 0) + states.get("leased", 0)
+            observer.set_gauge("queue.tenant_active", active,
+                               tenant=tenant)
+            observer.set_gauge("queue.tenant_quota",
+                               self.queue.quota(tenant), tenant=tenant)
+        stats = self.store.stats()
+        observer.set_gauge("store.objects", stats["objects"])
+        observer.set_gauge("store.bytes", stats["bytes"])
+        for tenant, totals in sorted(self.queue.usage().items()):
+            for field in USAGE_FIELDS:
+                observer.set_gauge(f"usage.{field}", totals[field],
+                                   tenant=tenant)
+
+    async def metrics(self, request: Request) -> Response:
+        if self.observer is None:
+            raise HTTPError(404, "metrics are not enabled on this "
+                                 "service")
+        self._refresh_gauges()
+        with self.observer._lock:
+            text = render_openmetrics(self.observer.registry,
+                                      help_texts=HELP_TEXTS)
+        return Response.text(text,
+                             content_type=OPENMETRICS_CONTENT_TYPE)
 
 
 class Service:
@@ -255,6 +337,7 @@ class Service:
           queue.db      the persistent job queue (SQLite WAL)
           store/        the content-addressed artifact store
           shares/<job>  one campaign share per job (telemetry plane)
+          logs/         JSONL access + error logs (observability)
     """
 
     def __init__(self, data_dir: str, host: str = "127.0.0.1",
@@ -268,16 +351,20 @@ class Service:
         self.host = host
         self.requested_port = port
         self.port: int | None = None
+        self.observer = ServiceObserver(
+            log_dir=os.path.join(data_dir, LOG_DIR), clock=clock)
         self.queue = JobQueue(os.path.join(data_dir, "queue.db"),
-                              default_quota=default_quota, clock=clock)
-        self.store = ContentStore(os.path.join(data_dir, "store"))
+                              default_quota=default_quota,
+                              observer=self.observer, clock=clock)
+        self.store = ContentStore(os.path.join(data_dir, "store"),
+                                  observer=self.observer)
         self.dispatcher = Dispatcher(
             self.queue, self.store, data_dir,
             lease_seconds=lease_seconds, poll_seconds=poll_seconds,
-            clock=clock)
+            observer=self.observer, clock=clock)
         self.app = ServiceApp(self.queue, self.store,
                               watchdog_config=watchdog_config,
-                              clock=clock)
+                              observer=self.observer, clock=clock)
         self._stop = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._http_thread: threading.Thread | None = None
@@ -301,7 +388,8 @@ class Service:
             self._loop = loop
             try:
                 server = loop.run_until_complete(start_http_server(
-                    self.app.router, self.host, self.requested_port))
+                    self.app.router, self.host, self.requested_port,
+                    observer=self.observer, closing=self._stop))
             except BaseException as exc:
                 failure.append(exc)
                 started.set()
@@ -314,6 +402,15 @@ class Service:
             finally:
                 server.close()
                 loop.run_until_complete(server.wait_closed())
+                # Keep-alive connections may still be parked in
+                # read_request; cancel their handler tasks so the
+                # transports close while the loop can still run.
+                tasks = asyncio.all_tasks(loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    loop.run_until_complete(asyncio.gather(
+                        *tasks, return_exceptions=True))
                 loop.close()
 
         self._http_thread = threading.Thread(

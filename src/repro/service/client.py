@@ -2,9 +2,14 @@
 
 ``http.client`` against the service API — used by ``gemfi submit`` /
 ``gemfi jobs`` / ``gemfi fetch`` and by tests, and importable by any
-script that wants to drive a campaign service programmatically.  One
-connection per request, matching the server's ``Connection: close``
-discipline.
+script that wants to drive a campaign service programmatically.
+
+The client keeps **one persistent connection** and reuses it across
+requests (the server speaks HTTP/1.1 keep-alive), reconnecting
+transparently when the server closed it — after its per-connection
+request cap, during shutdown, or because the network dropped.  The
+event stream uses its own connection so a long poll never blocks
+normal calls.
 """
 
 from __future__ import annotations
@@ -13,6 +18,14 @@ import http.client
 import json
 import time
 from urllib.parse import urlencode, urlsplit
+
+#: connection-level failures worth one transparent retry on a fresh
+#: connection: the pooled socket may simply have been closed by the
+#: server between our requests.
+_RETRYABLE = (http.client.RemoteDisconnected,
+              http.client.CannotSendRequest,
+              http.client.BadStatusLine,
+              ConnectionError)
 
 
 class ServiceError(Exception):
@@ -36,6 +49,7 @@ class ServiceClient:
         self.port = split.port or 80
         self.tenant = tenant
         self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing -------------------------------------------------------------
 
@@ -43,6 +57,31 @@ class ServiceClient:
                  ) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(
             self.host, self.port, timeout=timeout or self.timeout)
+
+    def close(self) -> None:
+        """Drop the pooled connection (safe to call any time; the
+        next request reconnects)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send_once(self, method: str, path: str, payload,
+                   headers: dict) -> tuple[int, bytes, bool]:
+        if self._conn is None:
+            self._conn = self._connect()
+        self._conn.request(method, path, body=payload,
+                           headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        return response.status, data, response.will_close
 
     def _request(self, method: str, path: str,
                  body: dict | None = None,
@@ -54,13 +93,26 @@ class ServiceClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        conn = self._connect()
         try:
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            return response.status, response.read()
-        finally:
-            conn.close()
+            status, data, closed = self._send_once(method, path,
+                                                   payload, headers)
+        except _RETRYABLE:
+            # The pooled socket died between requests (server cap,
+            # restart, network blip); retry exactly once on a fresh
+            # connection.
+            self.close()
+            try:
+                status, data, closed = self._send_once(
+                    method, path, payload, headers)
+            except BaseException:
+                self.close()
+                raise
+        except BaseException:
+            self.close()
+            raise
+        if closed:
+            self.close()
+        return status, data
 
     def _json(self, method: str, path: str, body: dict | None = None,
               query: dict | None = None) -> dict:
@@ -127,6 +179,23 @@ class ServiceClient:
 
     def store_stats(self) -> dict:
         return self._json("GET", "/v1/store/stats")
+
+    def usage(self, tenant: str | None = None) -> dict:
+        query = {"tenant": tenant} if tenant else None
+        return self._json("GET", "/v1/usage", query=query)["usage"]
+
+    def metrics_text(self) -> str:
+        """The raw OpenMetrics exposition from ``GET /metrics``."""
+        status, data = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(status,
+                               data[:200].decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def dashboard(self, job_id: str) -> dict:
+        """One server-rendered watchdog frame for the job's share:
+        ``{"job", "text", "alerts"}``."""
+        return self._json("GET", f"/v1/jobs/{job_id}/dashboard")
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.5) -> dict:

@@ -20,6 +20,15 @@ thread keeps extending the lease, so slow campaigns are not stolen;
 if the dispatcher dies instead, the lease expires and
 ``requeue_expired`` hands the job to the next dispatcher — crash
 recovery without a coordinator.
+
+With an observer attached the dispatcher times every job phase
+(golden run, publish, campaign, collect, report) into histograms and
+meters completed work per tenant into the queue's persistent usage
+table.  A job submitted with ``trace: true`` gets its span tree
+rooted at the HTTP request that created it: the dispatcher writes a
+``/request`` span (stamped with the request id recorded at submit
+time) and hands the request's span id down through ``publish`` so the
+campaign root — wherever it is opened — parents under it.
 """
 
 from __future__ import annotations
@@ -30,17 +39,23 @@ import time
 
 from ..campaign import CampaignRunner, SEUGenerator, get_backend
 from ..telemetry.campaign import SERVICE_FILE, PeriodicBeat
+from ..telemetry.spans import (CAMPAIGN_PATH, JsonlSpanSink,
+                               TraceContext, Tracer, span_log_path)
 from ..workloads import build
 from .jobs import Job, canonical_results
+from .observability import PHASE_BOUNDS
 from .queue import JobQueue, LeaseError
 from .store import ContentStore, canonical_json_bytes
+
+#: path of the originating-request span in a service-traced campaign.
+REQUEST_PATH = "/request"
 
 
 class Dispatcher:
     def __init__(self, queue: JobQueue, store: ContentStore,
                  data_dir: str, lease_seconds: float = 600.0,
                  poll_seconds: float = 0.5, owner: str | None = None,
-                 clock=time.time) -> None:
+                 observer=None, clock=time.time) -> None:
         self.queue = queue
         self.store = store
         self.data_dir = data_dir
@@ -48,6 +63,7 @@ class Dispatcher:
         self.lease_seconds = lease_seconds
         self.poll_seconds = poll_seconds
         self.owner = owner or f"dispatcher-{os.getpid()}"
+        self.observer = observer
         self._clock = clock
         # Golden runs are the expensive part of a job; identical
         # (workload, scale) pairs share one runner within this
@@ -63,6 +79,14 @@ class Dispatcher:
             self._runners[key] = CampaignRunner(build(workload, scale))
         return self._runners[key]
 
+    # -- phase timing ---------------------------------------------------------
+
+    def _phase_done(self, phase: str, started: float) -> None:
+        if self.observer is not None:
+            self.observer.observe("job.phase_seconds",
+                                  time.monotonic() - started,
+                                  bounds=PHASE_BOUNDS, phase=phase)
+
     # -- one job --------------------------------------------------------------
 
     def run_job(self, job: Job) -> dict:
@@ -70,6 +94,7 @@ class Dispatcher:
         digests for :meth:`JobQueue.complete`."""
         spec = job.spec
         share_dir = os.path.join(self.shares_dir, job.id)
+        phase_started = time.monotonic()
         runner = self.runner_for(spec.workload, spec.scale)
         backend_cls = get_backend(spec.backend)
         campaign = backend_cls(share_dir, spec.workload, spec.scale)
@@ -80,6 +105,7 @@ class Dispatcher:
         if runner.golden.checkpoint is not None:
             checkpoint_digest = self.store.put_bytes(
                 runner.golden.checkpoint)
+        self._phase_done("golden", phase_started)
 
         location = None
         if spec.location is not None:
@@ -87,7 +113,17 @@ class Dispatcher:
             location = LocationKind(spec.location)
         generator = SEUGenerator(runner.golden.profile, seed=spec.seed)
         faults = generator.batch(spec.experiments, location=location)
-        campaign.publish(runner, faults, seed=spec.seed)
+        phase_started = time.monotonic()
+        trace_request = self._trace_request(job, share_dir)
+        if spec.trace:
+            # Extra kwargs only on traced jobs, so third-party
+            # backends with the pre-trace publish signature keep
+            # working for everything else.
+            campaign.publish(runner, faults, seed=spec.seed,
+                             trace=True, request=trace_request)
+        else:
+            campaign.publish(runner, faults, seed=spec.seed)
+        self._phase_done("publish", phase_started)
 
         def _extend() -> None:
             try:
@@ -96,24 +132,125 @@ class Dispatcher:
             except Exception:
                 pass  # queue hiccup; the next beat retries
 
-        with PeriodicBeat(max(1.0, self.lease_seconds / 3.0), _extend,
-                          name=f"lease-{job.id}"):
-            if spec.workers >= 2:
-                campaign.run_local(workers=spec.workers)
-            else:
-                campaign.worker_loop(f"svc-{self.owner}", runner)
-
-        results = campaign.collect()
+        coordinator = None
+        worker_tracer = None
+        root = None
+        results = None
+        phase_started = time.monotonic()
+        try:
+            with PeriodicBeat(max(1.0, self.lease_seconds / 3.0),
+                              _extend, name=f"lease-{job.id}"):
+                if spec.workers >= 2:
+                    # run_local's coordinator reads the published
+                    # request context and roots the campaign itself.
+                    campaign.run_local(workers=spec.workers)
+                else:
+                    worker_id = f"svc-{self.owner}"
+                    if spec.trace:
+                        # Embedded execution: this process is both the
+                        # coordinator (owns /campaign, rooted under
+                        # the request span) and the only worker.
+                        coordinator, root, worker_tracer = \
+                            self._embedded_tracers(
+                                job, share_dir, worker_id,
+                                trace_request)
+                        runner.enable_tracing(worker_tracer)
+                    campaign.worker_loop(worker_id, runner,
+                                         tracer=worker_tracer)
+            self._phase_done("campaign", phase_started)
+            phase_started = time.monotonic()
+            results = campaign.collect()
+            self._phase_done("collect", phase_started)
+        finally:
+            if worker_tracer is not None:
+                # The runner outlives this job (cached per workload/
+                # scale), so the tracer must not.
+                runner.tracer = None
+                worker_tracer.close()
+            if coordinator is not None:
+                coordinator.finish(
+                    root, results=len(results) if results else 0)
+                coordinator.close()
         if len(results) != spec.experiments:
             raise RuntimeError(
                 f"job {job.id}: {len(results)} results for "
                 f"{spec.experiments} experiments")
+        self._record_usage(job, results)
+        phase_started = time.monotonic()
         result_digest = self.store.put_bytes(
             canonical_json_bytes(canonical_results(results)))
         report_digest = self._store_report(share_dir)
+        self._phase_done("report", phase_started)
         return {"result_digest": result_digest,
                 "report_digest": report_digest,
                 "checkpoint_digest": checkpoint_digest}
+
+    # -- request-rooted tracing -----------------------------------------------
+
+    def _trace_request(self, job: Job, share_dir: str) -> dict | None:
+        """For a traced job, write the originating-request span and
+        return the context (``{"span", "id"}``) that ``publish`` hands
+        to whoever opens the campaign root."""
+        if not job.spec.trace:
+            return None
+        context = TraceContext(job.spec.seed)
+        request = {"span": context.span_id(REQUEST_PATH)}
+        if job.request_id:
+            request["id"] = job.request_id
+        tracer = Tracer(context,
+                        sink=JsonlSpanSink(
+                            span_log_path(share_dir, "service")),
+                        worker="service")
+        attrs = {"kind": "request", "job": job.id,
+                 "tenant": job.tenant}
+        if job.request_id:
+            attrs["request_id"] = job.request_id
+        # Retro-recorded: the request span covers submit -> lease,
+        # timestamps the queue already persisted.
+        tracer.record("request", t0=job.submitted,
+                      t1=job.started if job.started is not None
+                      else self._clock(), **attrs)
+        tracer.close()
+        return request
+
+    def _embedded_tracers(self, job: Job, share_dir: str,
+                          worker_id: str, trace_request: dict):
+        """Coordinator + worker tracers for the in-process execution
+        path — the same span identities ``run_local`` would produce,
+        with the campaign root parented under the request span."""
+        spec = job.spec
+        coordinator = Tracer(
+            TraceContext(spec.seed),
+            sink=JsonlSpanSink(
+                span_log_path(share_dir, "coordinator")),
+            worker="coordinator",
+            root_parent=trace_request["span"])
+        attrs = {"workload": spec.workload, "scale": spec.scale,
+                 "workers": 1}
+        if job.request_id:
+            attrs["request_id"] = job.request_id
+        root = coordinator.start("campaign", kind="campaign", **attrs)
+        worker_tracer = Tracer(
+            TraceContext(spec.seed),
+            sink=JsonlSpanSink(span_log_path(share_dir, worker_id)),
+            worker=worker_id, base_path=CAMPAIGN_PATH)
+        return coordinator, root, worker_tracer
+
+    # -- usage metering -------------------------------------------------------
+
+    def _record_usage(self, job: Job, results: list[dict]) -> None:
+        """Meter the completed campaign against its tenant, from the
+        *raw* results (canonicalisation strips wall_seconds)."""
+        try:
+            self.queue.record_usage(
+                job.tenant, jobs=1, experiments=len(results),
+                instructions=sum(int(entry.get("instructions", 0))
+                                 for entry in results),
+                wall_seconds=sum(
+                    float(entry.get("wall_seconds", 0.0) or 0.0)
+                    for entry in results))
+        except Exception:
+            pass  # metering must never fail the job
 
     def _mark_share(self, share_dir: str, job: Job) -> None:
         """Write the service marker so ``gemfi status`` on this share
@@ -149,6 +286,8 @@ class Dispatcher:
         try:
             digests = self.run_job(job)
         except Exception as exc:
+            if self.observer is not None:
+                self.observer.inc("jobs.executed", outcome="failed")
             try:
                 self.queue.fail(job.id,
                                 error=f"{type(exc).__name__}: {exc}",
@@ -156,6 +295,8 @@ class Dispatcher:
             except LeaseError:
                 pass  # lease already reassigned; its holder decides
             return True
+        if self.observer is not None:
+            self.observer.inc("jobs.executed", outcome="done")
         try:
             self.queue.complete(job.id, owner=self.owner, **digests)
         except LeaseError:

@@ -3,10 +3,25 @@
 Implements exactly what the campaign service needs and nothing more:
 request-line + header parsing with ``Content-Length`` bodies in;
 fixed-length JSON/text responses and **chunked transfer encoding**
-(for JSONL event streams) out; a path-template router.  One request
-per connection (``Connection: close``) keeps the state machine
-trivial and works with curl, urllib and ``http.client`` alike — this
-is a control plane serving small JSON documents, not a data plane.
+(for JSONL event streams) out; a path-template router.
+
+Connections are **keep-alive** by HTTP/1.1 default: a client may pipe
+many requests through one connection (``ServiceClient`` polling a job
+reuses its socket instead of reconnecting per poll), bounded by
+``MAX_REQUESTS_PER_CONNECTION``, and the server advertises
+``Connection: close`` on the last response — when the cap is reached,
+when the client asked to close (or spoke HTTP/1.0 without
+``keep-alive``), after a parse error (framing is no longer trustworthy)
+and during shutdown.
+
+An optional observer (see
+:class:`~repro.service.observability.ServiceObserver`) sees every
+request: a request id is minted (or taken from an inbound
+``X-Request-Id``), echoed on the response, and stamped into the access
+log with the matched route template, the status and the latency.
+Unhandled handler exceptions are journalled with their traceback and
+answered with a **generic** 500 carrying only the request id — internal
+details never leak to the client.
 """
 
 from __future__ import annotations
@@ -14,11 +29,13 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_REQUESTS_PER_CONNECTION = 100
 
 REASONS = {
     200: "OK", 201: "Created", 204: "No Content",
@@ -45,6 +62,20 @@ class Request:
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     params: dict[str, str] = field(default_factory=dict)
+    version: str = "HTTP/1.1"
+    #: the request id (inbound X-Request-Id or freshly minted);
+    #: assigned by the connection handler before routing.
+    id: str = ""
+
+    def wants_keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an
+        explicit Connection header wins either way."""
+        connection = self.headers.get("connection", "").lower()
+        if "close" in connection:
+            return False
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return True
 
     def json(self):
         if not self.body:
@@ -102,18 +133,27 @@ class Router:
     into ``request.params``."""
 
     def __init__(self) -> None:
-        self._routes: list[tuple[str, re.Pattern, object]] = []
+        self._routes: list[tuple[str, re.Pattern, object, str]] = []
 
     def add(self, method: str, template: str, handler) -> None:
         pattern = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
             + "$")
-        self._routes.append((method.upper(), pattern, handler))
+        self._routes.append((method.upper(), pattern, handler,
+                             template))
 
     def match(self, method: str, path: str):
         """(handler, params) — raises HTTPError 404/405."""
+        handler, params, _template = self.resolve(method, path)
+        return handler, params
+
+    def resolve(self, method: str, path: str):
+        """(handler, params, template) — the template is the route's
+        original path pattern (``/v1/jobs/{id}``), which metric labels
+        and access logs use instead of the raw path so cardinality
+        stays bounded.  Raises HTTPError 404/405."""
         allowed = set()
-        for route_method, pattern, handler in self._routes:
+        for route_method, pattern, handler, template in self._routes:
             found = pattern.match(path)
             if found is None:
                 continue
@@ -121,7 +161,7 @@ class Router:
                 allowed.add(route_method)
                 continue
             return handler, {name: unquote(value) for name, value
-                             in found.groupdict().items()}
+                             in found.groupdict().items()}, template
         if allowed:
             raise HTTPError(405, f"{method} not allowed here "
                                  f"(try: {', '.join(sorted(allowed))})")
@@ -164,14 +204,17 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
     return Request(method=method, path=unquote(split.path),
-                   query=query, headers=headers, body=body)
+                   query=query, headers=headers, body=body,
+                   version=parts[2])
 
 
-def _head(response: Response, chunked: bool) -> bytes:
+def _head(response: Response, chunked: bool,
+          keep_alive: bool = False) -> bytes:
     reason = REASONS.get(response.status, "Unknown")
     lines = [f"HTTP/1.1 {response.status} {reason}",
              f"Content-Type: {response.content_type}",
-             "Connection: close"]
+             "Connection: keep-alive" if keep_alive
+             else "Connection: close"]
     if chunked:
         lines.append("Transfer-Encoding: chunked")
     else:
@@ -182,12 +225,16 @@ def _head(response: Response, chunked: bool) -> bytes:
 
 
 async def write_response(writer: asyncio.StreamWriter,
-                         response: Response) -> None:
+                         response: Response,
+                         keep_alive: bool = False) -> None:
     if response.stream is None:
-        writer.write(_head(response, chunked=False) + response.body)
+        writer.write(_head(response, chunked=False,
+                           keep_alive=keep_alive) + response.body)
         await writer.drain()
         return
-    writer.write(_head(response, chunked=True))
+    # Chunked framing is self-terminating (the 0-length chunk), so a
+    # stream response keeps the connection reusable too.
+    writer.write(_head(response, chunked=True, keep_alive=keep_alive))
     await writer.drain()
     async for chunk in response.stream:
         if not chunk:
@@ -199,30 +246,98 @@ async def write_response(writer: asyncio.StreamWriter,
     await writer.drain()
 
 
+def _mint_request_id(request: Request | None) -> str:
+    if request is not None:
+        inbound = request.headers.get("x-request-id", "").strip()
+        if inbound and len(inbound) <= 128 \
+                and inbound.isprintable():
+            return inbound
+    from .observability import new_request_id
+    return new_request_id()
+
+
 async def handle_connection(reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter,
-                            router: Router) -> None:
+                            router: Router, observer=None,
+                            closing=None,
+                            max_requests: int =
+                            MAX_REQUESTS_PER_CONNECTION) -> None:
+    """Serve requests off one connection until it closes.
+
+    *observer* (optional) is notified of every request and error;
+    *closing* (an object with ``is_set()``, e.g. a threading.Event)
+    forces ``Connection: close`` on in-flight responses during
+    shutdown."""
+    if observer is not None:
+        observer.connection_opened()
+    handled = 0
     try:
-        try:
-            request = await read_request(reader)
-            if request is None:
+        while True:
+            keep_alive = False
+            request = None
+            route = None
+            started = time.monotonic()
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                handled += 1
+                keep_alive = (request.wants_keep_alive()
+                              and handled < max_requests
+                              and not (closing is not None
+                                       and closing.is_set()))
+                request.id = _mint_request_id(request)
+                if observer is not None:
+                    observer.request_started()
+                try:
+                    handler, params, route = router.resolve(
+                        request.method, request.path)
+                    request.params = params
+                    response = await handler(request)
+                finally:
+                    if observer is not None:
+                        observer.request_finished()
+            except HTTPError as exc:
+                if request is None:
+                    # The request line / headers did not parse; the
+                    # stream position is unknown, so the connection
+                    # cannot be reused.
+                    request = Request(method="?", path="?")
+                    request.id = _mint_request_id(None)
+                    keep_alive = False
+                response = Response.error(exc.status, exc.message)
+            except (ConnectionError, asyncio.IncompleteReadError):
                 return
-            handler, params = router.match(request.method,
-                                           request.path)
-            request.params = params
-            response = await handler(request)
-        except HTTPError as exc:
-            response = Response.error(exc.status, exc.message)
-        except (ConnectionError, asyncio.IncompleteReadError):
-            return
-        except Exception as exc:  # handler bug: report, don't die
-            response = Response.error(
-                500, f"{type(exc).__name__}: {exc}")
-        try:
-            await write_response(writer, response)
-        except (ConnectionError, asyncio.CancelledError):
-            pass  # client went away mid-stream
+            except Exception as exc:  # handler bug: report, don't die
+                # Log the full traceback server-side; the client gets
+                # a generic body carrying only the request id.
+                if observer is not None:
+                    observer.observe_error(
+                        request.id, exc, method=request.method,
+                        path=request.path)
+                response = Response.json(
+                    {"error": "internal server error",
+                     "request_id": request.id}, status=500)
+            response.headers.setdefault("X-Request-Id", request.id)
+            try:
+                await write_response(writer, response,
+                                     keep_alive=keep_alive)
+            except (ConnectionError, asyncio.CancelledError):
+                return  # client went away mid-stream
+            if observer is not None:
+                # Unrouted requests (404/405/parse errors) share one
+                # label so scanners cannot inflate the route set.
+                observer.observe_request(
+                    request.id, request.method,
+                    route if route is not None else "unrouted",
+                    response.status, time.monotonic() - started,
+                    path=request.path,
+                    tenant=request.headers.get("x-tenant"))
+            if not keep_alive:
+                return
     finally:
+        if observer is not None:
+            observer.connection_closed()
         try:
             writer.close()
             await writer.wait_closed()
@@ -230,13 +345,15 @@ async def handle_connection(reader: asyncio.StreamReader,
             pass
 
 
-async def start_http_server(router: Router, host: str,
-                            port: int) -> asyncio.Server:
+async def start_http_server(router: Router, host: str, port: int,
+                            observer=None,
+                            closing=None) -> asyncio.Server:
     """Bind and return the asyncio server (``server.sockets`` exposes
     the actual port when *port* is 0)."""
     return await asyncio.start_server(
-        lambda reader, writer: handle_connection(reader, writer,
-                                                 router),
+        lambda reader, writer: handle_connection(
+            reader, writer, router, observer=observer,
+            closing=closing),
         host=host, port=port)
 
 

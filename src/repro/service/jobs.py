@@ -55,9 +55,12 @@ class JobSpec:
     location: str | None = None
     workers: int = 1
     backend: str = "shared-dir"
+    #: publish the campaign with span tracing on; the dispatcher then
+    #: roots the job's span tree under its originating HTTP request.
+    trace: bool = False
 
     _FIELDS = ("workload", "scale", "experiments", "seed", "location",
-               "workers", "backend")
+               "workers", "backend", "trace")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -111,12 +114,14 @@ class JobSpec:
             raise JobSpecError(
                 f"unknown campaign backend '{self.backend}' "
                 f"(registered: {', '.join(backend_names())})")
+        if not isinstance(self.trace, bool):
+            raise JobSpecError("trace must be a boolean")
 
     def as_dict(self) -> dict:
         return {"workload": self.workload, "scale": self.scale,
                 "experiments": self.experiments, "seed": self.seed,
                 "location": self.location, "workers": self.workers,
-                "backend": self.backend}
+                "backend": self.backend, "trace": self.trace}
 
     def canonical(self) -> bytes:
         return canonical_json_bytes(self.as_dict())
@@ -147,6 +152,7 @@ class Job:
     error: str | None = None
     share_dir: str | None = None
     reused_from: str | None = None
+    request_id: str | None = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -169,6 +175,7 @@ class Job:
             "checkpoint_digest": self.checkpoint_digest,
             "error": self.error, "share_dir": self.share_dir,
             "reused_from": self.reused_from,
+            "request_id": self.request_id,
         }
 
     @classmethod
@@ -186,4 +193,6 @@ class Job:
             report_digest=row["report_digest"],
             checkpoint_digest=row["checkpoint_digest"],
             error=row["error"], share_dir=row["share_dir"],
-            reused_from=row["reused_from"])
+            reused_from=row["reused_from"],
+            request_id=row["request_id"]
+            if "request_id" in row.keys() else None)

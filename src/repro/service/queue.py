@@ -59,7 +59,16 @@ CREATE TABLE IF NOT EXISTS tenants (
     tenant      TEXT PRIMARY KEY,
     max_active  INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS usage (
+    tenant       TEXT PRIMARY KEY,
+    jobs         INTEGER NOT NULL DEFAULT 0,
+    experiments  INTEGER NOT NULL DEFAULT 0,
+    instructions INTEGER NOT NULL DEFAULT 0,
+    wall_seconds REAL NOT NULL DEFAULT 0.0
+);
 """
+
+USAGE_FIELDS = ("jobs", "experiments", "instructions", "wall_seconds")
 
 
 class QuotaExceeded(Exception):
@@ -82,14 +91,27 @@ class JobQueue:
     threads and the dispatcher (and across processes)."""
 
     def __init__(self, path: str, default_quota: int = 0,
-                 clock=time.time) -> None:
+                 observer=None, clock=time.time) -> None:
         self.path = path
         #: max active (queued+leased) jobs per tenant; 0 = unlimited.
         self.default_quota = default_quota
+        #: optional ServiceObserver; every hook is a pointer test.
+        self.observer = observer
         self._clock = clock
         with closing(self._connect()) as conn:
             conn.executescript(_SCHEMA)
+            self._migrate(conn)
             conn.commit()
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Columns added after PR 6: ``CREATE TABLE IF NOT EXISTS``
+        leaves pre-existing databases alone, so new columns need an
+        explicit (idempotent) ALTER on open."""
+        columns = {row[1] for row in
+                   conn.execute("PRAGMA table_info(jobs)")}
+        if "request_id" not in columns:
+            conn.execute("ALTER TABLE jobs ADD COLUMN request_id TEXT")
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=30.0)
@@ -101,7 +123,8 @@ class JobQueue:
     # -- submission -----------------------------------------------------------
 
     def submit(self, spec: JobSpec, tenant: str = "default",
-               priority: int = 0, reuse: bool = True) -> Job:
+               priority: int = 0, reuse: bool = True,
+               request_id: str | None = None) -> Job:
         """Enqueue *spec* for *tenant*.
 
         With *reuse* (the default), a spec whose digest already has a
@@ -110,6 +133,8 @@ class JobQueue:
         artifacts (the content store holds exactly one copy).  Raises
         :class:`QuotaExceeded` when the tenant's active jobs are at
         quota (reused jobs are never active, so they always succeed).
+        *request_id* records the HTTP request that created the job
+        (request-to-campaign tracing).
         """
         spec.validate()
         now = self._clock()
@@ -129,15 +154,20 @@ class JobQueue:
                     "INSERT INTO jobs (id, tenant, priority, state, "
                     "spec, spec_digest, submitted, started, finished, "
                     "attempts, result_digest, report_digest, "
-                    "checkpoint_digest, share_dir, reused_from) "
+                    "checkpoint_digest, share_dir, reused_from, "
+                    "request_id) "
                     "VALUES (?, ?, ?, 'done', ?, ?, ?, ?, ?, 0, "
-                    "?, ?, ?, ?, ?)",
+                    "?, ?, ?, ?, ?, ?)",
                     (job_id, tenant, priority, spec_json, spec_digest,
                      now, now, now, donor["result_digest"],
                      donor["report_digest"],
                      donor["checkpoint_digest"], donor["share_dir"],
-                     donor["id"]))
+                     donor["id"], request_id))
                 conn.commit()
+                if self.observer is not None:
+                    self.observer.inc("queue.dedup_hits")
+                    self.observer.inc("queue.jobs_submitted",
+                                      tenant=tenant)
                 return self.get(job_id)
             quota = self._quota(conn, tenant)
             if quota > 0:
@@ -146,16 +176,21 @@ class JobQueue:
                     "state IN ('queued', 'leased')",
                     (tenant,)).fetchone()[0]
                 if active >= quota:
+                    if self.observer is not None:
+                        self.observer.inc("queue.quota_rejections",
+                                          tenant=tenant)
                     raise QuotaExceeded(
                         f"tenant '{tenant}' already has {active} "
                         f"active job(s) (quota {quota})")
             conn.execute(
                 "INSERT INTO jobs (id, tenant, priority, state, spec, "
-                "spec_digest, submitted) "
-                "VALUES (?, ?, ?, 'queued', ?, ?, ?)",
+                "spec_digest, submitted, request_id) "
+                "VALUES (?, ?, ?, 'queued', ?, ?, ?, ?)",
                 (job_id, tenant, priority, spec_json, spec_digest,
-                 now))
+                 now, request_id))
             conn.commit()
+        if self.observer is not None:
+            self.observer.inc("queue.jobs_submitted", tenant=tenant)
         return self.get(job_id)
 
     def _quota(self, conn: sqlite3.Connection, tenant: str) -> int:
@@ -205,6 +240,8 @@ class JobQueue:
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        if self.observer is not None:
+            self.observer.inc("queue.leases")
         return self.get(row["id"])
 
     def extend_lease(self, job_id: str, owner: str,
@@ -244,6 +281,8 @@ class JobQueue:
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        if ids and self.observer is not None:
+            self.observer.inc("queue.requeued", amount=len(ids))
         return ids
 
     # -- completion -----------------------------------------------------------
@@ -302,6 +341,8 @@ class JobQueue:
                 raise LeaseError(
                     f"job {job_id} is not leased"
                     + (f" by {owner}" if owner else ""))
+        if self.observer is not None:
+            self.observer.inc("queue.jobs_finished", state=state)
         return self.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
@@ -316,7 +357,49 @@ class JobQueue:
             if cursor.rowcount == 0:
                 self.get(job_id)  # raises UnknownJobError if absent
                 return False
+        if self.observer is not None:
+            self.observer.inc("queue.jobs_finished",
+                              state="cancelled")
         return True
+
+    # -- tenant usage metering ------------------------------------------------
+
+    def record_usage(self, tenant: str, jobs: int = 0,
+                     experiments: int = 0, instructions: int = 0,
+                     wall_seconds: float = 0.0) -> None:
+        """Accumulate metered work for *tenant*.  Lives in the queue
+        database, so usage survives service restarts alongside the
+        jobs it accounts for."""
+        with closing(self._connect()) as conn:
+            conn.execute(
+                "INSERT INTO usage (tenant, jobs, experiments, "
+                "instructions, wall_seconds) VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(tenant) DO UPDATE SET "
+                "jobs = jobs + excluded.jobs, "
+                "experiments = experiments + excluded.experiments, "
+                "instructions = instructions + excluded.instructions, "
+                "wall_seconds = wall_seconds + excluded.wall_seconds",
+                (tenant, jobs, experiments, instructions,
+                 wall_seconds))
+            conn.commit()
+
+    def usage(self, tenant: str | None = None
+              ) -> dict[str, dict[str, float]]:
+        """Accumulated usage per tenant (or just *tenant*)."""
+        query = "SELECT * FROM usage"
+        params: tuple = ()
+        if tenant is not None:
+            query += " WHERE tenant = ?"
+            params = (tenant,)
+        query += " ORDER BY tenant"
+        with closing(self._connect()) as conn:
+            rows = conn.execute(query, params).fetchall()
+        return {row["tenant"]: {
+            "jobs": row["jobs"],
+            "experiments": row["experiments"],
+            "instructions": row["instructions"],
+            "wall_seconds": round(row["wall_seconds"], 6),
+        } for row in rows}
 
     def record_share(self, job_id: str, share_dir: str) -> None:
         with closing(self._connect()) as conn:

@@ -38,9 +38,11 @@ def digest_bytes(data: bytes) -> str:
 class ContentStore:
     """A directory of immutable objects keyed by content digest."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, observer=None) -> None:
         self.root = root
         self.objects_dir = os.path.join(root, "objects")
+        #: optional ServiceObserver; hooks cost a pointer test.
+        self.observer = observer
         os.makedirs(self.objects_dir, exist_ok=True)
 
     # -- addressing -----------------------------------------------------------
@@ -61,12 +63,18 @@ class ContentStore:
         digest = digest_bytes(data)
         path = self.path(digest)
         if os.path.exists(path):
+            if self.observer is not None:
+                self.observer.inc("store.dedup_hits")
             return digest
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as handle:
             handle.write(data)
         os.replace(tmp, path)
+        if self.observer is not None:
+            self.observer.inc("store.writes")
+            self.observer.inc("store.bytes_written",
+                              amount=len(data))
         return digest
 
     def put_json(self, obj) -> str:
@@ -81,9 +89,12 @@ class ContentStore:
     def get(self, digest: str) -> bytes:
         try:
             with open(self.path(digest), "rb") as handle:
-                return handle.read()
+                data = handle.read()
         except FileNotFoundError:
             raise KeyError(digest) from None
+        if self.observer is not None:
+            self.observer.inc("store.reads")
+        return data
 
     def get_json(self, digest: str):
         return json.loads(self.get(digest).decode("utf-8"))

@@ -59,6 +59,14 @@ from .flight import (
     hamming,
     regfile_checksum,
 )
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    labelled,
+    parse_metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
 from .metrics import (
     Counter,
     Distribution,
@@ -98,6 +106,7 @@ from .spans import (
 )
 from .timeline import (
     build_timeline,
+    render_span_tree,
     render_timeline,
     timeline_summary,
     validate_trace,
@@ -119,20 +128,25 @@ __all__ = [
     "Distribution", "DivergenceScanner", "EVENT_KINDS",
     "FlightRecorder", "Formula", "GoldenFlightLog", "Histogram",
     "JsonlFileSink", "JsonlSpanSink", "ListSink", "ListSpanSink",
-    "MetricsRegistry", "PeriodicBeat", "Profiler", "RingBufferSink",
-    "SamplingProfiler",
+    "MetricsRegistry", "OPENMETRICS_CONTENT_TYPE", "PeriodicBeat",
+    "Profiler", "RingBufferSink", "SamplingProfiler",
     "Scalar", "Scope", "Span", "TraceBus", "TraceContext", "TraceEvent",
     "Tracer", "WatchdogConfig", "append_alerts", "build_timeline",
     "campaign_metrics", "collect_pipeline", "dashboard_view",
     "diff_stats", "evaluate_alerts", "events_from_jsonl",
     "events_to_jsonl", "follow_jsonl", "format_value", "git_describe",
-    "hamming", "latency_histogram", "load_share", "load_spans",
-    "parse_stats", "read_alerts", "read_heartbeats", "read_jsonl",
+    "hamming", "labelled", "latency_histogram", "load_share",
+    "load_spans",
+    "parse_metric_name", "parse_openmetrics", "parse_stats",
+    "read_alerts", "read_heartbeats", "read_jsonl",
     "read_service_context", "read_span_records", "read_status",
     "regfile_checksum",
     "render_dashboard", "render_from_events", "render_html",
-    "render_markdown", "render_pipeview", "render_report",
-    "render_status", "render_timeline", "run_manifest", "sim_rates",
+    "render_markdown", "render_openmetrics", "render_pipeview",
+    "render_report",
+    "render_span_tree",
+    "render_status", "render_timeline", "run_manifest",
+    "sanitize_metric_name", "sim_rates",
     "snapshot_share", "span_log_path", "timeline_summary",
     "validate_trace", "write_heartbeat", "write_timeline",
 ]

@@ -1,0 +1,370 @@
+"""OpenMetrics / Prometheus text exposition over a MetricsRegistry.
+
+The registry (:mod:`repro.telemetry.metrics`) speaks gem5: flat dotted
+names, ``name value`` dumps.  Operations tooling speaks Prometheus.
+This module is the bridge:
+
+* :func:`labelled` encodes a label set into a registry key
+  (``http.requests{method="GET",route="/v1/jobs"}``) with sorted keys
+  and escaped values, so labelled series stay ordinary registry entries
+  and the byte-stable ``dump()`` discipline is untouched;
+* :func:`render_openmetrics` walks a registry and emits the OpenMetrics
+  text format — ``# TYPE``/``# HELP`` headers, name sanitization to the
+  ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset, counters with the ``_total``
+  suffix, histograms with **cumulative** ``le`` buckets plus ``+Inf``
+  and ``_count``/``_sum``, distributions as summaries, and the
+  ``# EOF`` terminator;
+* :func:`parse_openmetrics` is the matching validator: it parses an
+  exposition back into families and raises :class:`ValueError` on
+  malformed names, broken escapes, non-cumulative buckets or a missing
+  terminator.  CI scrapes ``GET /metrics`` and feeds it through this
+  parser, so the served text is checked by the same code the tests use.
+
+Rendering is deterministic: families sort by name, samples sort by
+label signature — same registry state, same bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .metrics import (
+    Counter,
+    Distribution,
+    Formula,
+    Histogram,
+    MetricsRegistry,
+    Scalar,
+)
+
+#: the content type a compliant scraper expects from ``GET /metrics``.
+OPENMETRICS_CONTENT_TYPE = \
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary registry name onto the metric-name charset:
+    every illegal character (``.``, ``-``, space, ...) becomes ``_``
+    and a leading digit gains a ``_`` prefix."""
+    out = _BAD_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\":
+            if index + 1 >= len(value):
+                raise ValueError(f"dangling escape in {value!r}")
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                raise ValueError(f"bad escape \\{nxt} in {value!r}")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def labelled(name: str, **labels: Any) -> str:
+    """The registry key for series *name* with *labels* attached.
+
+    Labels are sorted and values escaped, so the same logical series
+    always maps to the same key (and the registry's sorted dump stays
+    deterministic)."""
+    if not labels:
+        return name
+    parts = [f'{key}="{escape_label_value(str(value))}"'
+             for key, value in sorted(labels.items())]
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def parse_metric_name(key: str) -> tuple[str, dict[str, str]]:
+    """Split a registry key back into ``(base_name, labels)``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"unterminated label set in {key!r}")
+    base = key[:brace]
+    body = key[brace + 1:-1]
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        eq = body.find("=", index)
+        if eq < 0:
+            raise ValueError(f"label without '=' in {key!r}")
+        label = body[index:eq]
+        if not _LABEL_NAME_RE.match(label):
+            raise ValueError(f"bad label name {label!r} in {key!r}")
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {key!r}")
+        cursor = eq + 2
+        raw = []
+        while True:
+            if cursor >= len(body):
+                raise ValueError(f"unterminated label value in {key!r}")
+            char = body[cursor]
+            if char == "\\":
+                raw.append(body[cursor:cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        labels[label] = _unescape_label_value("".join(raw))
+        index = cursor + 1
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError(f"junk after label value in {key!r}")
+            index += 1
+    return base, labels
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _format_number(value: Any) -> str:
+    """OpenMetrics sample-value rendering (integers stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: dict[str, str],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{escape_label_value(str(value))}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _family_for(stat: Any) -> str | None:
+    if isinstance(stat, Counter):
+        return "counter"
+    if isinstance(stat, (Scalar, Formula)):
+        return "gauge"
+    if isinstance(stat, Distribution):
+        return "summary"
+    if isinstance(stat, Histogram):
+        return "histogram"
+    return None
+
+
+def render_openmetrics(registry: MetricsRegistry,
+                       help_texts: dict[str, str] | None = None) -> str:
+    """The registry as OpenMetrics text (terminated by ``# EOF``).
+
+    * :class:`Counter` -> ``counter`` (samples get the ``_total``
+      suffix when the name does not already carry it);
+    * :class:`Scalar` / :class:`Formula` -> ``gauge`` (non-numeric
+      values are skipped — state strings have no Prometheus shape);
+    * :class:`Distribution` -> ``summary`` with ``_count``/``_sum``;
+    * :class:`Histogram` -> ``histogram`` with cumulative ``le``
+      buckets, the ``+Inf`` bucket, ``_count`` and ``_sum``.
+    """
+    help_texts = help_texts or {}
+    families: dict[str, dict] = {}
+    for key, stat in sorted(registry.stats().items()):
+        base, labels = parse_metric_name(key)
+        kind = _family_for(stat)
+        if kind is None:
+            continue
+        name = sanitize_metric_name(base.replace(".", "_"))
+        if kind == "counter" and name.endswith("_total"):
+            name = name[:-len("_total")]
+        family = families.setdefault(
+            name, {"type": None, "samples": []})
+        if family["type"] is None:
+            family["type"] = kind
+        elif family["type"] != kind:
+            raise ValueError(
+                f"metric family {name!r} mixes {family['type']} "
+                f"and {kind} series")
+        samples = family["samples"]
+        if kind == "counter":
+            samples.append((f"{name}_total", _label_text(labels),
+                            stat.value))
+        elif kind == "gauge":
+            value = stat.fn(registry) if isinstance(stat, Formula) \
+                else stat.value
+            if isinstance(value, bool):
+                value = int(value)
+            elif not isinstance(value, (int, float)):
+                continue  # state strings have no Prometheus shape
+            samples.append((name, _label_text(labels), value))
+        elif kind == "summary":
+            samples.append((f"{name}_count", _label_text(labels),
+                            stat.count))
+            samples.append((f"{name}_sum", _label_text(labels),
+                            stat.total))
+        elif kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(stat.bounds, stat.buckets):
+                cumulative += count
+                samples.append((
+                    f"{name}_bucket",
+                    _label_text(labels,
+                                (("le", _format_number(bound)),)),
+                    cumulative))
+            samples.append((f"{name}_bucket",
+                            _label_text(labels, (("le", "+Inf"),)),
+                            stat.samples))
+            samples.append((f"{name}_count", _label_text(labels),
+                            stat.samples))
+            samples.append((f"{name}_sum", _label_text(labels),
+                            getattr(stat, "total", 0.0)))
+    lines: list[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if not family["samples"]:
+            continue
+        help_text = help_texts.get(name)
+        if help_text:
+            escaped = help_text.replace("\\", "\\\\") \
+                .replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample, label_text, value in family["samples"]:
+            lines.append(
+                f"{sample}{label_text} {_format_number(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing / validation -----------------------------------------------------
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$")
+
+
+def _parse_label_body(body: str, line_no: int) -> dict[str, str]:
+    try:
+        _, labels = parse_metric_name("x{" + body + "}")
+    except ValueError as exc:
+        raise ValueError(f"line {line_no}: {exc}") from None
+    return labels
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse (and validate) an OpenMetrics exposition.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels, value), ...]}}``.  Raises
+    :class:`ValueError` on the first malformation: bad metric or label
+    names, unparseable values, histogram buckets that are not
+    cumulative, or a missing ``# EOF`` terminator.
+    """
+    families: dict[str, dict] = {}
+    saw_eof = False
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            raise ValueError(f"line {line_no}: content after # EOF")
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE ") or line.startswith("# HELP "):
+            kind = line[2:6]
+            rest = line[7:]
+            name, _, payload = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(
+                    f"line {line_no}: bad family name {name!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            if kind == "TYPE":
+                if not payload:
+                    raise ValueError(
+                        f"line {line_no}: TYPE without a type")
+                family["type"] = payload
+            else:
+                family["help"] = payload
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        found = _SAMPLE_RE.match(line)
+        if found is None:
+            raise ValueError(f"line {line_no}: malformed sample "
+                             f"{line!r}")
+        sample = found.group("name")
+        labels = _parse_label_body(found.group("labels"), line_no) \
+            if found.group("labels") else {}
+        raw_value = found.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ValueError(f"line {line_no}: non-numeric value "
+                             f"{raw_value!r}") from None
+        family_name = sample
+        for suffix in ("_total", "_bucket", "_count", "_sum"):
+            if sample.endswith(suffix) \
+                    and sample[:-len(suffix)] in families:
+                family_name = sample[:-len(suffix)]
+                break
+        family = families.setdefault(
+            family_name, {"type": None, "help": None, "samples": []})
+        family["samples"].append((sample, labels, value))
+    if not saw_eof:
+        raise ValueError("exposition not terminated by # EOF")
+    for name, family in families.items():
+        if family["type"] == "histogram":
+            _check_buckets(name, family["samples"])
+    return families
+
+
+def _check_buckets(name: str, samples: list[tuple]) -> None:
+    """Histogram buckets must be cumulative and capped by +Inf."""
+    series: dict[tuple, list[tuple[float, float]]] = {}
+    for sample, labels, value in samples:
+        if sample != f"{name}_bucket":
+            continue
+        if "le" not in labels:
+            raise ValueError(f"{name}: bucket without an le label")
+        le = labels["le"]
+        bound = float("inf") if le == "+Inf" else float(le)
+        key = tuple(sorted((k, v) for k, v in labels.items()
+                           if k != "le"))
+        series.setdefault(key, []).append((bound, value))
+    for key, buckets in series.items():
+        ordered = sorted(buckets)
+        if ordered[-1][0] != float("inf"):
+            raise ValueError(f"{name}: histogram without a +Inf "
+                             f"bucket (labels {dict(key)})")
+        previous = None
+        for bound, value in ordered:
+            if previous is not None and value < previous:
+                raise ValueError(
+                    f"{name}: buckets not cumulative at "
+                    f"le={bound} (labels {dict(key)})")
+            previous = value

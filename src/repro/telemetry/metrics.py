@@ -111,7 +111,7 @@ class Histogram:
     in the overflow bucket.
     """
 
-    __slots__ = ("bounds", "buckets", "overflow", "samples")
+    __slots__ = ("bounds", "buckets", "overflow", "samples", "total")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -121,9 +121,15 @@ class Histogram:
         self.buckets = [0] * len(self.bounds)
         self.overflow = 0
         self.samples = 0
+        # Running sum of the samples.  Deliberately *not* part of
+        # items(): the gem5-style dump stays byte-identical; only the
+        # OpenMetrics exposition (repro.telemetry.export) reads it,
+        # as the histogram family's _sum line.
+        self.total = 0.0
 
     def record(self, sample: float, weight: int = 1) -> None:
         self.samples += weight
+        self.total += float(sample) * weight
         for index, bound in enumerate(self.bounds):
             if sample <= bound:
                 self.buckets[index] += weight
@@ -195,10 +201,29 @@ class MetricsRegistry:
     def scope(self, prefix: str) -> "Scope":
         return Scope(self, prefix)
 
+    def prune(self, prefix: str) -> int:
+        """Drop every statistic at or under *prefix* (the name itself,
+        dotted children, and labelled series ``prefix{...}``).  Used
+        by scrape-time refreshers to clear enumerated gauge sets —
+        e.g. per-tenant queue gauges — so a tenant that disappears
+        does not leave a stale series behind."""
+        doomed = [name for name in self._stats
+                  if name == prefix
+                  or name.startswith(prefix + ".")
+                  or name.startswith(prefix + "{")]
+        for name in doomed:
+            del self._stats[name]
+        return len(doomed)
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
         return name in self._stats
+
+    def stats(self) -> dict[str, Any]:
+        """A snapshot of the raw statistic objects by name (the
+        OpenMetrics renderer walks this to type each family)."""
+        return dict(self._stats)
 
     def get(self, name: str) -> Any:
         """The current value of one statistic (formulas are evaluated).

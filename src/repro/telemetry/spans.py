@@ -163,15 +163,25 @@ class Tracer:
     parent: a worker constructed with ``base_path=CAMPAIGN_PATH``
     parents its experiment spans under the coordinator's campaign span
     purely by id arithmetic — no handshake, no shared state.
+
+    ``root_parent`` goes one step further out: it is a literal span id
+    that becomes the parent of this tracer's *root* spans (those with
+    no base_path), without affecting their own paths or ids.  The
+    campaign service uses it to hang a job's ``/campaign`` tree under
+    the span of the HTTP request that created the job — every id in
+    the campaign tree stays exactly what an unrooted run would
+    compute, so workers need no new coordination.
     """
 
     def __init__(self, context: TraceContext, sink=None,
                  worker: str | None = None, base_path: str = "",
+                 root_parent: str | None = None,
                  clock=time.time) -> None:
         self.context = context
         self.sink = sink
         self.worker = worker
         self.base_path = base_path
+        self.root_parent = root_parent
         self.clock = clock
         self.finished: list[Span] = []
         self._stack: list[Span] = []
@@ -196,7 +206,7 @@ class Tracer:
         elif self.base_path:
             parent_id = self.context.span_id(self.base_path)
         else:
-            parent_id = None
+            parent_id = self.root_parent
         return Span(name=name, path=path,
                     span_id=self.context.span_id(path),
                     parent_id=parent_id,

@@ -304,6 +304,71 @@ def validate_trace(source) -> int:
     return len(events)
 
 
+def render_span_tree(share_dir: str, max_depth: int = 0) -> str:
+    """The share's spans as an indented parent/child tree.
+
+    Unlike the Chrome trace (which lays spans on per-worker tracks),
+    the tree follows the ``parent`` links directly — so a service job
+    traced end to end renders as::
+
+        request POST /v1/jobs [request] worker=service
+          campaign [campaign] worker=coordinator
+            exp_0000 [experiment] worker=ws0 outcome=masked
+              boot [phase]
+              ...
+
+    Deterministic: children sort by (name, span id), durations render
+    only when both endpoints are stamped.  *max_depth* (0 = unlimited)
+    truncates deep phase detail for terminal use.
+    """
+    finished, opened = load_spans(share_dir)
+    records = finished + opened
+    by_id: dict[str, dict] = {}
+    for record in records:
+        span = record.get("span")
+        if span and span not in by_id:
+            by_id[span] = record
+    children: dict[str | None, list[dict]] = {}
+    for record in by_id.values():
+        parent = record.get("parent")
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.get("name") or "",
+                                     r.get("span") or ""))
+
+    lines: list[str] = []
+
+    def describe(record: dict) -> str:
+        attrs = record.get("attrs") or {}
+        parts = [record.get("name") or "?"]
+        kind = attrs.get("kind")
+        if kind:
+            parts.append(f"[{kind}]")
+        if record.get("worker"):
+            parts.append(f"worker={record['worker']}")
+        t0, t1 = record.get("t0"), record.get("t1")
+        if isinstance(t0, (int, float)) and isinstance(t1, (int, float)):
+            parts.append(f"{t1 - t0:.3f}s")
+        elif record.get("ev") == "open":
+            parts.append("(open)")
+        for key in ("request_id", "job", "outcome"):
+            if attrs.get(key) is not None:
+                parts.append(f"{key}={attrs[key]}")
+        return " ".join(parts)
+
+    def walk(record: dict, depth: int) -> None:
+        lines.append("  " * depth + describe(record))
+        if max_depth and depth + 1 >= max_depth:
+            return
+        for child in children.get(record.get("span"), []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def timeline_summary(share_dir: str) -> dict:
     """Quick share-level counts for CLI chatter (no rendering)."""
     finished, opened = load_spans(share_dir)

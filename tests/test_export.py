@@ -1,0 +1,190 @@
+"""OpenMetrics exposition tests: rendering, labels, parsing."""
+
+import pytest
+
+from repro.telemetry.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    escape_label_value,
+    labelled,
+    parse_metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestNameSanitization:
+    @pytest.mark.parametrize("raw,clean", [
+        ("http.requests", "http_requests"),
+        ("queue.tenant-active", "queue_tenant_active"),
+        ("already_fine:colons_ok", "already_fine:colons_ok"),
+        ("9starts_with_digit", "_9starts_with_digit"),
+        ("", "_"),
+        ("weird chars!", "weird_chars_"),
+    ])
+    def test_sanitize(self, raw, clean):
+        assert sanitize_metric_name(raw) == clean
+
+
+class TestLabels:
+    def test_labelled_sorts_keys_deterministically(self):
+        a = labelled("m", zeta="1", alpha="2")
+        b = labelled("m", alpha="2", zeta="1")
+        assert a == b == 'm{alpha="2",zeta="1"}'
+
+    def test_labelled_round_trips_through_parse(self):
+        key = labelled("http.requests", method="GET",
+                       route="/v1/jobs/{id}", code="2xx")
+        base, labels = parse_metric_name(key)
+        assert base == "http.requests"
+        assert labels == {"method": "GET", "route": "/v1/jobs/{id}",
+                          "code": "2xx"}
+
+    def test_escaping_round_trips(self):
+        value = 'a"b\\c\nd'
+        key = labelled("m", tricky=value)
+        _, labels = parse_metric_name(key)
+        assert labels == {"tricky": value}
+        escaped = escape_label_value(value)
+        assert '\\"' in escaped and "\\n" in escaped \
+            and "\\\\" in escaped
+
+    def test_unlabelled_name_parses_as_itself(self):
+        assert parse_metric_name("plain.name") == ("plain.name", {})
+
+
+class TestRenderOpenMetrics:
+    def test_counter_family_strips_total_sample_keeps_it(self):
+        registry = MetricsRegistry()
+        registry.counter(labelled("hits", kind="a")).inc(3)
+        text = render_openmetrics(registry)
+        assert "# TYPE hits counter\n" in text
+        assert 'hits_total{kind="a"} 3\n' in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauge_bools_and_floats(self):
+        registry = MetricsRegistry()
+        registry.set("flag", True)
+        registry.set("depth", 4)
+        registry.set("ratio", 0.25)
+        registry.set("notes", "not a number")  # skipped, not an error
+        text = render_openmetrics(registry)
+        assert "flag 1\n" in text
+        assert "depth 4\n" in text
+        assert "ratio 0.25\n" in text
+        assert "notes" not in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", (0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.record(value)
+        text = render_openmetrics(registry)
+        assert 'lat_bucket{le="0.1"} 1\n' in text
+        assert 'lat_bucket{le="1"} 3\n' in text
+        assert 'lat_bucket{le="+Inf"} 4\n' in text
+        assert "lat_count 4\n" in text
+        assert "lat_sum 6.05\n" in text
+
+    def test_histogram_sum_slot_not_in_gem5_dump(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", (1.0,)).record(0.5)
+        dump = registry.dump()
+        assert "total" not in dump  # byte-stable gem5-style dump
+
+    def test_distribution_renders_as_summary(self):
+        registry = MetricsRegistry()
+        dist = registry.distribution("d")
+        dist.record(2.0)
+        dist.record(4.0)
+        text = render_openmetrics(registry)
+        assert "# TYPE d summary\n" in text
+        assert "d_count 2\n" in text
+        assert "d_sum 6\n" in text
+
+    def test_help_text_is_emitted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = render_openmetrics(
+            registry, help_texts={"c": 'line\none "two"'})
+        assert "# HELP c line\\none \"two\"\n" in text
+
+    def test_mixed_types_in_one_family_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter(labelled("m", k="a")).inc()
+        registry.set(labelled("m", k="b"), 1)
+        with pytest.raises(ValueError):
+            render_openmetrics(registry)
+
+    def test_output_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter(labelled("z.last", t="b")).inc(2)
+            registry.counter(labelled("z.last", t="a")).inc(1)
+            registry.set("a.first", 7)
+            return render_openmetrics(registry)
+
+        assert build() == build()
+
+    def test_content_type_names_openmetrics(self):
+        assert "openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+
+
+class TestParseOpenMetrics:
+    def test_valid_exposition_parses(self):
+        registry = MetricsRegistry()
+        registry.counter(labelled("http.requests", code="2xx")).inc(9)
+        registry.histogram("lat", (0.5,)).record(0.2)
+        registry.set("depth", 3)
+        families = parse_openmetrics(render_openmetrics(registry))
+        assert families["http_requests"]["type"] == "counter"
+        assert families["lat"]["type"] == "histogram"
+        assert families["depth"]["type"] == "gauge"
+
+    def test_missing_eof_is_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE c counter\nc_total 1\n")
+
+    def test_content_after_eof_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("# EOF\nc_total 1\n")
+
+    def test_non_cumulative_buckets_are_rejected(self):
+        text = ("# TYPE lat histogram\n"
+                'lat_bucket{le="0.1"} 5\n'
+                'lat_bucket{le="1"} 3\n'
+                'lat_bucket{le="+Inf"} 5\n'
+                "lat_count 5\n"
+                "lat_sum 1\n"
+                "# EOF\n")
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_histogram_without_inf_bucket_is_rejected(self):
+        text = ("# TYPE lat histogram\n"
+                'lat_bucket{le="0.1"} 1\n'
+                "lat_count 1\n"
+                "lat_sum 0.05\n"
+                "# EOF\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+    def test_non_numeric_sample_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("# TYPE g gauge\ng banana\n# EOF\n")
+
+
+class TestRegistryPrune:
+    def test_prune_drops_name_dotted_and_labelled_series(self):
+        registry = MetricsRegistry()
+        registry.set("queue.depth", 1)
+        registry.set("queue.depth.extra", 2)
+        registry.set(labelled("queue.depth", t="a"), 3)
+        registry.set("queue.depths", 4)  # different metric, kept
+        dropped = registry.prune("queue.depth")
+        assert dropped == 3
+        remaining = registry.stats()
+        assert "queue.depths" in remaining
+        assert all(not key.startswith("queue.depth{")
+                   and key != "queue.depth" for key in remaining)

@@ -563,3 +563,361 @@ class TestDispatcherAndE2E:
         assert status.service["tenant"] == "e2e"
         assert "queue_depth" in status.service
         assert "e2e" in status.service["tenants"]
+
+
+# -- observability plane -------------------------------------------------------
+
+
+def _http_conn(service):
+    import http.client
+    return http.client.HTTPConnection(service.host, service.port,
+                                      timeout=10.0)
+
+
+class TestKeepAliveAndRequestIds:
+    def test_connection_is_reused_across_requests(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/healthz")
+            first = conn.getresponse()
+            first.read()
+            assert first.getheader("Connection") == "keep-alive"
+            sock = conn.sock
+            conn.request("GET", "/v1/healthz")
+            second = conn.getresponse()
+            second.read()
+            assert conn.sock is sock  # same socket, no reconnect
+        finally:
+            conn.close()
+
+    def test_connection_close_is_honoured(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/healthz",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_request_id_is_minted_and_echoed(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            response.read()
+            minted = response.getheader("X-Request-Id")
+            assert minted and minted.startswith("req-")
+            conn.request("GET", "/v1/healthz",
+                         headers={"X-Request-Id": "req-mine-123"})
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("X-Request-Id") == "req-mine-123"
+        finally:
+            conn.close()
+
+    def test_service_client_pools_its_connection(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            client.healthz()
+            assert client._conn is not None
+            sock = client._conn.sock
+            client.healthz()
+            assert client._conn.sock is sock
+        finally:
+            client.close()
+        assert client._conn is None
+
+    def test_errors_keep_the_connection_alive(self, api_service):
+        """A 404 is a valid routed response; only parse errors force
+        Connection: close."""
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/jobs/job-nope")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+            assert response.getheader("Connection") == "keep-alive"
+        finally:
+            conn.close()
+
+
+class TestGeneric500:
+    def test_internal_error_is_generic_and_journalled(self,
+                                                      api_service):
+        async def boom(request):
+            raise RuntimeError("secret internal detail 42")
+
+        api_service.app.router.add("GET", "/boom", boom)
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/boom",
+                         headers={"X-Request-Id": "req-boom-1"})
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        assert response.status == 500
+        payload = json.loads(body)
+        # The client sees only a generic body + the request id.
+        assert payload == {"error": "internal server error",
+                           "request_id": "req-boom-1"}
+        assert "secret" not in body
+        # The operator gets the full traceback in the error log.
+        error_log = api_service.observer.log_path("error.jsonl")
+        with open(error_log, "r", encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        entry = entries[-1]
+        assert entry["request_id"] == "req-boom-1"
+        assert entry["type"] == "RuntimeError"
+        assert "secret internal detail 42" in entry["traceback"]
+        assert "handle_connection" not in body
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_request_counter_advances(
+            self, api_service):
+        from repro.telemetry.export import parse_openmetrics
+        client = ServiceClient(api_service.url)
+        try:
+            client.healthz()
+            first = parse_openmetrics(client.metrics_text())
+            client.healthz()
+            client.healthz()
+            second = parse_openmetrics(client.metrics_text())
+        finally:
+            client.close()
+
+        def healthz_count(families):
+            return sum(
+                value for sample, labels, value
+                in families["http_requests"]["samples"]
+                if sample == "http_requests_total"
+                and labels.get("route") == "/v1/healthz")
+
+        assert healthz_count(second) == healthz_count(first) + 2
+        assert first["http_requests"]["type"] == "counter"
+        assert "queue_depth" in second
+        assert "http_request_duration_seconds" in second
+
+    def test_scrape_carries_openmetrics_content_type(self,
+                                                     api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            response.read()
+            assert "openmetrics-text" \
+                in response.getheader("Content-Type")
+        finally:
+            conn.close()
+
+    def test_submissions_and_quota_are_counted(self, api_service):
+        from repro.telemetry.export import parse_openmetrics
+        client = ServiceClient(api_service.url, tenant="metered")
+        try:
+            for seed in range(3):
+                client.submit({"workload": "pi", "seed": seed})
+            with pytest.raises(ServiceError):
+                client.submit({"workload": "pi", "seed": 99})
+            families = parse_openmetrics(client.metrics_text())
+        finally:
+            client.close()
+        submitted = {
+            labels.get("tenant"): value
+            for _, labels, value
+            in families["queue_jobs_submitted"]["samples"]}
+        assert submitted["metered"] == 3
+        assert families["queue_quota_rejections"]["samples"]
+        active = {labels.get("tenant"): value for _, labels, value
+                  in families["queue_tenant_active"]["samples"]}
+        assert active["metered"] == 3
+
+    def test_access_log_records_route_template(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+            client.job(job["id"])
+        finally:
+            client.close()
+        access_log = api_service.observer.log_path("access.jsonl")
+        # The access entry lands just after the response bytes do;
+        # give the event loop a moment.
+        import time as _time
+        for _ in range(100):
+            with open(access_log, "r", encoding="utf-8") as handle:
+                entries = [json.loads(line) for line in handle]
+            if any(e["route"] == "/v1/jobs/{id}" for e in entries):
+                break
+            _time.sleep(0.02)
+        routes = [entry["route"] for entry in entries]
+        # The matched template, not the raw path: cardinality stays
+        # bounded no matter how many jobs exist.
+        assert "/v1/jobs/{id}" in routes
+        assert all(job["id"] not in route for route in routes)
+        detail = [e for e in entries if e["route"] == "/v1/jobs/{id}"]
+        assert detail[-1]["path"] == f"/v1/jobs/{job['id']}"
+        assert detail[-1]["request_id"].startswith("req-")
+
+
+class TestUsageAndDashboardEndpoints:
+    def test_usage_empty_before_any_job_ran(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            assert client.usage() == {}
+        finally:
+            client.close()
+
+    def test_submit_records_request_id_on_the_job(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+        finally:
+            client.close()
+        assert job["request_id"] and job["request_id"].startswith(
+            "req-")
+
+    def test_dashboard_before_share_exists(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+            frame = client.dashboard(job["id"])
+        finally:
+            client.close()
+        assert frame["job"]["id"] == job["id"]
+        assert frame["text"] is None
+        assert frame["alerts"] == []
+
+
+class TestE2EObservability:
+    @pytest.fixture(scope="class")
+    def service(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("svc-obs")
+        service = Service(str(root / "data")).start()
+        yield service
+        service.stop()
+
+    @pytest.fixture(scope="class")
+    def done_job(self, service):
+        client = ServiceClient(service.url, tenant="e2e")
+        job = client.submit({"workload": "pi", "scale": "tiny",
+                             "experiments": 3, "seed": 11})
+        final = client.wait(job["id"], timeout=180)
+        client.close()
+        assert final["state"] == "done"
+        return final
+
+    def test_usage_metered_per_tenant(self, service, done_job):
+        client = ServiceClient(service.url)
+        try:
+            usage = client.usage()
+        finally:
+            client.close()
+        assert usage["e2e"]["jobs"] >= 1
+        assert usage["e2e"]["experiments"] >= 3
+        assert usage["e2e"]["instructions"] > 0
+        assert usage["e2e"]["wall_seconds"] > 0
+
+    def test_usage_survives_queue_reopen(self, service, done_job):
+        reopened = JobQueue(service.queue.path)
+        usage = reopened.usage()
+        assert usage["e2e"]["experiments"] >= 3
+
+    def test_metrics_reflect_dispatch_and_store(self, service,
+                                                done_job):
+        from repro.telemetry.export import parse_openmetrics
+        client = ServiceClient(service.url)
+        try:
+            families = parse_openmetrics(client.metrics_text())
+        finally:
+            client.close()
+        executed = {labels.get("outcome"): value for _, labels, value
+                    in families["jobs_executed"]["samples"]}
+        assert executed.get("done", 0) >= 1
+        assert families["job_phase_seconds"]["type"] == "histogram"
+        phases = {labels.get("phase") for _, labels, _
+                  in families["job_phase_seconds"]["samples"]}
+        assert {"golden", "publish", "campaign", "collect",
+                "report"} <= phases
+        store_writes = sum(
+            value for _, _, value
+            in families["store_writes"]["samples"])
+        assert store_writes >= 1
+        usage_exp = {labels.get("tenant"): value
+                     for _, labels, value
+                     in families["usage_experiments"]["samples"]}
+        assert usage_exp["e2e"] >= 3
+        leases = sum(value for _, _, value
+                     in families["queue_leases"]["samples"])
+        assert leases >= 1
+
+    def test_dashboard_endpoint_renders_share(self, service,
+                                              done_job):
+        client = ServiceClient(service.url)
+        try:
+            frame = client.dashboard(done_job["id"])
+        finally:
+            client.close()
+        assert "experiments" in frame["text"]
+        assert "3/3" in frame["text"]
+
+    def test_traced_job_roots_at_the_request(self, service, capsys):
+        from repro.cli import main
+        from repro.telemetry import render_span_tree
+        from repro.telemetry.spans import TraceContext, load_spans
+        client = ServiceClient(service.url, tenant="traced")
+        try:
+            job = client.submit({"workload": "pi", "scale": "tiny",
+                                 "experiments": 2, "seed": 17,
+                                 "trace": True})
+            job = client.wait(job["id"], timeout=180)
+        finally:
+            client.close()
+        assert job["state"] == "done"
+        share = job["share_dir"]
+        finished, opened = load_spans(share)
+        assert opened == []
+        context = TraceContext(17)
+        by_name = {}
+        for record in finished:
+            by_name.setdefault(record["name"], record)
+        request = by_name["request"]
+        assert request["span"] == context.span_id("/request")
+        assert request["parent"] is None
+        assert request["worker"] == "service"
+        assert request["attrs"]["request_id"] == job["request_id"]
+        assert request["attrs"]["job"] == job["id"]
+        campaign = by_name["campaign"]
+        # The campaign root hangs off the request span, but keeps the
+        # id an unrooted run would compute — workers' id arithmetic
+        # is untouched.
+        assert campaign["span"] == context.span_id("/campaign")
+        assert campaign["parent"] == context.span_id("/request")
+        experiments = [r for r in finished
+                       if r["name"].startswith("exp_")]
+        assert experiments
+        assert all(r["parent"] == context.span_id("/campaign")
+                   for r in experiments)
+        # gemfi timeline --tree renders the rooted tree.
+        assert main(["timeline", share, "--tree"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("request ")
+        assert lines[1].startswith("  campaign ")
+        assert any(line.startswith("    exp_") for line in lines)
+
+    def test_dashboard_cli_drives_from_the_service(self, service,
+                                                   done_job, capsys):
+        from repro.cli import main
+        assert main(["dashboard", "--url", service.url,
+                     "--job", done_job["id"], "--once"]) == 0
+        out = capsys.readouterr().out
+        assert done_job["id"] in out
+        assert "experiments" in out
+
+    def test_dashboard_cli_url_requires_job(self, capsys):
+        from repro.cli import main
+        assert main(["dashboard", "--url",
+                     "http://127.0.0.1:1"]) == 2
+        assert "--job" in capsys.readouterr().err

@@ -22,7 +22,7 @@ from repro.telemetry.timeline import (build_timeline, render_timeline,
                                       validate_trace)
 from repro.telemetry.watchdog import (WatchdogConfig, append_alerts,
                                       dashboard_view, evaluate_alerts,
-                                      read_alerts)
+                                      read_alerts, render_dashboard)
 from repro.workloads import build
 
 CPU_MODELS = ("atomic", "timing", "inorder", "o3")
@@ -578,3 +578,111 @@ class TestCli:
         out = capsys.readouterr().out
         assert out.count("\x1b[H\x1b[2J") == 2
         assert "experiments" in out
+
+
+class TestRootParent:
+    def test_root_parent_rehomes_root_without_changing_ids(self):
+        context = TraceContext(5)
+        plain = Tracer(context)
+        unrooted = plain.finish(plain.start("campaign"))
+        rooted_tracer = Tracer(context, root_parent="feedface00000000")
+        rooted = rooted_tracer.finish(rooted_tracer.start("campaign"))
+        # Same path, same id — only the root's parent changes, so
+        # worker id arithmetic is untouched.
+        assert rooted.path == unrooted.path == "/campaign"
+        assert rooted.span_id == unrooted.span_id
+        assert unrooted.parent_id is None
+        assert rooted.parent_id == "feedface00000000"
+
+    def test_children_still_parent_to_their_own_root(self):
+        tracer = Tracer(TraceContext(5), root_parent="feedface00000000")
+        root = tracer.start("campaign")
+        child = tracer.finish(tracer.start("exp_0000"))
+        tracer.finish(root)
+        assert child.parent_id == root.span_id
+
+    def test_base_path_wins_over_root_parent(self):
+        """A worker tracer anchored under /campaign keeps its computed
+        parent; root_parent only applies to true roots."""
+        context = TraceContext(5)
+        tracer = Tracer(context, base_path=CAMPAIGN_PATH,
+                        root_parent="feedface00000000")
+        span = tracer.finish(tracer.start("exp_0000"))
+        assert span.parent_id == context.span_id(CAMPAIGN_PATH)
+
+
+class TestSpanTree:
+    def test_render_is_deterministic(self, traced_share):
+        from repro.telemetry import render_span_tree
+        assert render_span_tree(traced_share) \
+            == render_span_tree(traced_share)
+
+    def test_phases_nest_under_their_experiment(self, traced_share):
+        from repro.telemetry import render_span_tree
+        lines = render_span_tree(traced_share).splitlines()
+        exp_depths = [line for line in lines
+                      if line.lstrip().startswith("exp_")]
+        assert exp_depths
+        # Orphaned experiment spans (no coordinator span on this
+        # share) render as roots; their phase children indent one
+        # level deeper.
+        assert any(line.startswith("exp_") for line in exp_depths)
+        index = next(i for i, line in enumerate(lines)
+                     if line.startswith("exp_"))
+        assert lines[index + 1].startswith("  ")
+
+    def test_empty_share_renders_empty(self, tmp_path):
+        from repro.telemetry import render_span_tree
+        assert render_span_tree(str(tmp_path)) == ""
+
+
+class TestZeroOverheadServicePlane:
+    """PR 7's observability must cost nothing when it is off: plain
+    campaign shares carry no request context, and the status/dashboard
+    render paths stay byte-identical run over run."""
+
+    def test_untraced_workload_has_no_request_context(self, tmp_path,
+                                                      runner):
+        share = str(tmp_path)
+        campaign = SharedDirCampaign(share, "pi", "tiny",
+                                     heartbeat_interval=0.0)
+        generator = SEUGenerator(runner.golden.profile, seed=9)
+        campaign.publish(runner, generator.batch(1), seed=9)
+        workload = json.loads((tmp_path / "workload.json").read_text())
+        assert "request" not in workload
+        assert "trace" not in workload
+        assert campaign.published_request() is None
+
+    def test_traced_publish_without_request_stays_unrooted(
+            self, tmp_path, runner):
+        share = str(tmp_path)
+        campaign = SharedDirCampaign(share, "pi", "tiny",
+                                     heartbeat_interval=0.0)
+        generator = SEUGenerator(runner.golden.profile, seed=9)
+        campaign.publish(runner, generator.batch(1), seed=9,
+                         trace=True)
+        workload = json.loads((tmp_path / "workload.json").read_text())
+        assert workload["trace"] is True
+        assert "request" not in workload
+
+    def test_status_and_dashboard_render_byte_identically(
+            self, tmp_path, runner):
+        share = str(tmp_path)
+        campaign = SharedDirCampaign(share, "pi", "tiny",
+                                     heartbeat_interval=0.0)
+        generator = SEUGenerator(runner.golden.profile, seed=9)
+        campaign.publish(runner, generator.batch(2), seed=9)
+        campaign.worker_loop("w0", runner)
+        clock = lambda: 10_000.0  # noqa: E731 - frozen render clock
+        first = render_status(read_status(share, clock=clock))
+        second = render_status(read_status(share, clock=clock))
+        assert first == second
+        config = WatchdogConfig()
+        dash_a = render_dashboard(share, config, clock=clock)
+        dash_b = render_dashboard(share, config, clock=clock)
+        assert dash_a[0] == dash_b[0]
+        # Rendering is read-only: no spans/, no logs/, nothing new.
+        assert sorted(os.listdir(share)) == [
+            "checkpoint.bin", "claimed", "claims", "golden.pkl",
+            "heartbeats", "manifests", "results", "todo",
+            "workload.json"]
