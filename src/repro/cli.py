@@ -588,10 +588,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = Service(args.data_dir, host=args.host, port=args.port,
                       default_quota=args.quota,
                       lease_seconds=args.lease_seconds,
-                      watchdog_config=WatchdogConfig())
+                      watchdog_config=WatchdogConfig(),
+                      ui=args.ui,
+                      history_interval=args.history_interval,
+                      history_retention=args.history_retention)
     service.start_http()
     print(f"# gemfi service on {service.url}  data={args.data_dir}",
           file=sys.stderr)
+    if args.ui:
+        print(f"# web console on {service.url}/ui", file=sys.stderr)
     print(f"# submit with: gemfi submit --url {service.url} "
           f"-w dct -n 20", file=sys.stderr)
     try:
@@ -650,9 +655,11 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     try:
         listing = client.jobs(tenant=args.tenant
                               if args.mine else None)
-    except ServiceError as exc:
+    except (ServiceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        client.close()
     if args.json:
         print(json.dumps(listing, indent=2, sort_keys=True))
         return 0
@@ -681,7 +688,7 @@ def cmd_usage(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url, tenant=args.tenant)
     try:
         usage = client.usage(tenant=args.tenant if args.mine else None)
-    except ServiceError as exc:
+    except (ServiceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -699,6 +706,52 @@ def cmd_usage(args: argparse.Namespace) -> int:
               f"{totals['experiments']:>12} "
               f"{totals['instructions']:>14} "
               f"{totals['wall_seconds']:>10.2f}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Recorded metrics time series from a running service
+    (GET /v1/history): one line per series with sample count, range
+    and latest value; --series prints one series' points."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        payload = client.history(prefix=args.prefix,
+                                 since=args.since, limit=args.limit)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    meta = payload["meta"]
+    history = payload["history"]
+    print(f"# {meta['series']} series, {meta['samples']} samples, "
+          f"round {meta['rounds']}  (every {meta['interval']}s, "
+          f"keep {meta['retention']}/series)")
+    if args.series:
+        points = history.get(args.series)
+        if points is None:
+            print(f"error: no series {args.series!r} recorded",
+                  file=sys.stderr)
+            return 1
+        for stamp, value in points:
+            print(f"{stamp:.3f} {value:g}")
+        return 0
+    if not history:
+        print("# no samples recorded yet")
+        return 0
+    width = max(len(name) for name in history)
+    for name in sorted(history):
+        points = history[name]
+        values = [value for _, value in points]
+        print(f"{name:<{width}} n={len(points):>4} "
+              f"min={min(values):<12g} max={max(values):<12g} "
+              f"last={values[-1]:g}")
     return 0
 
 
@@ -1008,6 +1061,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--lease-seconds", type=float, default=600.0,
                          help="job lease length; a dispatcher that "
                               "dies is recovered after this long")
+    serve_p.add_argument("--ui", action="store_true",
+                         help="serve the embedded web console at /ui "
+                              "(stdlib-rendered, zero dependencies)")
+    serve_p.add_argument("--history-interval", type=float,
+                         default=5.0, metavar="SECONDS",
+                         help="metrics-history sampling interval; "
+                              "<= 0 disables the recorder")
+    serve_p.add_argument("--history-retention", type=int,
+                         default=720, metavar="SAMPLES",
+                         help="samples kept per series (ring "
+                              "retention; default 720 = 1h at 5s)")
     serve_p.set_defaults(func=cmd_serve)
 
     sub_p = sub.add_parser(
@@ -1065,6 +1129,25 @@ def build_parser() -> argparse.ArgumentParser:
     usage_p.add_argument("--json", action="store_true")
     usage_p.set_defaults(func=cmd_usage)
 
+    hist_p = sub.add_parser(
+        "history",
+        help="recorded metrics time series from a running service")
+    hist_p.add_argument("--url", default="http://127.0.0.1:8642")
+    hist_p.add_argument("--tenant", default="default")
+    hist_p.add_argument("--prefix", default=None,
+                        help="only series whose name starts with this "
+                             "(e.g. queue., usage.kips)")
+    hist_p.add_argument("--since", type=float, default=None,
+                        help="only samples newer than this UNIX time")
+    hist_p.add_argument("--limit", type=int, default=None,
+                        help="newest N samples per series")
+    hist_p.add_argument("--series", default=None,
+                        help="print this one series' points "
+                             "(time value per line)")
+    hist_p.add_argument("--json", action="store_true",
+                        help="print the raw /v1/history payload")
+    hist_p.set_defaults(func=cmd_history)
+
     fetch_p = sub.add_parser(
         "fetch",
         help="fetch a stored artifact by digest (sha256-verified), "
@@ -1094,7 +1177,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `gemfi history | head` (or any table command piped into a
+        # pager that exits early) closes stdout mid-print; point the
+        # fd at devnull so the interpreter-exit flush stays quiet too.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,7 +24,12 @@ directories and become **jobs** submitted to a long-lived service —
 * :mod:`repro.service.observability` — the shared
   :class:`~repro.service.observability.ServiceObserver`: one metrics
   registry behind ``GET /metrics`` (OpenMetrics), request ids, and
-  JSONL access/error logs.
+  JSONL access/error logs;
+* :mod:`repro.service.console` — the embedded web console
+  (``gemfi serve --ui``): stdlib-rendered HTML pages at ``GET /ui``
+  over the API — live job explorer, metrics-history charts
+  (:mod:`repro.telemetry.history` behind ``GET /v1/history``),
+  SVG timelines, the merged alerts feed and inlined reports.
 
 The existing heartbeat/span/watchdog machinery is the service's
 health plane: job status streams reuse ``read_status`` and the
@@ -33,6 +38,7 @@ watchdog rules over each job's private share directory.
 
 from .api import Service, ServiceApp
 from .client import ServiceClient, ServiceError
+from .console import Console
 from .dispatcher import Dispatcher
 from .jobs import (
     JOB_STATES,
@@ -47,7 +53,8 @@ from .queue import JobQueue, LeaseError, QuotaExceeded, UnknownJobError
 from .store import ContentStore, canonical_json_bytes, digest_bytes
 
 __all__ = [
-    "ContentStore", "Dispatcher", "JOB_STATES", "Job", "JobQueue",
+    "Console", "ContentStore", "Dispatcher", "JOB_STATES", "Job",
+    "JobQueue",
     "JobSpec", "JobSpecError", "LeaseError", "QuotaExceeded",
     "Service", "ServiceApp", "ServiceClient", "ServiceError",
     "ServiceObserver", "TERMINAL_STATES", "UnknownJobError",

@@ -18,7 +18,9 @@ content store::
     GET    /v1/blobs/{digest}        any stored artifact by digest
     GET    /v1/store/stats           content-store object/byte counts
     GET    /v1/usage[?tenant=]       persisted per-tenant metering
+    GET    /v1/history               bounded metrics time series
     GET    /metrics                  OpenMetrics exposition
+    GET    /ui/...                   the embedded web console (opt-in)
 
 Status and event streams are the existing telemetry health plane —
 ``read_status`` and the watchdog rules — evaluated over the job's
@@ -45,6 +47,12 @@ from ..telemetry.campaign import read_status
 from ..telemetry.export import (
     OPENMETRICS_CONTENT_TYPE,
     render_openmetrics,
+)
+from ..telemetry.history import (
+    DEFAULT_INTERVAL,
+    DEFAULT_RETENTION,
+    HistoryRecorder,
+    HistoryStore,
 )
 from ..telemetry.watchdog import (
     WatchdogConfig,
@@ -77,11 +85,16 @@ class ServiceApp:
     def __init__(self, queue: JobQueue, store: ContentStore,
                  watchdog_config: WatchdogConfig | None = None,
                  observer: ServiceObserver | None = None,
+                 history: HistoryStore | None = None,
+                 history_interval: float = DEFAULT_INTERVAL,
+                 ui: bool = False,
                  clock=time.time) -> None:
         self.queue = queue
         self.store = store
         self.watchdog_config = watchdog_config or WatchdogConfig()
         self.observer = observer
+        self.history = history
+        self.history_interval = history_interval
         self._clock = clock
         self.router = Router()
         add = self.router.add
@@ -98,7 +111,13 @@ class ServiceApp:
         add("GET", "/v1/blobs/{digest}", self.blob)
         add("GET", "/v1/store/stats", self.store_stats)
         add("GET", "/v1/usage", self.usage)
+        add("GET", "/v1/history", self.history_series)
         add("GET", "/metrics", self.metrics)
+        self.console = None
+        if ui:
+            from .console import Console
+            self.console = Console(self)
+            self.console.register(self.router)
 
     # -- helpers --------------------------------------------------------------
 
@@ -289,6 +308,29 @@ class ServiceApp:
         tenant = request.query.get("tenant")
         return Response.json({"usage": self.queue.usage(tenant=tenant)})
 
+    async def history_series(self, request: Request) -> Response:
+        """Bounded time series sampled from the same registry that
+        ``/metrics`` renders: ``?prefix=`` filters by series name,
+        ``?since=`` by sample time, ``?limit=`` caps the newest
+        samples per series.  ``meta.rounds`` is monotone across the
+        recorder's life even though retention bounds the samples."""
+        if self.history is None:
+            raise HTTPError(404, "metrics history is not enabled on "
+                                 "this service")
+        try:
+            since = float(request.query["since"]) \
+                if "since" in request.query else None
+            limit = int(request.query.get("limit", "0")) or None
+        except ValueError:
+            raise HTTPError(400, "since/limit must be numbers") \
+                from None
+        series = self.history.series(
+            prefix=request.query.get("prefix") or None,
+            since=since, limit=limit)
+        meta = self.history.summary()
+        meta["interval"] = self.history_interval
+        return Response.json({"history": series, "meta": meta})
+
     # -- metrics --------------------------------------------------------------
 
     def _refresh_gauges(self) -> None:
@@ -301,7 +343,7 @@ class ServiceApp:
                            "queue.tenant_quota", "store.objects",
                            "store.bytes", "usage.jobs",
                            "usage.experiments", "usage.instructions",
-                           "usage.wall_seconds"):
+                           "usage.wall_seconds", "usage.kips"):
                 registry.prune(prefix)
         observer.set_gauge("queue.depth", self.queue.depth())
         for tenant, states in sorted(self.queue.tenant_counts().items()):
@@ -317,6 +359,15 @@ class ServiceApp:
             for field in USAGE_FIELDS:
                 observer.set_gauge(f"usage.{field}", totals[field],
                                    tenant=tenant)
+            # Aggregate sim rate per tenant (KIPS, the paper's unit),
+            # derived from the persisted metering so the console's
+            # trend chart works even across service restarts.
+            wall = totals.get("wall_seconds") or 0.0
+            if wall > 0:
+                observer.set_gauge(
+                    "usage.kips",
+                    totals.get("instructions", 0) / wall / 1000.0,
+                    tenant=tenant)
 
     async def metrics(self, request: Request) -> Response:
         if self.observer is None:
@@ -338,6 +389,13 @@ class Service:
           store/        the content-addressed artifact store
           shares/<job>  one campaign share per job (telemetry plane)
           logs/         JSONL access + error logs (observability)
+          history.db    bounded metrics time series (ring retention)
+
+    *ui* registers the embedded web console under ``GET /ui``;
+    *history_interval* (seconds; <= 0 disables the recorder beat) and
+    *history_retention* (samples kept per series) size the metrics
+    history.  Neither ever writes inside a job share, so same-seed
+    campaign results stay byte-identical with the console enabled.
     """
 
     def __init__(self, data_dir: str, host: str = "127.0.0.1",
@@ -345,6 +403,9 @@ class Service:
                  lease_seconds: float = 600.0,
                  poll_seconds: float = 0.5,
                  watchdog_config: WatchdogConfig | None = None,
+                 ui: bool = False,
+                 history_interval: float = DEFAULT_INTERVAL,
+                 history_retention: int = DEFAULT_RETENTION,
                  clock=time.time) -> None:
         os.makedirs(data_dir, exist_ok=True)
         self.data_dir = data_dir
@@ -362,9 +423,19 @@ class Service:
             self.queue, self.store, data_dir,
             lease_seconds=lease_seconds, poll_seconds=poll_seconds,
             observer=self.observer, clock=clock)
+        self.history = HistoryStore(
+            os.path.join(data_dir, "history.db"),
+            retention=history_retention)
         self.app = ServiceApp(self.queue, self.store,
                               watchdog_config=watchdog_config,
-                              observer=self.observer, clock=clock)
+                              observer=self.observer,
+                              history=self.history,
+                              history_interval=history_interval,
+                              ui=ui, clock=clock)
+        self.recorder = HistoryRecorder(
+            self.observer.snapshot, self.history,
+            interval=history_interval,
+            refresh=self.app._refresh_gauges, clock=clock)
         self._stop = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._http_thread: threading.Thread | None = None
@@ -423,6 +494,7 @@ class Service:
                 f"{failure[0]}") from failure[0]
         if self.port is None:
             raise RuntimeError("HTTP server did not start")
+        self.recorder.start()
         return self
 
     def start_dispatcher(self) -> "Service":
@@ -444,6 +516,7 @@ class Service:
 
     def stop(self) -> None:
         self._stop.set()
+        self.recorder.stop()
         if self._dispatch_thread is not None:
             self._dispatch_thread.join(timeout=30.0)
             self._dispatch_thread = None
@@ -452,3 +525,4 @@ class Service:
         if self._http_thread is not None:
             self._http_thread.join(timeout=10.0)
             self._http_thread = None
+        self.history.close()

@@ -46,12 +46,17 @@ REASONS = {
 
 
 class HTTPError(Exception):
-    """Raise inside a handler to produce a JSON error response."""
+    """Raise inside a handler to produce a JSON error response.
 
-    def __init__(self, status: int, message: str) -> None:
+    *headers* ride along onto the response — a 405 carries the
+    mandatory ``Allow`` header this way."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 @dataclass
@@ -91,7 +96,7 @@ class Request:
 class Response:
     status: int = 200
     body: bytes = b""
-    content_type: str = "application/json"
+    content_type: str = "application/json; charset=utf-8"
     headers: dict[str, str] = field(default_factory=dict)
     #: async iterator of bytes chunks; set => chunked transfer.
     stream = None
@@ -117,15 +122,24 @@ class Response:
 
     @classmethod
     def streaming(cls, aiter, status: int = 200,
-                  content_type: str = "application/jsonl"
+                  content_type: str = "application/jsonl; charset=utf-8"
                   ) -> "Response":
         response = cls(status=status, content_type=content_type)
         response.stream = aiter
         return response
 
     @classmethod
-    def error(cls, status: int, message: str) -> "Response":
-        return cls.json({"error": message}, status=status)
+    def html(cls, text: str, status: int = 200) -> "Response":
+        return cls.text(text, status=status,
+                        content_type="text/html; charset=utf-8")
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              headers: dict[str, str] | None = None) -> "Response":
+        response = cls.json({"error": message}, status=status)
+        if headers:
+            response.headers.update(headers)
+        return response
 
 
 class Router:
@@ -163,8 +177,10 @@ class Router:
             return handler, {name: unquote(value) for name, value
                              in found.groupdict().items()}, template
         if allowed:
+            permitted = ", ".join(sorted(allowed))
             raise HTTPError(405, f"{method} not allowed here "
-                                 f"(try: {', '.join(sorted(allowed))})")
+                                 f"(try: {permitted})",
+                            headers={"Allow": permitted})
         raise HTTPError(404, f"no such resource: {path}")
 
 
@@ -219,6 +235,12 @@ def _head(response: Response, chunked: bool,
         lines.append("Transfer-Encoding: chunked")
     else:
         lines.append(f"Content-Length: {len(response.body)}")
+    # Everything this API serves is live state (job listings, metric
+    # scrapes, event streams): caching any of it would show operators
+    # stale campaigns.  A handler that knows better may override.
+    if not any(name.lower() == "cache-control"
+               for name in response.headers):
+        lines.append("Cache-Control: no-store")
     for name, value in response.headers.items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
@@ -236,14 +258,32 @@ async def write_response(writer: asyncio.StreamWriter,
     # stream response keeps the connection reusable too.
     writer.write(_head(response, chunked=True, keep_alive=keep_alive))
     await writer.drain()
-    async for chunk in response.stream:
-        if not chunk:
-            continue
-        writer.write(f"{len(chunk):x}\r\n".encode("latin-1")
-                     + chunk + b"\r\n")
+    stream = response.stream
+    try:
+        async for chunk in stream:
+            if not chunk:
+                continue
+            if writer.is_closing():
+                # The client went away between chunks; surface it as
+                # the connection error it is so the handler loop stops
+                # polling for a reader that no longer exists.
+                raise ConnectionResetError(
+                    "client disconnected mid-stream")
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1")
+                         + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
         await writer.drain()
-    writer.write(b"0\r\n\r\n")
-    await writer.drain()
+    finally:
+        # Throw GeneratorExit into the producer *now* (not at GC), so
+        # its finally blocks run — poll loops stop, file handles and
+        # leases the generator scoped are released deterministically.
+        aclose = getattr(stream, "aclose", None)
+        if aclose is not None:
+            try:
+                await aclose()
+            except Exception:
+                pass
 
 
 def _mint_request_id(request: Request | None) -> str:
@@ -276,54 +316,63 @@ async def handle_connection(reader: asyncio.StreamReader,
             keep_alive = False
             request = None
             route = None
+            in_flight = False
             started = time.monotonic()
             try:
-                request = await read_request(reader)
-                if request is None:
-                    return
-                handled += 1
-                keep_alive = (request.wants_keep_alive()
-                              and handled < max_requests
-                              and not (closing is not None
-                                       and closing.is_set()))
-                request.id = _mint_request_id(request)
-                if observer is not None:
-                    observer.request_started()
                 try:
+                    request = await read_request(reader)
+                    if request is None:
+                        return
+                    handled += 1
+                    keep_alive = (request.wants_keep_alive()
+                                  and handled < max_requests
+                                  and not (closing is not None
+                                           and closing.is_set()))
+                    request.id = _mint_request_id(request)
+                    if observer is not None:
+                        # In-flight covers the whole exchange — a
+                        # streaming response is "in flight" until its
+                        # last chunk (or the disconnect) — so the
+                        # finally below, not the handler return,
+                        # decrements it.
+                        observer.request_started()
+                        in_flight = True
                     handler, params, route = router.resolve(
                         request.method, request.path)
                     request.params = params
                     response = await handler(request)
-                finally:
+                except HTTPError as exc:
+                    if request is None:
+                        # The request line / headers did not parse;
+                        # the stream position is unknown, so the
+                        # connection cannot be reused.
+                        request = Request(method="?", path="?")
+                        request.id = _mint_request_id(None)
+                        keep_alive = False
+                    response = Response.error(exc.status, exc.message,
+                                              headers=exc.headers)
+                except (ConnectionError,
+                        asyncio.IncompleteReadError):
+                    return
+                except Exception as exc:  # handler bug: report only
+                    # Log the full traceback server-side; the client
+                    # gets a generic body carrying the request id.
                     if observer is not None:
-                        observer.request_finished()
-            except HTTPError as exc:
-                if request is None:
-                    # The request line / headers did not parse; the
-                    # stream position is unknown, so the connection
-                    # cannot be reused.
-                    request = Request(method="?", path="?")
-                    request.id = _mint_request_id(None)
-                    keep_alive = False
-                response = Response.error(exc.status, exc.message)
-            except (ConnectionError, asyncio.IncompleteReadError):
-                return
-            except Exception as exc:  # handler bug: report, don't die
-                # Log the full traceback server-side; the client gets
-                # a generic body carrying only the request id.
-                if observer is not None:
-                    observer.observe_error(
-                        request.id, exc, method=request.method,
-                        path=request.path)
-                response = Response.json(
-                    {"error": "internal server error",
-                     "request_id": request.id}, status=500)
-            response.headers.setdefault("X-Request-Id", request.id)
-            try:
-                await write_response(writer, response,
-                                     keep_alive=keep_alive)
-            except (ConnectionError, asyncio.CancelledError):
-                return  # client went away mid-stream
+                        observer.observe_error(
+                            request.id, exc, method=request.method,
+                            path=request.path)
+                    response = Response.json(
+                        {"error": "internal server error",
+                         "request_id": request.id}, status=500)
+                response.headers.setdefault("X-Request-Id", request.id)
+                try:
+                    await write_response(writer, response,
+                                         keep_alive=keep_alive)
+                except (ConnectionError, asyncio.CancelledError):
+                    return  # client went away mid-stream
+            finally:
+                if in_flight:
+                    observer.request_finished()
             if observer is not None:
                 # Unrouted requests (404/405/parse errors) share one
                 # label so scanners cannot inflate the route set.

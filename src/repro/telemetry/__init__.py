@@ -52,6 +52,13 @@ from .events import (
     events_from_jsonl,
     events_to_jsonl,
 )
+from .history import (
+    DEFAULT_INTERVAL,
+    DEFAULT_RETENTION,
+    HistoryRecorder,
+    HistoryStore,
+    numeric_snapshot,
+)
 from .flight import (
     DivergenceScanner,
     FlightRecorder,
@@ -108,6 +115,7 @@ from .timeline import (
     build_timeline,
     render_span_tree,
     render_timeline,
+    render_timeline_svg,
     timeline_summary,
     validate_trace,
     write_timeline,
@@ -115,6 +123,7 @@ from .timeline import (
 from .watchdog import (
     Alert,
     WatchdogConfig,
+    alerts_feed,
     append_alerts,
     dashboard_view,
     evaluate_alerts,
@@ -125,18 +134,21 @@ from .watchdog import (
 
 __all__ = [
     "Alert", "CampaignReport", "CampaignStatus", "Counter",
+    "DEFAULT_INTERVAL", "DEFAULT_RETENTION",
     "Distribution", "DivergenceScanner", "EVENT_KINDS",
-    "FlightRecorder", "Formula", "GoldenFlightLog", "Histogram",
+    "FlightRecorder", "Formula", "GoldenFlightLog",
+    "HistoryRecorder", "HistoryStore", "Histogram",
     "JsonlFileSink", "JsonlSpanSink", "ListSink", "ListSpanSink",
     "MetricsRegistry", "OPENMETRICS_CONTENT_TYPE", "PeriodicBeat",
     "Profiler", "RingBufferSink", "SamplingProfiler",
     "Scalar", "Scope", "Span", "TraceBus", "TraceContext", "TraceEvent",
-    "Tracer", "WatchdogConfig", "append_alerts", "build_timeline",
+    "Tracer", "WatchdogConfig", "alerts_feed", "append_alerts",
+    "build_timeline",
     "campaign_metrics", "collect_pipeline", "dashboard_view",
     "diff_stats", "evaluate_alerts", "events_from_jsonl",
     "events_to_jsonl", "follow_jsonl", "format_value", "git_describe",
     "hamming", "labelled", "latency_histogram", "load_share",
-    "load_spans",
+    "load_spans", "numeric_snapshot",
     "parse_metric_name", "parse_openmetrics", "parse_stats",
     "read_alerts", "read_heartbeats", "read_jsonl",
     "read_service_context", "read_span_records", "read_status",
@@ -145,7 +157,8 @@ __all__ = [
     "render_markdown", "render_openmetrics", "render_pipeview",
     "render_report",
     "render_span_tree",
-    "render_status", "render_timeline", "run_manifest",
+    "render_status", "render_timeline", "render_timeline_svg",
+    "run_manifest",
     "sanitize_metric_name", "sim_rates",
     "snapshot_share", "span_log_path", "timeline_summary",
     "validate_trace", "write_heartbeat", "write_timeline",

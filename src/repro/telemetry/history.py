@@ -1,0 +1,252 @@
+"""Bounded metrics history: periodic registry snapshots in SQLite.
+
+``GET /metrics`` is a point-in-time scrape; anything that wants a
+*trend* (the web console's sparkline charts, ``gemfi history``) needs
+someone to remember past scrapes.  :class:`HistoryStore` is that
+memory: a single SQLite database (WAL, same crash-safety discipline as
+the job queue) holding ``(series, time, value)`` samples with **ring
+retention per series** — every series keeps at most *retention*
+samples, oldest dropped first, so the database stays bounded no matter
+how long the service runs.
+
+:class:`HistoryRecorder` drives it: a
+:class:`~repro.telemetry.campaign.PeriodicBeat` samples a snapshot
+callable (the service wires it to the *same*
+:class:`~repro.telemetry.metrics.MetricsRegistry` that ``/metrics``
+renders, so the history and the exposition can never disagree) every
+*interval* seconds.  A monotone ``rounds`` counter survives retention
+trimming, so "has the recorder sampled since I last looked?" stays
+answerable even when the per-series ring is full.
+
+The layering rule from the rest of ``repro.telemetry`` applies: this
+module knows nothing about ``repro.service`` — the recorder takes
+plain callables, and the service hands it bound methods.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import threading
+import time
+
+from .campaign import PeriodicBeat
+
+#: seconds between samples (``gemfi serve --history-interval``).
+DEFAULT_INTERVAL = 5.0
+#: samples kept per series (``--history-retention``); at the default
+#: interval this is one hour of trend per series.
+DEFAULT_RETENTION = 720
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS samples (
+    series TEXT NOT NULL,
+    time   REAL NOT NULL,
+    value  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS samples_by_series
+    ON samples (series, time);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value REAL NOT NULL
+);
+"""
+
+
+def numeric_snapshot(flat: dict) -> dict[str, float]:
+    """Filter a ``MetricsRegistry.as_flat_dict()`` mapping down to the
+    finite numeric series worth charting: histogram bucket lines
+    (``.le_*`` / ``.overflow``) are dropped — they would multiply every
+    family by its bucket count — while scalars, counters, distribution
+    summaries and histogram sample counts survive."""
+    out: dict[str, float] = {}
+    for name, value in flat.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value):
+            continue
+        # Bucket bounds carry dots themselves (".le_0.01"), so match
+        # the marker anywhere after a dot rather than splitting on one.
+        if ".le_" in name or name.endswith(".overflow"):
+            continue
+        out[name] = float(value)
+    return out
+
+
+class HistoryStore:
+    """Ring-retained time series over SQLite.
+
+    Thread-safe: the recorder beat thread writes while the HTTP event
+    loop reads ``/v1/history``, so one lock serialises the shared
+    connection."""
+
+    def __init__(self, path: str,
+                 retention: int = DEFAULT_RETENTION) -> None:
+        self.path = path
+        self.retention = max(1, int(retention))
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writing --------------------------------------------------------------
+
+    def record(self, values: dict[str, float],
+               when: float | None = None) -> int:
+        """Append one sample per series, trim each touched series to
+        the retention ring, bump and return the monotone round
+        counter."""
+        stamp = time.time() if when is None else float(when)
+        with self._lock:
+            cursor = self._conn.cursor()
+            cursor.executemany(
+                "INSERT INTO samples (series, time, value) "
+                "VALUES (?, ?, ?)",
+                [(name, stamp, float(value))
+                 for name, value in sorted(values.items())])
+            for name in values:
+                cursor.execute(
+                    "DELETE FROM samples WHERE series = ? AND rowid "
+                    "NOT IN (SELECT rowid FROM samples WHERE "
+                    "series = ? ORDER BY time DESC, rowid DESC "
+                    "LIMIT ?)",
+                    (name, name, self.retention))
+            cursor.execute(
+                "INSERT INTO meta (key, value) VALUES ('rounds', 1) "
+                "ON CONFLICT(key) DO UPDATE SET value = value + 1")
+            self._conn.commit()
+            return self._rounds(cursor)
+
+    @staticmethod
+    def _rounds(cursor) -> int:
+        row = cursor.execute(
+            "SELECT value FROM meta WHERE key = 'rounds'").fetchone()
+        return int(row[0]) if row else 0
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Total recording rounds since the store was created —
+        monotone even though retention bounds the stored samples."""
+        with self._lock:
+            return self._rounds(self._conn.cursor())
+
+    def series_names(self, prefix: str | None = None) -> list[str]:
+        query = "SELECT DISTINCT series FROM samples"
+        args: tuple = ()
+        if prefix:
+            query += " WHERE series GLOB ?"
+            args = (_glob_escape(prefix) + "*",)
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY series",
+                                      args).fetchall()
+        return [row[0] for row in rows]
+
+    def series(self, prefix: str | None = None,
+               since: float | None = None,
+               limit: int | None = None
+               ) -> dict[str, list[list[float]]]:
+        """``{series: [[time, value], ...]}`` oldest-first; *prefix*
+        filters by series-name prefix, *since* by sample time, *limit*
+        caps the newest samples returned per series."""
+        query = "SELECT series, time, value FROM samples"
+        where, args = [], []
+        if prefix:
+            where.append("series GLOB ?")
+            args.append(_glob_escape(prefix) + "*")
+        if since is not None:
+            where.append("time > ?")
+            args.append(float(since))
+        if where:
+            query += " WHERE " + " AND ".join(where)
+        query += " ORDER BY series, time, rowid"
+        out: dict[str, list[list[float]]] = {}
+        with self._lock:
+            for name, stamp, value in self._conn.execute(query, args):
+                out.setdefault(name, []).append([stamp, value])
+        if limit is not None and limit > 0:
+            out = {name: points[-limit:]
+                   for name, points in out.items()}
+        return out
+
+    def summary(self) -> dict:
+        with self._lock:
+            cursor = self._conn.cursor()
+            series, samples = cursor.execute(
+                "SELECT COUNT(DISTINCT series), COUNT(*) "
+                "FROM samples").fetchone()
+            rounds = self._rounds(cursor)
+        return {"series": series, "samples": samples,
+                "rounds": rounds, "retention": self.retention}
+
+
+def _glob_escape(text: str) -> str:
+    """Escape SQLite GLOB metacharacters so a literal prefix (which
+    may contain ``[`` from metric labels) matches literally."""
+    return (text.replace("[", "[[]").replace("*", "[*]")
+            .replace("?", "[?]"))
+
+
+class HistoryRecorder:
+    """Periodically sample *snapshot()* into a :class:`HistoryStore`.
+
+    *snapshot* returns ``{series: value}`` (the service passes
+    ``ServiceObserver.snapshot``); *refresh*, when given, runs first so
+    scrape-time gauges (queue depth, store size, usage) are current —
+    exactly what ``GET /metrics`` does before rendering.  Errors from a
+    beat-driven sample are swallowed (a full disk must not kill the
+    service); ``sample_once`` raises so tests see failures."""
+
+    def __init__(self, snapshot, store: HistoryStore,
+                 interval: float = DEFAULT_INTERVAL,
+                 refresh=None, clock=time.time) -> None:
+        self.snapshot = snapshot
+        self.store = store
+        self.interval = interval
+        self.refresh = refresh
+        self._clock = clock
+        self._beat = PeriodicBeat(interval, self._tick,
+                                  name="history-recorder")
+
+    def sample_once(self) -> int:
+        """One synchronous recording round; returns the round count."""
+        if self.refresh is not None:
+            self.refresh()
+        return self.store.record(self.snapshot(),
+                                 when=self._clock())
+
+    def _tick(self) -> None:
+        try:
+            self.sample_once()
+        except Exception:
+            pass  # keep beating; the next round may succeed
+
+    def start(self) -> "HistoryRecorder":
+        self._beat.start()
+        return self
+
+    def stop(self) -> None:
+        self._beat.stop()
+
+    def __enter__(self) -> "HistoryRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def alive(self) -> bool:
+        return self._beat.alive

@@ -369,6 +369,122 @@ def render_span_tree(share_dir: str, max_depth: int = 0) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+# -- inline SVG lane view ------------------------------------------------------
+
+#: fill per experiment outcome (Section IV.B.1 classes); unknown
+#: outcomes (still running, no classification) render neutral blue.
+OUTCOME_COLORS = {
+    "crashed": "#d62728",
+    "sdc": "#b03ad4",
+    "non_propagated": "#c8ccd0",
+    "strictly_correct": "#2ca02c",
+    "correct": "#8fd18f",
+}
+DEFAULT_COLOR = "#4878b0"
+PHASE_COLORS = {"boot": "#aec7e8", "window": "#f2c14e",
+                "injection": "#ef8a62", "drain": "#b8b8d1"}
+INSTANT_COLORS = {"injection": "#d62728", "divergence": "#7b1fa2"}
+
+_SVG_GUTTER = 110       # left label column, px
+_SVG_LANE = 30          # lane pitch, px
+_SVG_BAR = 16           # experiment bar height, px
+_SVG_STRIP = 5          # phase strip height, px
+
+
+def _xml(text) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_timeline_svg(trace: dict, width: int = 960) -> str:
+    """Render a trace-event dict (:func:`build_timeline`) as a
+    self-contained SVG lane view — the web console's timeline page.
+
+    One horizontal lane per track (worker or slot), one bar per
+    ``ph: "X"`` experiment coloured by outcome, a thin phase strip
+    under each bar, and tick markers for injection/divergence
+    instants.  Every element carries a ``<title>`` tooltip, so the
+    browser shows names/durations on hover with zero JavaScript.
+    Deterministic: same trace dict, same bytes."""
+    events = trace.get("traceEvents", [])
+    lanes: dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" \
+                and event.get("name") == "thread_name":
+            lanes[event.get("tid", 0)] = \
+                event.get("args", {}).get("name", "?")
+    completes = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    for event in completes + instants:
+        tid = event.get("tid", 0)
+        lanes.setdefault(tid, f"track{tid}")
+    row = {tid: index for index, tid in enumerate(sorted(lanes))}
+    extent = max([e["ts"] + e["dur"] for e in completes]
+                 + [e.get("ts", 0) for e in instants] + [0])
+    extent = max(extent, 1)
+    plot = max(100, width - _SVG_GUTTER - 20)
+
+    def x(ts: float) -> float:
+        return round(_SVG_GUTTER + ts / extent * plot, 2)
+
+    height = len(row) * _SVG_LANE + 46
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" '
+           f'width="{width}" height="{height}" '
+           f'font-family="monospace" font-size="11">',
+           f'<rect width="{width}" height="{height}" fill="#ffffff"/>']
+    for tid, index in sorted(row.items()):
+        y = 8 + index * _SVG_LANE
+        out.append(f'<text x="4" y="{y + _SVG_BAR - 3}" '
+                   f'fill="#333">{_xml(lanes[tid])}</text>')
+        out.append(f'<line x1="{_SVG_GUTTER}" y1="{y + _SVG_LANE - 5}" '
+                   f'x2="{width - 10}" y2="{y + _SVG_LANE - 5}" '
+                   f'stroke="#eeeeee"/>')
+    for event in completes:
+        index = row[event.get("tid", 0)]
+        y = 8 + index * _SVG_LANE
+        x0 = x(event["ts"])
+        bar = max(1.0, round(event["dur"] / extent * plot, 2))
+        args = event.get("args") or {}
+        if event.get("cat") == "phase":
+            color = PHASE_COLORS.get(event.get("name"), "#dddddd")
+            out.append(
+                f'<rect x="{x0}" y="{y + _SVG_BAR + 1}" width="{bar}" '
+                f'height="{_SVG_STRIP}" fill="{color}">'
+                f'<title>{_xml(event.get("name"))}</title></rect>')
+            continue
+        color = OUTCOME_COLORS.get(args.get("outcome"), DEFAULT_COLOR)
+        tip = _xml(f'{event.get("name")} '
+                   f'outcome={args.get("outcome")} '
+                   f'{event["dur"] / 1e6:.3f}s')
+        out.append(f'<rect x="{x0}" y="{y}" width="{bar}" '
+                   f'height="{_SVG_BAR}" fill="{color}" '
+                   f'stroke="#555555" stroke-width="0.4">'
+                   f'<title>{tip}</title></rect>')
+    for event in instants:
+        index = row[event.get("tid", 0)]
+        y = 8 + index * _SVG_LANE
+        x0 = x(event.get("ts", 0))
+        color = INSTANT_COLORS.get(event.get("name"), "#000000")
+        tip = _xml(f'{event.get("name")} @ '
+                   f'{(event.get("args") or {}).get("tick")}')
+        out.append(f'<line x1="{x0}" y1="{y - 2}" x2="{x0}" '
+                   f'y2="{y + _SVG_BAR + _SVG_STRIP + 2}" '
+                   f'stroke="{color}" stroke-width="1.2">'
+                   f'<title>{tip}</title></line>')
+    axis_y = len(row) * _SVG_LANE + 22
+    unit = trace.get("otherData", {}).get("timebase", "host")
+    label = f"{extent / 1e6:.2f} s" if unit == "host" \
+        else f"{extent} ticks"
+    out.append(f'<line x1="{_SVG_GUTTER}" y1="{axis_y}" '
+               f'x2="{width - 10}" y2="{axis_y}" stroke="#888888"/>')
+    out.append(f'<text x="{_SVG_GUTTER}" y="{axis_y + 14}" '
+               f'fill="#555">0</text>')
+    out.append(f'<text x="{width - 10}" y="{axis_y + 14}" '
+               f'text-anchor="end" fill="#555">{_xml(label)}</text>')
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
 def timeline_summary(share_dir: str) -> dict:
     """Quick share-level counts for CLI chatter (no rendering)."""
     finished, opened = load_spans(share_dir)

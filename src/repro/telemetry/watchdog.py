@@ -349,6 +349,59 @@ def read_alerts(share_dir: str) -> list[dict]:
     return entries
 
 
+def alerts_feed(shares: dict[str, str],
+                config: WatchdogConfig | None = None,
+                live: bool = False, limit: int = 0,
+                clock=time.time) -> list[dict]:
+    """Merge the alert journals of many shares into one feed.
+
+    *shares* maps a label (the service passes the job id) to a share
+    directory.  Journalled alerts are read as-is; with *live* the rules
+    are additionally evaluated right now (read-only — nothing is
+    journalled, the dispatcher owns the journals) and un-journalled
+    firings appear with ``"live": true``.  Entries are deduplicated by
+    (label, rule, worker, experiment), sorted newest-first (then by
+    severity), and capped at *limit* when positive.  Missing or
+    alert-free shares contribute nothing."""
+    config = config or WatchdogConfig()
+    feed: list[dict] = []
+    seen: set[tuple] = set()
+    for label, share_dir in sorted(shares.items()):
+        if not os.path.isdir(share_dir):
+            continue
+        for entry in read_alerts(share_dir):
+            key = (label, entry.get("rule"), entry.get("worker"),
+                   entry.get("experiment"))
+            if key in seen:
+                continue
+            seen.add(key)
+            entry = dict(entry)
+            entry["share"] = label
+            feed.append(entry)
+        if live:
+            try:
+                _, alerts = evaluate_alerts(share_dir, config,
+                                            clock=clock)
+            except OSError:
+                continue
+            for alert in alerts:
+                key = (label,) + alert.key
+                if key in seen:
+                    continue
+                seen.add(key)
+                entry = alert.as_dict()
+                entry["share"] = label
+                entry["live"] = True
+                feed.append(entry)
+    feed.sort(key=lambda e: (-(e.get("time") or 0.0),
+                             _SEVERITY_RANK.get(e.get("severity"), 9),
+                             e.get("share") or "",
+                             e.get("rule") or ""))
+    if limit and limit > 0:
+        feed = feed[:limit]
+    return feed
+
+
 # -- the live dashboard -------------------------------------------------------
 
 

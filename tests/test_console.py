@@ -1,0 +1,364 @@
+"""The embedded web console (``gemfi serve --ui``) and /v1/history."""
+
+import asyncio
+import http.client
+import json
+import re
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import Service, ServiceApp, ServiceClient, ServiceError
+from repro.service.http import HTTPError, Request
+
+# -- plumbing -----------------------------------------------------------------
+
+_ISLAND = re.compile(
+    r'<script type="application/json" id="gemfi-data">(.*?)</script>',
+    re.S)
+
+
+def _get(service, path, method="GET"):
+    conn = http.client.HTTPConnection(service.host, service.port,
+                                      timeout=10.0)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), \
+            response.read()
+    finally:
+        conn.close()
+
+
+def _island(body: bytes) -> dict:
+    match = _ISLAND.search(body.decode("utf-8"))
+    assert match, "page has no gemfi-data JSON island"
+    # "</" arrives escaped as "<\/" — a valid JSON escape, so the
+    # island parses as-is, exactly like CI does it.
+    return json.loads(match.group(1))
+
+
+@pytest.fixture
+def ui_service(tmp_path):
+    """Console enabled, recorder beat off — tests sample explicitly
+    via ``service.recorder.sample_once()`` for determinism."""
+    service = Service(str(tmp_path / "data"), ui=True,
+                      history_interval=0)
+    service.start_http()
+    yield service
+    service.stop()
+
+
+# -- the pages ----------------------------------------------------------------
+
+
+class TestConsolePages:
+    def test_ui_is_opt_in(self, tmp_path):
+        service = Service(str(tmp_path / "noui")).start_http()
+        try:
+            status, _, _ = _get(service, "/ui")
+            assert status == 404
+        finally:
+            service.stop()
+
+    def test_index_lists_jobs_with_live_payload(self, ui_service):
+        client = ServiceClient(ui_service.url, tenant="alice")
+        try:
+            job = client.submit({"workload": "pi", "experiments": 2,
+                                 "seed": 5})
+        finally:
+            client.close()
+        status, headers, body = _get(ui_service, "/ui")
+        assert status == 200
+        assert headers["Content-Type"] == "text/html; charset=utf-8"
+        assert headers["Cache-Control"] == "no-store"
+        text = body.decode("utf-8")
+        assert "<!doctype html>" in text
+        assert "Campaign explorer" in text
+        payload = _island(body)
+        assert payload["queue_depth"] == 1
+        assert [j["id"] for j in payload["jobs"]] == [job["id"]]
+        assert payload["jobs"][0]["tenant"] == "alice"
+        assert payload["tenants"]["alice"] == {"queued": 1}
+
+    def test_job_page_embeds_the_job_record(self, ui_service):
+        client = ServiceClient(ui_service.url)
+        try:
+            job = client.submit({"workload": "dct", "experiments": 4,
+                                 "seed": 9})
+        finally:
+            client.close()
+        status, _, body = _get(ui_service, f"/ui/jobs/{job['id']}")
+        assert status == 200
+        payload = _island(body)
+        assert payload["job"]["id"] == job["id"]
+        assert payload["job"]["spec"]["workload"] == "dct"
+        text = body.decode("utf-8")
+        assert f"/v1/jobs/{job['id']}/status" in text
+        assert 'id="events"' in text  # the live stream target
+
+    def test_unknown_job_page_is_404(self, ui_service):
+        status, _, body = _get(ui_service, "/ui/jobs/job-missing")
+        assert status == 404
+        assert "no such job" in json.loads(body)["error"]
+
+    def test_metrics_page_charts_recorded_series(self, ui_service):
+        ui_service.recorder.sample_once()
+        status, _, body = _get(ui_service, "/ui/metrics")
+        assert status == 200
+        payload = _island(body)
+        assert payload["meta"]["rounds"] == 1
+        assert payload["meta"]["interval"] == 0
+        # queue.depth is a default chart and the refresh hook gauges
+        # it before every snapshot.
+        assert "queue.depth" in payload["history"]
+        assert payload["history"]["queue.depth"][0][1] == 0.0
+
+    def test_metrics_page_prefix_filter(self, ui_service):
+        ui_service.recorder.sample_once()
+        status, _, body = _get(ui_service, "/ui/metrics?prefix=store.")
+        assert status == 200
+        payload = _island(body)
+        assert payload["history"]
+        assert all(name.startswith("store.")
+                   for name in payload["history"])
+
+    def test_alerts_page_healthy(self, ui_service):
+        status, _, body = _get(ui_service, "/ui/alerts")
+        assert status == 200
+        assert _island(body) == {"alerts": []}
+        assert "no alerts" in body.decode("utf-8")
+        # journal-only mode is one query param away
+        status, _, body = _get(ui_service, "/ui/alerts?live=0")
+        assert status == 200
+        assert "journal only" in body.decode("utf-8")
+
+    def test_timeline_and_report_404_before_dispatch(self, ui_service):
+        client = ServiceClient(ui_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+        finally:
+            client.close()
+        status, _, _ = _get(ui_service,
+                            f"/ui/jobs/{job['id']}/timeline")
+        assert status == 404
+        status, _, _ = _get(ui_service,
+                            f"/ui/jobs/{job['id']}/report")
+        assert status == 404
+
+
+# -- /v1/history --------------------------------------------------------------
+
+
+class TestHistoryEndpoint:
+    def test_rounds_are_monotone_across_scrapes(self, ui_service):
+        client = ServiceClient(ui_service.url)
+        try:
+            before = client.history()
+            assert before["meta"]["rounds"] == 0
+            assert before["history"] == {}
+            ui_service.recorder.sample_once()
+            first = client.history()
+            ui_service.recorder.sample_once()
+            second = client.history()
+        finally:
+            client.close()
+        assert first["meta"]["rounds"] == 1
+        assert second["meta"]["rounds"] == 2
+        assert second["meta"]["samples"] >= first["meta"]["samples"]
+        assert len(second["history"]["queue.depth"]) == 2
+
+    def test_prefix_and_limit_parameters(self, ui_service):
+        ui_service.recorder.sample_once()
+        ui_service.recorder.sample_once()
+        client = ServiceClient(ui_service.url)
+        try:
+            payload = client.history(prefix="queue.", limit=1)
+        finally:
+            client.close()
+        assert payload["history"]
+        for name, points in payload["history"].items():
+            assert name.startswith("queue.")
+            assert len(points) == 1
+
+    def test_bad_parameters_are_400(self, ui_service):
+        status, _, body = _get(ui_service, "/v1/history?since=soon")
+        assert status == 400
+        assert "since/limit" in json.loads(body)["error"]
+
+    def test_disabled_history_is_404(self, ui_service):
+        # An app wired without a history store refuses the endpoint.
+        app = ServiceApp(ui_service.queue, ui_service.store)
+        request = Request(method="GET", path="/v1/history")
+        with pytest.raises(HTTPError) as err:
+            asyncio.run(app.history_series(request))
+        assert err.value.status == 404
+
+    def test_history_and_metrics_share_one_registry(self, ui_service):
+        name = ('http.requests{code="2xx",method="GET",'
+                'route="/v1/healthz"}')
+        client = ServiceClient(ui_service.url)
+        try:
+            for _ in range(3):
+                client.healthz()
+            # The counter lands just after the response bytes do.
+            deadline = time.time() + 5.0
+            while time.time() < deadline \
+                    and ui_service.observer.snapshot().get(name, 0) < 3:
+                time.sleep(0.02)
+            ui_service.recorder.sample_once()
+            payload = client.history(prefix=name)
+        finally:
+            client.close()
+        (points,) = payload["history"].values()
+        assert points[-1][1] == 3
+
+
+# -- UI traffic shows up in the observability plane ---------------------------
+
+
+class TestUiObservability:
+    def test_ui_routes_appear_in_openmetrics(self, ui_service):
+        from repro.telemetry.export import parse_openmetrics
+        _get(ui_service, "/ui")
+        _get(ui_service, "/ui/metrics")
+        client = ServiceClient(ui_service.url)
+        try:
+            families = parse_openmetrics(client.metrics_text())
+        finally:
+            client.close()
+        routes = {labels.get("route")
+                  for sample, labels, _
+                  in families["http_requests"]["samples"]
+                  if sample == "http_requests_total"}
+        assert "/ui" in routes
+        assert "/ui/metrics" in routes
+
+
+# -- machine-readable CLI surfaces --------------------------------------------
+
+
+class TestCliJsonOutput:
+    def test_jobs_json(self, ui_service, capsys):
+        client = ServiceClient(ui_service.url, tenant="cli")
+        try:
+            job = client.submit({"workload": "pi", "seed": 3})
+        finally:
+            client.close()
+        assert main(["jobs", "--url", ui_service.url, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["queue_depth"] == 1
+        assert [j["id"] for j in listing["jobs"]] == [job["id"]]
+        assert listing["jobs"][0]["spec"]["seed"] == 3
+        # and the human table renders the same job
+        assert main(["jobs", "--url", ui_service.url]) == 0
+        table = capsys.readouterr().out
+        assert job["id"] in table
+        assert "# queue depth: 1" in table
+
+    def test_usage_json(self, ui_service, capsys):
+        assert main(["usage", "--url", ui_service.url, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {}
+        assert main(["usage", "--url", ui_service.url]) == 0
+        assert "no metered usage" in capsys.readouterr().out
+
+    def test_history_cli(self, ui_service, capsys):
+        ui_service.recorder.sample_once()
+        assert main(["history", "--url", ui_service.url,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["rounds"] == 1
+        assert "queue.depth" in payload["history"]
+
+        assert main(["history", "--url", ui_service.url,
+                     "--prefix", "queue.depth"]) == 0
+        out = capsys.readouterr().out
+        assert "queue.depth" in out
+        assert "round 1" in out
+
+        assert main(["history", "--url", ui_service.url,
+                     "--series", "queue.depth"]) == 0
+        lines = [line for line in
+                 capsys.readouterr().out.splitlines()
+                 if not line.startswith("#")]
+        assert len(lines) == 1  # "stamp value"
+        assert len(lines[0].split()) == 2
+
+    def test_history_cli_unknown_series_fails(self, ui_service,
+                                              capsys):
+        assert main(["history", "--url", ui_service.url,
+                     "--series", "no.such.series"]) == 1
+        assert "no series" in capsys.readouterr().err
+
+    def test_cli_errors_cleanly_with_no_service(self, capsys):
+        assert main(["history",
+                     "--url", "http://127.0.0.1:9"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# -- over a dispatched job ----------------------------------------------------
+
+
+class TestConsoleEndToEnd:
+    @pytest.fixture(scope="class")
+    def service(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("console-e2e")
+        service = Service(str(root / "data"), ui=True,
+                          history_interval=0).start()
+        yield service
+        service.stop()
+
+    @pytest.fixture(scope="class")
+    def done_job(self, service):
+        client = ServiceClient(service.url, tenant="console")
+        try:
+            job = client.submit({"workload": "pi", "scale": "tiny",
+                                 "experiments": 2, "seed": 17,
+                                 "trace": True})
+            return client.wait(job["id"], timeout=180)
+        finally:
+            client.close()
+
+    def test_timeline_page_renders_svg_lanes(self, service,
+                                             done_job):
+        status, _, body = _get(
+            service, f"/ui/jobs/{done_job['id']}/timeline")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "<svg " in text
+        assert "Span tree" in text
+        assert "request " in text  # tree roots at the submit request
+        payload = _island(body)
+        assert payload["job"] == done_job["id"]
+        assert payload["events"] > 0
+        assert payload["otherData"]["timebase"] == "host"
+
+    def test_report_page_inlines_the_markdown(self, service,
+                                              done_job):
+        status, _, body = _get(
+            service, f"/ui/jobs/{done_job['id']}/report")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "outcome" in text.lower()
+        assert f"/v1/jobs/{done_job['id']}/report?format=html" in text
+
+    def test_job_page_links_the_timeline(self, service, done_job):
+        status, _, body = _get(service,
+                               f"/ui/jobs/{done_job['id']}")
+        assert status == 200
+        assert f"/ui/jobs/{done_job['id']}/timeline" \
+            in body.decode("utf-8")
+        assert _island(body)["job"]["state"] == "done"
+
+    def test_usage_kips_gauge_reaches_history(self, service,
+                                              done_job):
+        service.recorder.sample_once()
+        client = ServiceClient(service.url)
+        try:
+            payload = client.history(prefix="usage.kips")
+        finally:
+            client.close()
+        assert 'usage.kips{tenant="console"}' in payload["history"]
+        points = payload["history"]['usage.kips{tenant="console"}']
+        assert points[-1][1] > 0

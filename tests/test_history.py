@@ -1,0 +1,268 @@
+"""Metrics history, SVG timeline rendering, merged alerts feed."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Alert,
+    HistoryRecorder,
+    HistoryStore,
+    alerts_feed,
+    append_alerts,
+    numeric_snapshot,
+    render_timeline_svg,
+)
+from repro.telemetry.timeline import OUTCOME_COLORS
+
+
+# -- snapshot filtering -------------------------------------------------------
+
+
+class TestNumericSnapshot:
+    def test_keeps_finite_numbers_only(self):
+        flat = {
+            "queue.depth": 3,
+            "usage.kips{tenant=a}": 12.5,
+            "flag": True,
+            "label": "text",
+            "bad": float("nan"),
+            "worse": math.inf,
+        }
+        assert numeric_snapshot(flat) == {
+            "queue.depth": 3.0,
+            "usage.kips{tenant=a}": 12.5,
+        }
+
+    def test_drops_histogram_bucket_lines(self):
+        flat = {
+            "http.request_duration_seconds{route=/x}.samples": 4,
+            "http.request_duration_seconds{route=/x}.le_0.01": 2,
+            "http.request_duration_seconds{route=/x}.le_0.5": 4,
+            "http.request_duration_seconds{route=/x}.overflow": 0,
+        }
+        assert numeric_snapshot(flat) == {
+            "http.request_duration_seconds{route=/x}.samples": 4.0,
+        }
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class TestHistoryStore:
+    def test_record_and_series_round_trip(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+        store.record({"a": 1.0, "b": 2.0}, when=10.0)
+        store.record({"a": 1.5}, when=20.0)
+        series = store.series()
+        assert series == {"a": [[10.0, 1.0], [20.0, 1.5]],
+                          "b": [[10.0, 2.0]]}
+        store.close()
+
+    def test_ring_retention_bounds_samples(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"), retention=3)
+        for round_no in range(5):
+            store.record({"s": float(round_no)},
+                         when=float(round_no))
+        points = store.series()["s"]
+        assert points == [[2.0, 2.0], [3.0, 3.0], [4.0, 4.0]]
+        # The round counter is monotone even though samples rolled.
+        assert store.rounds == 5
+        assert store.summary() == {"series": 1, "samples": 3,
+                                   "rounds": 5, "retention": 3}
+        store.close()
+
+    def test_prefix_since_and_limit(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+        for when in (1.0, 2.0, 3.0):
+            store.record({"queue.depth": when,
+                          "store.bytes": when * 10}, when=when)
+        assert set(store.series(prefix="queue.")) == {"queue.depth"}
+        assert store.series(since=2.0)["queue.depth"] == [[3.0, 3.0]]
+        assert store.series(limit=1)["store.bytes"] == [[3.0, 30.0]]
+        assert store.series_names() == ["queue.depth", "store.bytes"]
+        assert store.series_names("store.") == ["store.bytes"]
+        store.close()
+
+    def test_labelled_series_names_match_literally(self, tmp_path):
+        # Series names carry labels ("usage.kips{tenant=a}"); GLOB
+        # metacharacters in a prefix must match literally, never as
+        # wildcards or character classes.
+        store = HistoryStore(str(tmp_path / "h.db"))
+        store.record({"usage.kips{tenant=a}": 1.0,
+                      "x[1]": 2.0, "xz1": 3.0}, when=1.0)
+        assert set(store.series(prefix="usage.kips")) \
+            == {"usage.kips{tenant=a}"}
+        assert set(store.series(prefix="x[1]")) == {"x[1]"}
+        store.close()
+
+    def test_store_is_thread_safe(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"), retention=10)
+
+        def hammer(start):
+            for index in range(25):
+                store.record({"t": float(index)},
+                             when=float(start + index))
+                store.series()
+
+        threads = [threading.Thread(target=hammer, args=(n * 100,))
+                   for n in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.rounds == 75
+        assert len(store.series()["t"]) == 10
+        store.close()
+
+
+# -- the recorder -------------------------------------------------------------
+
+
+class TestHistoryRecorder:
+    def test_sample_once_refreshes_then_snapshots(self, tmp_path):
+        calls = []
+        store = HistoryStore(str(tmp_path / "h.db"))
+
+        def refresh():
+            calls.append("refresh")
+
+        def snapshot():
+            calls.append("snapshot")
+            return {"v": 7.0}
+
+        recorder = HistoryRecorder(snapshot, store, interval=0,
+                                   refresh=refresh,
+                                   clock=lambda: 42.0)
+        assert recorder.sample_once() == 1
+        assert calls == ["refresh", "snapshot"]
+        assert store.series() == {"v": [[42.0, 7.0]]}
+        store.close()
+
+    def test_nonpositive_interval_never_starts_a_thread(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+        recorder = HistoryRecorder(lambda: {}, store, interval=0)
+        with recorder:
+            assert not recorder.alive
+        store.close()
+
+    def test_beat_swallows_sampling_errors(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+
+        def explode():
+            raise RuntimeError("disk full")
+
+        recorder = HistoryRecorder(explode, store, interval=0)
+        recorder._tick()  # must not raise
+        with pytest.raises(RuntimeError):
+            recorder.sample_once()  # tests do see failures
+        store.close()
+
+    def test_beat_thread_records_and_joins(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+        seen = threading.Event()
+
+        def snapshot():
+            seen.set()
+            return {"beat": 1.0}
+
+        with HistoryRecorder(snapshot, store, interval=0.01):
+            assert seen.wait(timeout=5.0)
+        assert store.rounds >= 1
+        store.close()
+
+
+# -- SVG lane rendering -------------------------------------------------------
+
+
+def _trace():
+    return {
+        "traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+             "args": {"name": "w0"}},
+            {"name": "exp_0000", "cat": "experiment", "ph": "X",
+             "ts": 0, "dur": 1_000_000, "pid": 1, "tid": 0,
+             "args": {"outcome": "sdc"}},
+            {"name": "boot", "cat": "phase", "ph": "X", "ts": 0,
+             "dur": 400_000, "pid": 1, "tid": 0},
+            {"name": "injection", "cat": "injection", "ph": "i",
+             "s": "t", "ts": 600_000, "pid": 1, "tid": 0,
+             "args": {"tick": 42}},
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"timebase": "host"},
+    }
+
+
+class TestRenderTimelineSvg:
+    def test_renders_lanes_bars_and_markers(self):
+        svg = render_timeline_svg(_trace())
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        assert ">w0</text>" in svg
+        assert OUTCOME_COLORS["sdc"] in svg      # outcome fill
+        assert "exp_0000" in svg                 # hover tooltip
+        assert "injection @ 42" in svg           # instant marker
+        assert "1.00 s" in svg                   # host-time axis
+
+    def test_deterministic_output(self):
+        assert render_timeline_svg(_trace()) \
+            == render_timeline_svg(_trace())
+
+    def test_escapes_markup_in_names(self):
+        trace = _trace()
+        trace["traceEvents"][1]["name"] = "<script>alert(1)</script>"
+        svg = render_timeline_svg(trace)
+        assert "<script>" not in svg
+        assert "&lt;script&gt;" in svg
+
+    def test_empty_trace_is_still_an_svg(self):
+        svg = render_timeline_svg({"traceEvents": [],
+                                   "otherData": {"timebase": "host"}})
+        assert svg.startswith("<svg ")
+
+
+# -- merged alerts feed -------------------------------------------------------
+
+
+class TestAlertsFeed:
+    def _alert(self, rule, when, severity="warning", worker=None):
+        return Alert(rule=rule, severity=severity, worker=worker,
+                     message=f"{rule} fired", time=when)
+
+    def test_merges_journals_newest_first(self, tmp_path):
+        share_a = tmp_path / "a"
+        share_b = tmp_path / "b"
+        share_a.mkdir()
+        share_b.mkdir()
+        append_alerts(str(share_a),
+                      [self._alert("dead_worker", 10.0,
+                                   severity="critical", worker="w0")])
+        append_alerts(str(share_b),
+                      [self._alert("outcome_drift", 20.0)])
+        feed = alerts_feed({"job-a": str(share_a),
+                            "job-b": str(share_b)})
+        assert [(e["share"], e["rule"]) for e in feed] \
+            == [("job-b", "outcome_drift"), ("job-a", "dead_worker")]
+        assert all("live" not in e for e in feed)
+
+    def test_missing_share_contributes_nothing(self, tmp_path):
+        feed = alerts_feed({"gone": str(tmp_path / "nope")})
+        assert feed == []
+
+    def test_limit_caps_the_feed(self, tmp_path):
+        share = tmp_path / "s"
+        share.mkdir()
+        append_alerts(str(share), [
+            self._alert("dead_worker", 1.0, worker=f"w{n}")
+            for n in range(5)])
+        assert len(alerts_feed({"j": str(share)}, limit=2)) == 2
+
+    def test_live_evaluation_is_read_only(self, tmp_path):
+        share = tmp_path / "s"
+        share.mkdir()
+        feed = alerts_feed({"j": str(share)}, live=True)
+        # An empty share fires nothing and must not grow a journal.
+        assert feed == []
+        assert not (share / "alerts.jsonl").exists()

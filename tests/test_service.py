@@ -1,9 +1,11 @@
 """Campaign-as-a-service tests: store, queue, HTTP API, dispatch."""
 
+import asyncio
 import hashlib
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -30,7 +32,7 @@ from repro.service import (
     canonical_results,
     digest_bytes,
 )
-from repro.service.http import HTTPError, Request, Router
+from repro.service.http import HTTPError, Request, Response, Router
 from repro.telemetry import PeriodicBeat
 from repro.workloads import build
 
@@ -921,3 +923,171 @@ class TestE2EObservability:
         assert main(["dashboard", "--url",
                      "http://127.0.0.1:1"]) == 2
         assert "--job" in capsys.readouterr().err
+
+
+# -- response hygiene: content types, caching, 405 ----------------------------
+
+
+class TestResponseHeaders:
+    def test_json_carries_charset_and_no_store(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Content-Type") \
+                == "application/json; charset=utf-8"
+            assert response.getheader("Cache-Control") == "no-store"
+        finally:
+            conn.close()
+
+    def test_metrics_scrape_is_never_cached(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            response.read()
+            assert "charset=utf-8" \
+                in response.getheader("Content-Type")
+            assert response.getheader("Cache-Control") == "no-store"
+        finally:
+            conn.close()
+
+    def test_event_stream_content_type(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+            client.cancel(job["id"])
+        finally:
+            client.close()
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", f"/v1/jobs/{job['id']}/events")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Content-Type") \
+                == "application/jsonl; charset=utf-8"
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            assert response.getheader("Cache-Control") == "no-store"
+        finally:
+            conn.close()
+
+    def test_error_bodies_are_json_with_charset(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/jobs/job-nope")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+            assert response.getheader("Content-Type") \
+                == "application/json; charset=utf-8"
+        finally:
+            conn.close()
+
+    def test_wrong_method_is_405_with_allow(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("DELETE", "/v1/healthz")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET"
+            assert "DELETE" in body["error"]
+            # Both registered methods are advertised.
+            conn.request("PUT", "/v1/jobs")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET, POST"
+        finally:
+            conn.close()
+
+    def test_unknown_path_is_still_404(self, api_service):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", "/v1/nope")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+            assert response.getheader("Allow") is None
+        finally:
+            conn.close()
+
+
+# -- client disconnect mid-stream ---------------------------------------------
+
+
+def _wait_for_gauge(service, name, value, timeout=10.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if service.observer.snapshot().get(name) == value:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestStreamDisconnect:
+    def test_disconnect_mid_events_stream_unwinds(self, api_service):
+        """Closing the socket mid-stream must cancel the producer and
+        return the in-flight/connection gauges to zero — no leaked
+        stream task polling a queued job forever."""
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+        finally:
+            client.close()
+        assert _wait_for_gauge(api_service,
+                               "http.requests_in_flight", 0)
+        conn = _http_conn(api_service)
+        conn.request("GET",
+                     f"/v1/jobs/{job['id']}/events?poll=0.05")
+        response = conn.getresponse()
+        assert response.status == 200
+        first = response.read(10)
+        assert first  # the stream is live...
+        assert api_service.observer.snapshot()[
+            "http.requests_in_flight"] == 1  # ...and accounted for
+        conn.close()  # abrupt client disconnect; job still queued
+        assert _wait_for_gauge(api_service,
+                               "http.requests_in_flight", 0)
+        assert _wait_for_gauge(api_service,
+                               "http.connections_open", 0)
+
+    def test_disconnect_finalises_the_generator(self, api_service):
+        """The producer generator's ``finally`` runs on disconnect, so
+        lease heartbeats / file handles owned by a stream are
+        released deterministically."""
+        finalised = threading.Event()
+
+        async def endless(request):
+            async def stream():
+                try:
+                    while True:
+                        yield b'{"tick":1}\n'
+                        await asyncio.sleep(0.02)
+                finally:
+                    finalised.set()
+
+            return Response.streaming(stream())
+
+        api_service.app.router.add("GET", "/endless", endless)
+        conn = _http_conn(api_service)
+        conn.request("GET", "/endless")
+        response = conn.getresponse()
+        assert response.read(8)
+        conn.close()
+        assert finalised.wait(timeout=10.0)
+        assert _wait_for_gauge(api_service,
+                               "http.requests_in_flight", 0)
+
+    def test_clean_stream_end_also_finalises(self, api_service):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi"})
+            client.cancel(job["id"])
+            frames = list(client.events(job["id"], poll=0.05))
+        finally:
+            client.close()
+        assert frames[-1]["type"] == "end"
+        assert _wait_for_gauge(api_service,
+                               "http.requests_in_flight", 0)
