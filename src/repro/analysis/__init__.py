@@ -39,7 +39,27 @@ from .liveness import (
 )
 from .trace import DefUseTracer, TraceEvent
 
+# .coverage lazily imports campaign.generator (which itself imports
+# .equivalence above at module scope) — keep it last so the partially
+# initialised package never bites.
+from .coverage import (
+    ConvergenceTracker,
+    CoverageCell,
+    FaultSpaceMap,
+    coverage_from_share,
+    coverage_gauges,
+    coverage_summary,
+    render_coverage_markdown,
+    render_coverage_svg,
+    render_coverage_tables,
+    render_heatmap_table,
+)
+
 __all__ = [
+    "ConvergenceTracker", "CoverageCell", "FaultSpaceMap",
+    "coverage_from_share", "coverage_gauges", "coverage_summary",
+    "render_coverage_markdown", "render_coverage_svg",
+    "render_coverage_tables", "render_heatmap_table",
     "DefUseTracer", "LIVE", "LivenessAnalysis", "MASK_REASONS",
     "MASKED_BIT_OUT_OF_RANGE", "MASKED_DEAD_DESTINATION",
     "MASKED_DEAD_REGISTER", "MASKED_DEAD_RESULT",

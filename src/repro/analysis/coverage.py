@@ -1,0 +1,869 @@
+"""Fault-space coverage analytics over campaign result streams.
+
+ZOFI frames fault-injection evaluation as *coverage analysis* over the
+injection space; this module is that lens for the GemFI reproduction.
+A :class:`FaultSpaceMap` enumerates the campaign's fault space from the
+generator configuration — sites x cycle-windows x bit positions, the
+exact population :meth:`~repro.campaign.generator.SEUGenerator.
+fault_space_size` feeds to the Leveugle sample-size formula — and
+accounts every experiment result into it:
+
+* **space accounting** — how many distinct fault sites the campaign has
+  actually visited, per location and overall, never exceeding the
+  enumerated space (a weighted class representative visits exactly its
+  own site; the other members of its liveness equivalence class enter
+  the *weight*, not the site count — conservative by construction);
+* **outcome heatmaps** — per-dimension outcome distributions (fault
+  location, bit position, injection-cycle decile, destination register,
+  PC region), each cell carrying a Wilson score interval computed with
+  the Kish effective sample size of its weighted population;
+* **convergence tracking** — running outcome-rate estimates with CI
+  half-widths and a "margin reached at +-X%" indicator, the
+  observability groundwork for sequential-stopping campaigns.
+
+Everything here is **read-only** over existing result streams and
+**byte-deterministic**: :meth:`FaultSpaceMap.as_dict` contains no
+timestamps, host times or absolute paths, iterates in sorted order and
+rounds every float, so ``gemfi coverage --json`` for the same share is
+byte-identical across reruns.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from ..core.fault import Fault, LocationKind
+from ..core.parser import FaultParseError, parse_fault_file
+
+# Canonical outcome column order (repro.campaign.classify.OUTCOME_ORDER
+# as strings; unknown outcomes sort after these).
+OUTCOME_ORDER = ("crashed", "non_propagated", "strictly_correct",
+                 "correct", "sdc")
+
+LOCATION_LABELS = {
+    LocationKind.INT_REG: "int regfile",
+    LocationKind.FP_REG: "fp regfile",
+    LocationKind.PC: "pc",
+    LocationKind.FETCH: "fetch",
+    LocationKind.DECODE: "decode",
+    LocationKind.EXECUTE: "execute",
+    LocationKind.MEM: "mem",
+}
+
+#: white-to-colour ramp anchors for the SVG heatmaps, per outcome.
+OUTCOME_COLORS = {
+    "crashed": (192, 57, 43),
+    "non_propagated": (127, 140, 141),
+    "strictly_correct": (39, 174, 96),
+    "correct": (46, 139, 87),
+    "sdc": (142, 68, 173),
+}
+_DEFAULT_COLOR = (42, 111, 181)
+
+DIMENSIONS = ("location", "bit", "time_decile", "register", "pc_region")
+
+DIMENSION_TITLES = {
+    "location": "fault location",
+    "bit": "bit position",
+    "time_decile": "injection-cycle decile",
+    "register": "destination register",
+    "pc_region": "PC region",
+}
+
+
+def _space_terms(locations=None):
+    """(location, slots-per-time-unit multiplier, width) terms of the
+    fault-space product, imported from the generator so the two can
+    never disagree.  Lazy import: ``repro.campaign.generator`` imports
+    ``repro.analysis.equivalence`` at module scope, so a module-level
+    import here would be a cycle."""
+    from ..campaign.generator import DEFAULT_LOCATIONS, LOCATION_WIDTHS
+    locations = tuple(locations) if locations else DEFAULT_LOCATIONS
+    terms = []
+    for location in locations:
+        width = LOCATION_WIDTHS[location]
+        multiplier = 32 if location in (LocationKind.INT_REG,
+                                        LocationKind.FP_REG) else 1
+        terms.append((location, multiplier, width))
+    return terms
+
+
+def _wilson(success_weight: float, total_weight: float,
+            effective_n: float, confidence: float
+            ) -> tuple[float, float]:
+    from ..campaign.sampling import (
+        weighted_proportion_confidence_interval,
+    )
+    return weighted_proportion_confidence_interval(
+        success_weight, total_weight, effective_n,
+        confidence=confidence)
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(float(value), digits)
+
+
+def outcome_columns(outcomes) -> list[str]:
+    """Canonical-then-alphabetical outcome order over *outcomes*."""
+    present = set(outcomes)
+    ordered = [o for o in OUTCOME_ORDER if o in present]
+    return ordered + sorted(present - set(OUTCOME_ORDER))
+
+
+# -- per-cell accumulation ----------------------------------------------------
+
+
+@dataclass
+class CoverageCell:
+    """Weighted outcome tally of one heatmap cell."""
+
+    n: int = 0
+    sum_w: float = 0.0
+    sum_w2: float = 0.0
+    outcome_weights: dict[str, float] = field(default_factory=dict)
+
+    def add(self, outcome: str, weight: float) -> None:
+        self.n += 1
+        self.sum_w += weight
+        self.sum_w2 += weight * weight
+        self.outcome_weights[outcome] = \
+            self.outcome_weights.get(outcome, 0.0) + weight
+
+    @property
+    def effective_n(self) -> float:
+        """Kish n_eff = (sum w)^2 / sum(w^2) of the cell's weights."""
+        return self.sum_w * self.sum_w / self.sum_w2 \
+            if self.sum_w2 > 0 else 0.0
+
+    def as_dict(self, confidence: float) -> dict:
+        outcomes = {}
+        for outcome in outcome_columns(self.outcome_weights):
+            weight = self.outcome_weights[outcome]
+            low, high = _wilson(weight, self.sum_w, self.effective_n,
+                                confidence)
+            rate = weight / self.sum_w if self.sum_w else 0.0
+            outcomes[outcome] = {
+                "weight": _round(weight), "rate": _round(rate),
+                "ci_low": _round(low), "ci_high": _round(high),
+            }
+        return {"n": self.n, "weight": _round(self.sum_w),
+                "effective_n": _round(self.effective_n),
+                "outcomes": outcomes}
+
+
+# -- convergence --------------------------------------------------------------
+
+
+class ConvergenceTracker:
+    """Running outcome-rate estimates with Wilson half-widths.
+
+    Feed results in campaign order; after each one the tracker knows
+    the weighted rate of every outcome seen so far, the Kish effective
+    sample size, the widest current CI half-width, and — once every
+    half-width has shrunk to *margin* — the experiment index at which
+    the campaign's target precision was reached (the "2501 experiments
+    for 99% +-1%" criterion of the paper, observed live instead of
+    sized up front)."""
+
+    def __init__(self, confidence: float = 0.99,
+                 margin: float = 0.01) -> None:
+        self.confidence = confidence
+        self.margin = margin
+        self.experiments = 0
+        self.sum_w = 0.0
+        self.sum_w2 = 0.0
+        self.outcome_weights: dict[str, float] = {}
+        self.margin_reached_at: int | None = None
+        # (experiment index, max half-width) after every add.
+        self.history: list[tuple[int, float]] = []
+
+    @property
+    def effective_n(self) -> float:
+        return self.sum_w * self.sum_w / self.sum_w2 \
+            if self.sum_w2 > 0 else 0.0
+
+    def add(self, outcome: str, weight: float = 1.0) -> None:
+        self.experiments += 1
+        weight = max(0.0, float(weight))
+        self.sum_w += weight
+        self.sum_w2 += weight * weight
+        self.outcome_weights[outcome] = \
+            self.outcome_weights.get(outcome, 0.0) + weight
+        half = self.max_half_width()
+        self.history.append((self.experiments, half))
+        if self.margin_reached_at is None and half <= self.margin:
+            self.margin_reached_at = self.experiments
+
+    def interval(self, outcome: str) -> tuple[float, float, float]:
+        """(rate, ci_low, ci_high) of *outcome* right now."""
+        weight = self.outcome_weights.get(outcome, 0.0)
+        low, high = _wilson(weight, self.sum_w, self.effective_n,
+                            self.confidence)
+        rate = weight / self.sum_w if self.sum_w else 0.0
+        return rate, low, high
+
+    def half_width(self, outcome: str) -> float:
+        rate, low, high = self.interval(outcome)
+        del rate
+        return (high - low) / 2.0
+
+    def max_half_width(self) -> float:
+        """The widest per-outcome half-width — the campaign has
+        converged only when its least certain rate has."""
+        if not self.outcome_weights:
+            return 1.0
+        return max(self.half_width(outcome)
+                   for outcome in self.outcome_weights)
+
+    def as_dict(self, history_points: int = 32) -> dict:
+        rates = {}
+        for outcome in outcome_columns(self.outcome_weights):
+            rate, low, high = self.interval(outcome)
+            rates[outcome] = {
+                "rate": _round(rate), "ci_low": _round(low),
+                "ci_high": _round(high),
+                "half_width": _round((high - low) / 2.0),
+            }
+        return {
+            "experiments": self.experiments,
+            "effective_n": _round(self.effective_n),
+            "confidence": self.confidence,
+            "margin": self.margin,
+            "max_half_width": _round(self.max_half_width()),
+            "margin_reached": self.margin_reached_at is not None,
+            "margin_reached_at": self.margin_reached_at,
+            "rates": rates,
+            "history": [[n, _round(half)] for n, half
+                        in _downsample(self.history, history_points)],
+        }
+
+
+def _downsample(points: list, limit: int) -> list:
+    """At most *limit* points, always keeping the last one (the
+    current state) — deterministic even stride, no interpolation."""
+    if limit <= 0 or len(points) <= limit:
+        return list(points)
+    stride = (len(points) - 1) / (limit - 1)
+    picked = [points[round(i * stride)] for i in range(limit - 1)]
+    return picked + [points[-1]]
+
+
+# -- the map ------------------------------------------------------------------
+
+
+class FaultSpaceMap:
+    """Enumerates a campaign's fault space and accounts results into it.
+
+    *window* is the FI window's committed-instruction count (a
+    :class:`~repro.campaign.generator.WindowProfile`, or the bare int,
+    or None when unknown — a hand-built share with no golden profile);
+    the enumerated total then exactly matches
+    ``SEUGenerator.fault_space_size()`` for the same profile and
+    *locations*.  :meth:`account` takes
+    :class:`~repro.campaign.runner.ExperimentResult` objects or the
+    result dicts workers write to the share, in campaign order.
+    """
+
+    def __init__(self, window=None, locations=None,
+                 confidence: float = 0.99, margin: float = 0.01,
+                 time_bins: int = 10, pc_regions: int = 8) -> None:
+        if window is not None and not isinstance(window, int):
+            window = int(getattr(window, "committed", window))
+        self.window = window
+        self._locations = tuple(locations) if locations else None
+        self.confidence = confidence
+        self.time_bins = max(1, time_bins)
+        self.pc_regions = max(1, pc_regions)
+        self.tracker = ConvergenceTracker(confidence=confidence,
+                                          margin=margin)
+        self.accounted = 0
+        self.executed = 0
+        self.predicted = 0
+        self.sampled_weight = 0.0
+        self._sites: set[tuple] = set()
+        self._sites_by_location: dict[str, set] = {}
+        self._cells: dict[str, dict] = {dim: {} for dim in
+                                        ("location", "bit",
+                                         "time_decile", "register")}
+        # (pc, outcome, weight) samples; PC regions need the global
+        # extent, so their cells are bucketed at render time.
+        self._pc_samples: list[tuple[int, str, float]] = []
+
+    # -- the enumerated space --------------------------------------------------
+
+    def locations(self) -> tuple:
+        if self._locations is not None:
+            return self._locations
+        from ..campaign.generator import DEFAULT_LOCATIONS
+        return DEFAULT_LOCATIONS
+
+    def space_per_location(self) -> dict[str, int] | None:
+        """Enumerated site count per location, or None when the FI
+        window length is unknown."""
+        if self.window is None:
+            return None
+        slots = max(1, self.window)
+        return {LOCATION_LABELS[location]: slots * multiplier * width
+                for location, multiplier, width
+                in _space_terms(self.locations())}
+
+    def total_space_size(self) -> int | None:
+        """|Location| x |time| x |bit| — must agree exactly with
+        ``SEUGenerator.fault_space_size()``."""
+        per_location = self.space_per_location()
+        if per_location is None:
+            return None
+        return sum(per_location.values())
+
+    # -- accounting ------------------------------------------------------------
+
+    def account(self, result) -> bool:
+        """Fold one experiment result into the map.  Returns False (and
+        counts the experiment, so totals still reconcile) when the
+        record carries no parseable fault."""
+        entry = self._normalise(result)
+        self.accounted += 1
+        weight = entry["weight"]
+        outcome = entry["outcome"]
+        if entry["predicted"]:
+            self.predicted += 1
+        else:
+            self.executed += 1
+        self.sampled_weight += weight
+        self.tracker.add(outcome, weight)
+        fault = entry["fault"]
+        if fault is None:
+            return False
+        location = fault.location
+        label = LOCATION_LABELS.get(location, location.name.lower())
+        bit = fault.behavior.bits[0] if fault.behavior.bits else None
+        register = fault.reg_index if location in (
+            LocationKind.INT_REG, LocationKind.FP_REG) else None
+        # One result visits exactly its own site; class members it
+        # stands for stay in the weight, keeping covered <= space.
+        site = (location.name, fault.time, bit, register or 0)
+        self._sites.add(site)
+        self._sites_by_location.setdefault(label, set()).add(site)
+        self._cell("location", label).add(outcome, weight)
+        if bit is not None:
+            self._cell("bit", bit).add(outcome, weight)
+        fraction = entry["time_fraction"]
+        if fraction is not None:
+            decile = min(self.time_bins - 1,
+                         max(0, int(fraction * self.time_bins)))
+            self._cell("time_decile", decile).add(outcome, weight)
+        if register is not None:
+            self._cell("register", register).add(outcome, weight)
+        pc = entry["pc"]
+        if pc is not None:
+            self._pc_samples.append((pc, outcome, weight))
+        return True
+
+    def account_all(self, results) -> int:
+        count = 0
+        for result in results:
+            self.account(result)
+            count += 1
+        return count
+
+    def _cell(self, dimension: str, key) -> CoverageCell:
+        cells = self._cells[dimension]
+        if key not in cells:
+            cells[key] = CoverageCell()
+        return cells[key]
+
+    @staticmethod
+    def _normalise(result) -> dict:
+        if isinstance(result, dict):
+            fault = None
+            for key in ("fault_file", "fault"):
+                text = result.get(key)
+                if not text:
+                    continue
+                try:
+                    faults = parse_fault_file(text)
+                except FaultParseError:
+                    continue
+                if faults:
+                    fault = faults[0]
+                    break
+            fraction = result.get("time_fraction")
+            pc = result.get("injection_pc")
+            return {
+                "fault": fault,
+                "outcome": result.get("outcome", "unknown"),
+                "weight": max(0.0, float(result.get("weight") or 1.0)),
+                "predicted": bool(result.get("predicted")),
+                "time_fraction": float(fraction)
+                if isinstance(fraction, (int, float)) else None,
+                "pc": int(pc) if isinstance(pc, int) else None,
+            }
+        fault = result.fault
+        outcome = getattr(result.outcome, "value", result.outcome)
+        pc = getattr(result, "injection_pc", None)
+        return {
+            "fault": fault if isinstance(fault, Fault) else None,
+            "outcome": outcome,
+            "weight": max(0.0, float(getattr(result, "weight", 1.0))),
+            "predicted": bool(getattr(result, "predicted", False)),
+            "time_fraction": getattr(result, "time_fraction", None),
+            "pc": int(pc) if isinstance(pc, int) else None,
+        }
+
+    # -- views -----------------------------------------------------------------
+
+    def covered_sites(self) -> int:
+        total = self.total_space_size()
+        covered = len(self._sites)
+        return covered if total is None else min(covered, total)
+
+    def _cell_label(self, dimension: str, key) -> str:
+        if dimension == "location":
+            return str(key)
+        if dimension == "bit":
+            return f"bit {key}"
+        if dimension == "register":
+            return f"r{key}"
+        if dimension == "time_decile":
+            low = key / self.time_bins
+            high = (key + 1) / self.time_bins
+            return f"t in [{low:.1f},{high:.1f})"
+        return str(key)
+
+    def _pc_cells(self) -> list[tuple[str, CoverageCell]]:
+        if not self._pc_samples:
+            return []
+        pcs = [pc for pc, _, _ in self._pc_samples]
+        low, high = min(pcs), max(pcs)
+        span = max(1, high - low + 1)
+        size = max(1, -(-span // self.pc_regions))  # ceil division
+        cells: dict[int, CoverageCell] = {}
+        for pc, outcome, weight in self._pc_samples:
+            index = min(self.pc_regions - 1, (pc - low) // size)
+            cells.setdefault(index, CoverageCell()).add(outcome, weight)
+        out = []
+        for index in sorted(cells):
+            lo = low + index * size
+            hi = min(high, lo + size - 1)
+            out.append((f"{lo:#x}-{hi:#x}", cells[index]))
+        return out
+
+    def heatmap(self, dimension: str) -> list[tuple[str, CoverageCell]]:
+        """Sorted (label, cell) rows of one dimension's heatmap."""
+        if dimension == "pc_region":
+            return self._pc_cells()
+        if dimension == "location":
+            order = [LOCATION_LABELS[location]
+                     for location in sorted(LOCATION_LABELS,
+                                            key=lambda k: k.value)]
+            cells = self._cells["location"]
+            keys = [label for label in order if label in cells]
+            keys += sorted(set(cells) - set(keys))
+            return [(key, cells[key]) for key in keys]
+        cells = self._cells[dimension]
+        return [(self._cell_label(dimension, key), cells[key])
+                for key in sorted(cells)]
+
+    def as_dict(self) -> dict:
+        total = self.total_space_size()
+        covered = self.covered_sites()
+        per_location = self.space_per_location()
+        space_rows = {}
+        for label in sorted(self._sites_by_location):
+            sites = len(self._sites_by_location[label])
+            row = {"covered": sites}
+            if per_location and label in per_location:
+                size = per_location[label]
+                row["covered"] = min(sites, size)
+                row["size"] = size
+                row["fraction"] = _round(row["covered"] / size, 8)
+            space_rows[label] = row
+        heatmaps = {}
+        for dimension in DIMENSIONS:
+            heatmaps[dimension] = {
+                "title": DIMENSION_TITLES[dimension],
+                "cells": [dict(label=label,
+                               **cell.as_dict(self.confidence))
+                          for label, cell in self.heatmap(dimension)],
+            }
+        return {
+            "config": {
+                "confidence": self.confidence,
+                "margin": self.tracker.margin,
+                "time_bins": self.time_bins,
+                "pc_regions": self.pc_regions,
+                "window": self.window,
+            },
+            "space": {
+                "total": total,
+                "covered_sites": covered,
+                "covered_fraction":
+                    _round(covered / total, 8) if total else None,
+                "sampled_weight": _round(self.sampled_weight),
+                "per_location": space_rows,
+            },
+            "accounted": {
+                "experiments": self.accounted,
+                "executed": self.executed,
+                "predicted": self.predicted,
+                "weight": _round(self.sampled_weight),
+                "effective_n": _round(self.tracker.effective_n),
+            },
+            "convergence": self.tracker.as_dict(),
+            "heatmaps": heatmaps,
+        }
+
+
+# -- share loading ------------------------------------------------------------
+
+
+def _window_from_share(share_dir: str) -> int | None:
+    """The FI window's committed-instruction count: from the golden
+    profile the coordinator publishes (``golden.pkl``), else inferred
+    from the results themselves (``time_fraction = time / window``
+    inverts exactly for any result injected strictly inside the
+    window), else None."""
+    path = os.path.join(share_dir, "golden.pkl")
+    if os.path.exists(path):
+        import pickle
+        try:
+            with open(path, "rb") as handle:
+                golden = pickle.load(handle)
+            committed = int(golden.profile.committed)
+            if committed > 0:
+                return committed
+        except Exception:  # noqa: BLE001 - any unreadable pickle
+            pass
+    candidates = []
+    for entry in iter_share_results(share_dir):
+        fraction = entry.get("time_fraction")
+        if not isinstance(fraction, (int, float)) or not \
+                0 < fraction < 1:
+            continue
+        fault = None
+        for key in ("fault_file", "fault"):
+            text = entry.get(key)
+            if not text:
+                continue
+            try:
+                faults = parse_fault_file(text)
+            except FaultParseError:
+                continue
+            if faults:
+                fault = faults[0]
+                break
+        if fault is not None:
+            candidates.append(round(fault.time / fraction))
+    return max(candidates) if candidates else None
+
+
+def iter_share_results(share_dir: str):
+    """Result records of a share in experiment-name order (the
+    campaign's generation order — deterministic, unlike mtimes)."""
+    results_dir = os.path.join(share_dir, "results")
+    if not os.path.isdir(results_dir):
+        return
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(results_dir, name), "r",
+                      encoding="utf-8") as handle:
+                yield json.load(handle)
+        except (OSError, ValueError):
+            continue  # mid-write, exactly like read_status
+
+
+def coverage_from_share(share_dir: str, confidence: float = 0.99,
+                        margin: float = 0.01, time_bins: int = 10,
+                        pc_regions: int = 8) -> FaultSpaceMap:
+    """Build a :class:`FaultSpaceMap` from a share directory's results
+    (read-only: nothing on the share is written or touched)."""
+    space = FaultSpaceMap(window=_window_from_share(share_dir),
+                          confidence=confidence, margin=margin,
+                          time_bins=time_bins, pc_regions=pc_regions)
+    space.account_all(iter_share_results(share_dir))
+    return space
+
+
+def coverage_summary(payload: dict) -> dict:
+    """The status-frame view of a coverage payload: everything except
+    the (bulky) heatmaps and convergence history."""
+    convergence = dict(payload["convergence"])
+    convergence.pop("history", None)
+    return {"space": payload["space"],
+            "accounted": payload["accounted"],
+            "convergence": convergence}
+
+
+def coverage_gauges(payload: dict) -> dict[str, float]:
+    """Flatten a coverage payload into ``coverage.*`` gauge values for
+    a :class:`~repro.telemetry.metrics.MetricsRegistry` (None-valued
+    quantities are omitted: gauges are numeric)."""
+    space = payload["space"]
+    convergence = payload["convergence"]
+    gauges: dict[str, float] = {
+        "coverage.covered_sites": space["covered_sites"],
+        "coverage.sampled_weight": space["sampled_weight"],
+        "coverage.accounted": payload["accounted"]["experiments"],
+        "coverage.effective_n": payload["accounted"]["effective_n"],
+        "coverage.max_half_width": convergence["max_half_width"],
+        "coverage.margin_reached":
+            1 if convergence["margin_reached"] else 0,
+    }
+    if space["total"] is not None:
+        gauges["coverage.space_total"] = space["total"]
+    if space["covered_fraction"] is not None:
+        gauges["coverage.covered_fraction"] = \
+            space["covered_fraction"]
+    if convergence["margin_reached_at"] is not None:
+        gauges["coverage.margin_reached_at"] = \
+            convergence["margin_reached_at"]
+    for outcome, row in convergence["rates"].items():
+        gauges[f"coverage.outcome_rate.{outcome}"] = row["rate"]
+        gauges[f"coverage.outcome_half_width.{outcome}"] = \
+            row["half_width"]
+    return gauges
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def _convergence_line(payload: dict) -> str:
+    convergence = payload["convergence"]
+    margin = convergence["margin"]
+    confidence = convergence["confidence"]
+    if convergence["margin_reached"]:
+        return (f"margin +-{margin * 100:g}% at "
+                f"{confidence * 100:g}% confidence: reached after "
+                f"{convergence['margin_reached_at']} experiments")
+    return (f"margin +-{margin * 100:g}% at {confidence * 100:g}% "
+            f"confidence: not reached (max half-width "
+            f"+-{_fmt_pct(convergence['max_half_width'])})")
+
+
+def _space_line(payload: dict) -> str:
+    space = payload["space"]
+    accounted = payload["accounted"]
+    covered = space["covered_sites"]
+    if space["total"] is not None:
+        head = (f"{covered}/{space['total']} fault sites visited "
+                f"({space['covered_fraction'] * 100:.4g}%)")
+    else:
+        head = f"{covered} distinct fault sites visited " \
+               f"(space size unknown)"
+    return (f"{head}; {accounted['experiments']} experiments "
+            f"({accounted['executed']} executed, "
+            f"{accounted['predicted']} predicted) carrying weight "
+            f"{accounted['weight']:g}, effective n "
+            f"{accounted['effective_n']:g}")
+
+
+def render_heatmap_table(payload: dict, dimension: str) -> str:
+    """One dimension's heatmap as an aligned ASCII table: rate and
+    Wilson interval per outcome per cell."""
+    heatmap = payload["heatmaps"][dimension]
+    cells = heatmap["cells"]
+    outcomes = outcome_columns(
+        {o for cell in cells for o in cell["outcomes"]})
+    header = ["cell", "n", "weight"] + outcomes
+    rows = []
+    for cell in cells:
+        row = [cell["label"], str(cell["n"]),
+               f"{cell['weight']:g}"]
+        for outcome in outcomes:
+            entry = cell["outcomes"].get(outcome)
+            row.append("-" if entry is None else
+                       f"{_fmt_pct(entry['rate'])} "
+                       f"[{_fmt_pct(entry['ci_low'])},"
+                       f"{_fmt_pct(entry['ci_high'])}]")
+        rows.append(row)
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+              if rows else len(header[i]) for i in range(len(header))]
+    lines = [f"# {heatmap['title']}",
+             "  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w)
+                               for c, w in zip(row, widths)))
+    if not rows:
+        lines.append("(no samples)")
+    return "\n".join(lines)
+
+
+def render_coverage_tables(payload: dict,
+                           dimensions=DIMENSIONS) -> str:
+    parts = [_space_line(payload), _convergence_line(payload), ""]
+    for dimension in dimensions:
+        parts.append(render_heatmap_table(payload, dimension))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def _md_table(header: list[str], rows: list[list]) -> str:
+    lines = ["| " + " | ".join(str(c) for c in header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def coverage_report_tables(payload: dict
+                           ) -> tuple[list[str],
+                                      list[tuple[str, list, list]]]:
+    """The report-section content as structure: (prose lines,
+    [(table title, header, rows)...]) — ``gemfi report`` renders the
+    same data as Markdown and HTML from this one source."""
+    prose = [_space_line(payload) + ".", _convergence_line(payload)
+             + "."]
+    tables: list[tuple[str, list, list]] = []
+    space_rows = payload["space"]["per_location"]
+    if space_rows:
+        rows = []
+        for label in sorted(space_rows):
+            row = space_rows[label]
+            rows.append([
+                label, row.get("size", "?"), row["covered"],
+                f"{row['fraction'] * 100:.4g}%"
+                if "fraction" in row else "?"])
+        tables.append(("Space visited by location",
+                       ["location", "space", "visited", "fraction"],
+                       rows))
+    rates = payload["convergence"]["rates"]
+    if rates:
+        confidence = payload["convergence"]["confidence"]
+        rows = [[outcome, _fmt_pct(row["rate"]),
+                 f"[{_fmt_pct(row['ci_low'])}, "
+                 f"{_fmt_pct(row['ci_high'])}]",
+                 f"+-{_fmt_pct(row['half_width'])}"]
+                for outcome, row in
+                ((o, rates[o]) for o in outcome_columns(rates))]
+        tables.append((f"Outcome rates ({confidence * 100:g}% "
+                       f"Wilson intervals)",
+                       ["outcome", "rate", "interval", "half-width"],
+                       rows))
+    for dimension in DIMENSIONS:
+        heatmap = payload["heatmaps"][dimension]
+        cells = heatmap["cells"]
+        if not cells:
+            continue
+        outcomes = outcome_columns(
+            {o for cell in cells for o in cell["outcomes"]})
+        rows = []
+        for cell in cells:
+            row = [cell["label"], cell["n"], f"{cell['weight']:g}"]
+            for outcome in outcomes:
+                entry = cell["outcomes"].get(outcome)
+                row.append("-" if entry is None else
+                           f"{_fmt_pct(entry['rate'])} "
+                           f"[{_fmt_pct(entry['ci_low'])}, "
+                           f"{_fmt_pct(entry['ci_high'])}]")
+            rows.append(row)
+        tables.append((f"Outcomes by {heatmap['title']}",
+                       ["cell", "n", "weight"] + outcomes, rows))
+    return prose, tables
+
+
+def coverage_markdown_sections(payload: dict,
+                               level: int = 2) -> list[str]:
+    """The "Fault-space coverage" report section as a list of markdown
+    blocks (``gemfi report`` nests them under its own heading)."""
+    h = "#" * level
+    prose, tables = coverage_report_tables(payload)
+    parts = [f"{h} Fault-space coverage", ""]
+    for line in prose:
+        parts += [line, ""]
+    for title, header, rows in tables:
+        parts += [f"{h}# {title}", "", _md_table(header, rows), ""]
+    return parts
+
+
+def render_coverage_markdown(payload: dict,
+                             name: str = "") -> str:
+    head = [f"# Fault-space coverage: {name}" if name
+            else "# Fault-space coverage", ""]
+    body = coverage_markdown_sections(payload, level=2)
+    # The standalone document re-titles the first section block.
+    return "\n".join(head + body[2:]).rstrip() + "\n"
+
+
+# -- SVG heatmaps -------------------------------------------------------------
+
+
+def _xml(text) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _ramp(outcome: str, rate: float) -> str:
+    red, green, blue = OUTCOME_COLORS.get(outcome, _DEFAULT_COLOR)
+    rate = min(1.0, max(0.0, rate))
+    mix = tuple(round(255 + (channel - 255) * rate)
+                for channel in (red, green, blue))
+    return f"rgb({mix[0]},{mix[1]},{mix[2]})"
+
+
+def render_coverage_svg(payload: dict, dimension: str,
+                        width: int = 720) -> str:
+    """One dimension's heatmap as a self-contained SVG grid: one row
+    per cell, one column per outcome, fill intensity = outcome rate,
+    a ``<title>`` tooltip with the Wilson interval on every box.
+    Deterministic: same payload, same bytes."""
+    heatmap = payload["heatmaps"][dimension]
+    cells = heatmap["cells"]
+    outcomes = outcome_columns(
+        {o for cell in cells for o in cell["outcomes"]})
+    gutter, box_h, header_h = 150, 18, 16
+    columns = max(1, len(outcomes))
+    box_w = max(24, (width - gutter - 10) // columns)
+    height = header_h + max(1, len(cells)) * box_h + 8
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" '
+           f'width="{width}" height="{height}" '
+           f'font-family="monospace" font-size="10">',
+           f'<rect width="{width}" height="{height}" '
+           f'fill="#ffffff"/>',
+           f'<text x="4" y="11" fill="#333" font-weight="bold">'
+           f'{_xml(heatmap["title"])}</text>']
+    for column, outcome in enumerate(outcomes):
+        x = gutter + column * box_w
+        out.append(f'<text x="{x + 2}" y="11" fill="#555">'
+                   f'{_xml(outcome[:12])}</text>')
+    if not cells:
+        out.append(f'<text x="{gutter}" y="{header_h + 12}" '
+                   f'fill="#999">no samples</text>')
+    for row, cell in enumerate(cells):
+        y = header_h + row * box_h
+        out.append(f'<text x="4" y="{y + 13}" fill="#333">'
+                   f'{_xml(str(cell["label"])[:20])}</text>')
+        for column, outcome in enumerate(outcomes):
+            x = gutter + column * box_w
+            entry = cell["outcomes"].get(outcome)
+            if entry is None:
+                fill, tip = "#f4f4f4", (f'{cell["label"]} {outcome}: '
+                                        f'no samples')
+            else:
+                fill = _ramp(outcome, entry["rate"])
+                tip = (f'{cell["label"]} {outcome}: '
+                       f'{_fmt_pct(entry["rate"])} '
+                       f'[{_fmt_pct(entry["ci_low"])},'
+                       f'{_fmt_pct(entry["ci_high"])}] '
+                       f'n={cell["n"]} w={cell["weight"]:g}')
+            out.append(
+                f'<rect x="{x}" y="{y + 1}" width="{box_w - 2}" '
+                f'height="{box_h - 3}" fill="{fill}" '
+                f'stroke="#dddddd"><title>{_xml(tip)}</title></rect>')
+            if entry is not None:
+                luma = 1.0 - 0.75 * min(1.0, entry["rate"])
+                color = "#1c2733" if luma > 0.55 else "#ffffff"
+                out.append(
+                    f'<text x="{x + 3}" y="{y + 13}" '
+                    f'fill="{color}">'
+                    f'{_fmt_pct(entry["rate"])}</text>')
+    out.append("</svg>")
+    return "".join(out)

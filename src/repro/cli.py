@@ -20,6 +20,7 @@ Observability surfaces (repro.telemetry):
     gemfi status /mnt/share/campaign [--watch 5]
     gemfi stats-diff golden.txt faulty.txt [--tolerance 0.02]
     gemfi report /mnt/share/campaign --format html -o report.html
+    gemfi coverage /mnt/share/campaign [--json|--format md]
     gemfi profile dct --cpu o3 [--json] [--folded out.folded] [--sample]
     gemfi campaign -w pi -n 20 --share-dir /mnt/share/pi --trace
     gemfi timeline /mnt/share/pi -o trace.json    # Perfetto-loadable
@@ -285,7 +286,8 @@ def cmd_status(args: argparse.Namespace) -> int:
     def show() -> None:
         status = read_status(args.share_dir,
                              stale_claim_seconds=args.stale_seconds,
-                             heartbeat_timeout=args.heartbeat_timeout)
+                             heartbeat_timeout=args.heartbeat_timeout,
+                             coverage=args.coverage)
         if args.json:
             import json
             print(json.dumps(status.as_dict(), indent=2,
@@ -467,6 +469,48 @@ def cmd_report(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"# {report.experiments} experiments -> {args.output}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """Fault-space coverage analytics of a campaign share: space
+    visited, per-dimension outcome heatmaps with Wilson intervals,
+    and margin convergence."""
+    import json
+    import os
+
+    from .analysis.coverage import (
+        DIMENSIONS,
+        coverage_from_share,
+        render_coverage_markdown,
+        render_coverage_tables,
+        render_heatmap_table,
+    )
+    space = coverage_from_share(args.share_dir,
+                                confidence=args.confidence,
+                                margin=args.margin)
+    payload = space.as_dict()
+    if args.format == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    elif args.format == "md":
+        name = os.path.basename(os.path.normpath(args.share_dir))
+        text = render_coverage_markdown(payload, name=name)
+    elif args.dimension:
+        if args.dimension not in DIMENSIONS:
+            print(f"# unknown dimension '{args.dimension}' "
+                  f"(choose from {', '.join(DIMENSIONS)})",
+                  file=sys.stderr)
+            return 2
+        text = render_heatmap_table(payload, args.dimension) + "\n"
+    else:
+        text = render_coverage_tables(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# {space.accounted} experiments -> {args.output}",
               file=sys.stderr)
     else:
         print(text, end="")
@@ -926,6 +970,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "not counted live")
     status_p.add_argument("--json", action="store_true",
                           help="machine-readable output")
+    status_p.add_argument("--coverage", action="store_true",
+                          help="append the fault-space coverage frame "
+                               "(space visited, Wilson-interval "
+                               "outcome rates, margin convergence)")
     status_p.add_argument("--watch", type=float, default=0.0,
                           metavar="SECONDS",
                           help="re-read and re-print the status every "
@@ -1007,6 +1055,33 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--output", "-o", default=None,
                           help="write here instead of stdout")
     report_p.set_defaults(func=cmd_report)
+
+    cov_p = sub.add_parser(
+        "coverage",
+        help="fault-space coverage analytics: space visited, outcome "
+             "heatmaps with Wilson intervals, margin convergence")
+    cov_p.add_argument("share_dir",
+                       help="the campaign share directory")
+    cov_p.add_argument("--format", default="table",
+                       choices=("table", "md", "json"),
+                       help="aligned heatmap tables (default), "
+                            "Markdown, or the raw JSON payload")
+    cov_p.add_argument("--json", dest="format", action="store_const",
+                       const="json",
+                       help="shorthand for --format json")
+    cov_p.add_argument("--dimension", default=None,
+                       help="render only this heatmap dimension "
+                            "(table format): location, bit, "
+                            "time_decile, register, pc_region")
+    cov_p.add_argument("--confidence", type=float, default=0.99,
+                       help="Wilson interval confidence level "
+                            "(default 0.99)")
+    cov_p.add_argument("--margin", type=float, default=0.01,
+                       help="convergence margin on outcome-rate "
+                            "half-widths (default 0.01 = +-1%%)")
+    cov_p.add_argument("--output", "-o", default=None,
+                       help="write here instead of stdout")
+    cov_p.set_defaults(func=cmd_coverage)
 
     prof_p = sub.add_parser(
         "profile",

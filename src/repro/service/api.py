@@ -96,6 +96,9 @@ class ServiceApp:
         self.history = history
         self.history_interval = history_interval
         self._clock = clock
+        # share-signature cache for the coverage.* gauges: job id ->
+        # ((result count, newest mtime), gauges).
+        self._coverage_cache: dict[str, tuple[tuple, dict]] = {}
         self.router = Router()
         add = self.router.add
         add("GET", "/v1/healthz", self.healthz)
@@ -108,6 +111,7 @@ class ServiceApp:
         add("GET", "/v1/jobs/{id}/report", self.job_report)
         add("GET", "/v1/jobs/{id}/results", self.job_results)
         add("GET", "/v1/jobs/{id}/dashboard", self.job_dashboard)
+        add("GET", "/v1/jobs/{id}/coverage", self.job_coverage)
         add("GET", "/v1/blobs/{digest}", self.blob)
         add("GET", "/v1/store/stats", self.store_stats)
         add("GET", "/v1/usage", self.usage)
@@ -301,6 +305,19 @@ class ServiceApp:
             payload["alerts"] = [alert.as_dict() for alert in alerts]
         return Response.json(payload)
 
+    async def job_coverage(self, request: Request) -> Response:
+        """Fault-space coverage analytics for one job's share: space
+        visited, per-dimension outcome heatmaps with Wilson-interval
+        cells, margin convergence (repro.analysis.coverage)."""
+        job = self._job(request)
+        share = self._share(job)
+        if share is None:
+            raise HTTPError(404, f"no campaign share for job {job.id} "
+                                 f"yet")
+        from ..analysis.coverage import coverage_from_share
+        payload = coverage_from_share(share).as_dict()
+        return Response.json({"job": job.id, "coverage": payload})
+
     async def store_stats(self, request: Request) -> Response:
         return Response.json(self.store.stats())
 
@@ -333,18 +350,75 @@ class ServiceApp:
 
     # -- metrics --------------------------------------------------------------
 
+    #: coverage.* gauges are computed for at most this many jobs
+    #: (the newest ones with shares) per refresh, so scrape cost stays
+    #: bounded no matter how long the job history grows.
+    COVERAGE_GAUGE_JOBS = 3
+
+    def _coverage_gauge_sets(self) -> list[tuple[str, dict]]:
+        """(job id, coverage gauges) for the newest jobs with shares.
+
+        Re-reading every result on every history beat would dwarf the
+        scrape itself, so each share's gauges are cached against a
+        cheap signature (result-file count + newest mtime) and only
+        recomputed when new results have landed."""
+        from ..analysis.coverage import (
+            coverage_from_share,
+            coverage_gauges,
+        )
+        jobs = [job for job in self.queue.list_jobs()
+                if self._share(job) is not None]
+        out = []
+        for job in jobs[-self.COVERAGE_GAUGE_JOBS:]:
+            share = self._share(job)
+            results_dir = os.path.join(share, "results")
+            count, newest = 0, 0.0
+            try:
+                with os.scandir(results_dir) as entries:
+                    for entry in entries:
+                        if not entry.name.endswith(".json"):
+                            continue
+                        count += 1
+                        try:
+                            newest = max(newest,
+                                         entry.stat().st_mtime)
+                        except OSError:
+                            pass
+            except OSError:
+                pass
+            signature = (count, newest)
+            cached = self._coverage_cache.get(job.id)
+            if cached is not None and cached[0] == signature:
+                out.append((job.id, cached[1]))
+                continue
+            gauges = coverage_gauges(
+                coverage_from_share(share).as_dict())
+            self._coverage_cache[job.id] = (signature, gauges)
+            out.append((job.id, gauges))
+        # Forget shares that fell out of the window.
+        keep = {job_id for job_id, _ in out}
+        for job_id in list(self._coverage_cache):
+            if job_id not in keep:
+                del self._coverage_cache[job_id]
+        return out
+
     def _refresh_gauges(self) -> None:
         """Point-in-time families recomputed at scrape time (counters
         and histograms accumulate where the events happen)."""
         observer = self.observer
         registry = observer.registry
+        coverage_sets = self._coverage_gauge_sets()
         with observer._lock:
             for prefix in ("queue.depth", "queue.tenant_active",
                            "queue.tenant_quota", "store.objects",
                            "store.bytes", "usage.jobs",
                            "usage.experiments", "usage.instructions",
-                           "usage.wall_seconds", "usage.kips"):
+                           "usage.wall_seconds", "usage.kips",
+                           "coverage"):
                 registry.prune(prefix)
+        for job_id, gauges in coverage_sets:
+            for name, value in sorted(gauges.items()):
+                observer.set_gauge(name, value, job=job_id)
         observer.set_gauge("queue.depth", self.queue.depth())
         for tenant, states in sorted(self.queue.tenant_counts().items()):
             active = states.get("queued", 0) + states.get("leased", 0)

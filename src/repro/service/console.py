@@ -50,7 +50,8 @@ from .http import HTTPError, Request, Response
 DEFAULT_CHART_PREFIXES = (
     "usage.kips", "queue.depth", "http.requests_in_flight",
     "http.request_duration_seconds", "queue.jobs_finished",
-    "jobs.executed",
+    "jobs.executed", "coverage.max_half_width",
+    "coverage.covered_fraction",
 )
 
 _CSS = """
@@ -100,6 +101,7 @@ def _nav() -> str:
     return ('<header><span class="brand">gemfi console</span>'
             '<a href="/ui">jobs</a>'
             '<a href="/ui/metrics">metrics</a>'
+            '<a href="/ui/coverage">coverage</a>'
             '<a href="/ui/alerts">alerts</a>'
             '<span class="muted"><a href="/metrics">/metrics</a> · '
             '<a href="/v1/healthz">healthz</a></span>'
@@ -302,6 +304,7 @@ class Console:
         add = router.add
         add("GET", "/ui", self.index)
         add("GET", "/ui/metrics", self.metrics_page)
+        add("GET", "/ui/coverage", self.coverage_page)
         add("GET", "/ui/alerts", self.alerts_page)
         add("GET", "/ui/jobs/{id}", self.job_page)
         add("GET", "/ui/jobs/{id}/timeline", self.timeline_page)
@@ -372,6 +375,9 @@ class Console:
                  f"JSON</a>"]
         if share is not None:
             links.insert(
+                0, f'<a href="/ui/coverage?job={_esc(job.id)}">'
+                   f"coverage</a>")
+            links.insert(
                 0, f'<a href="/ui/jobs/{_esc(job.id)}/timeline">'
                    f"timeline</a>")
         body = (
@@ -408,6 +414,74 @@ class Console:
             f"from <code>GET /v1/history</code></span></p>"
             '<div id="charts"></div>')
         return _page("metrics", body, payload, script=_METRICS_JS)
+
+    async def coverage_page(self, request: Request) -> Response:
+        """Fault-space coverage maps: per-dimension outcome heatmaps
+        (SVG grids with Wilson-interval tooltips) and the convergence
+        summary for one job's share (``?job=`` selects; default is
+        the newest job with a share)."""
+        from ..analysis.coverage import (
+            DIMENSIONS,
+            coverage_from_share,
+            render_coverage_svg,
+        )
+        shares = self._shares()
+        job_id = request.query.get("job")
+        if job_id and job_id not in shares:
+            raise HTTPError(404, f"no campaign share for job "
+                                 f"{job_id}")
+        if not job_id and shares:
+            job_id = next(reversed(shares))  # newest submission
+        payload = {"job": job_id, "jobs": sorted(shares),
+                   "coverage": None}
+        if job_id is None:
+            body = ("<h1>Fault-space coverage</h1>"
+                    '<p class="muted">no campaign shares yet — '
+                    "submit a job and its coverage map appears "
+                    "here.</p>")
+            return _page("coverage", body, payload)
+        coverage = coverage_from_share(shares[job_id]).as_dict()
+        payload["coverage"] = coverage
+        space = coverage["space"]
+        convergence = coverage["convergence"]
+        if space["total"]:
+            visited = (f"{space['covered_sites']}/{space['total']} "
+                       f"sites "
+                       f"({space['covered_fraction'] * 100:.4g}%)")
+        else:
+            visited = (f"{space['covered_sites']} sites "
+                       f"(space size unknown)")
+        if convergence["margin_reached"]:
+            margin = (f"±{convergence['margin'] * 100:g}% margin "
+                      f"reached after "
+                      f"{convergence['margin_reached_at']} "
+                      f"experiments")
+        else:
+            margin = (f"±{convergence['margin'] * 100:g}% margin not "
+                      f"reached (max half-width "
+                      f"±{convergence['max_half_width'] * 100:.1f}%)")
+        picker = " ".join(
+            f"<b>{_esc(other)}</b>" if other == job_id else
+            f'<a href="/ui/coverage?job={_esc(other)}">'
+            f"{_esc(other)}</a>"
+            for other in payload["jobs"])
+        charts = "".join(
+            f'<div class="chart">'
+            f"{render_coverage_svg(coverage, dimension)}</div>"
+            for dimension in DIMENSIONS)
+        body = (
+            f"<h1>Fault-space coverage "
+            f"<code>{_esc(job_id)}</code></h1>"
+            f'<p class="muted">jobs: {picker}</p>'
+            f"<p>{_esc(visited)} · "
+            f"{convergence['experiments']} experiments accounted "
+            f"(effective n {convergence['effective_n']:g}) · "
+            f"{_esc(margin)} at "
+            f"{convergence['confidence'] * 100:g}% confidence · "
+            f'<a href="/v1/jobs/{_esc(job_id)}/coverage">JSON</a> · '
+            f"cells carry Wilson intervals (hover a box)</p>"
+            + charts)
+        return _page("coverage", body, payload)
 
     async def alerts_page(self, request: Request) -> Response:
         live = request.query.get("live", "1") != "0"

@@ -84,6 +84,23 @@ HELP_TEXTS = {
     "usage_wall_seconds": "Campaign wall seconds, by tenant.",
     "usage_kips": "Aggregate simulation rate (simulated kilo-"
                   "instructions per campaign wall second), by tenant.",
+    "coverage_space_total": "Enumerated fault-space size (sites x "
+                            "cycles x bits), by job.",
+    "coverage_covered_sites": "Distinct fault sites visited, by job.",
+    "coverage_covered_fraction": "Fraction of the fault space "
+                                 "visited, by job.",
+    "coverage_sampled_weight": "Equivalence-weighted experiment "
+                               "mass accounted, by job.",
+    "coverage_accounted": "Experiment results accounted into the "
+                          "coverage map, by job.",
+    "coverage_effective_n": "Kish effective sample size of the "
+                            "weighted results, by job.",
+    "coverage_max_half_width": "Widest Wilson-interval half-width "
+                               "over the outcome rates, by job.",
+    "coverage_margin_reached": "1 once every outcome-rate half-width "
+                               "is inside the campaign margin.",
+    "coverage_margin_reached_at": "Experiment count at which the "
+                                  "margin was first reached, by job.",
 }
 
 

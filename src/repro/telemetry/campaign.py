@@ -235,6 +235,12 @@ class CampaignStatus:
     # from the service's job queue.  None for plain NoW shares, so
     # their status output stays byte-identical to the pre-service tool.
     service: dict | None = None
+    # Fault-space coverage frame (opt-in via read_status(coverage=True)
+    # / `gemfi status --coverage`): the heatmap-free summary of
+    # repro.analysis.coverage — space visited, effective n, outcome
+    # rates with Wilson intervals, margin convergence.  None unless
+    # requested, so plain status output stays byte-identical.
+    coverage: dict | None = None
 
     @property
     def wall_mean(self) -> float:
@@ -270,6 +276,8 @@ class CampaignStatus:
         }
         if self.service is not None:
             payload["service"] = dict(self.service)
+        if self.coverage is not None:
+            payload["coverage"] = dict(self.coverage)
         return payload
 
 
@@ -319,7 +327,8 @@ def _queue_summary(queue_db: str) -> dict | None:
 
 def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
                 heartbeat_timeout: float = 120.0,
-                clock=time.time) -> CampaignStatus:
+                clock=time.time, coverage: bool = False
+                ) -> CampaignStatus:
     """Aggregate the live state of a share directory.
 
     *stale* counts claims older than *stale_claim_seconds* with no
@@ -434,6 +443,16 @@ def read_status(share_dir: str, stale_claim_seconds: float = 600.0,
             if summary is not None:
                 info.update(summary)
         status.service = info
+
+    if coverage:
+        # Lazy import: analysis pulls in the campaign package; plain
+        # status reads must not pay for (or depend on) it.
+        from ..analysis.coverage import (
+            coverage_from_share,
+            coverage_summary,
+        )
+        space = coverage_from_share(share_dir)
+        status.coverage = coverage_summary(space.as_dict())
     return status
 
 
@@ -494,6 +513,30 @@ def render_status(status: CampaignStatus) -> str:
             outliers = "  ".join(f"{name}={wall:.3f}s"
                                  for name, wall in status.slowest)
             lines.append(f"slowest     : {outliers}")
+    if status.coverage is not None:
+        space = status.coverage.get("space", {})
+        convergence = status.coverage.get("convergence", {})
+        covered = space.get("covered_sites", 0)
+        total = space.get("total")
+        if total:
+            fraction = space.get("covered_fraction") or 0.0
+            lines.append(f"coverage    : {covered}/{total} sites "
+                         f"({fraction * 100:.4g}%)")
+        else:
+            lines.append(f"coverage    : {covered} sites "
+                         f"(space size unknown)")
+        margin = convergence.get("margin", 0.0)
+        confidence = convergence.get("confidence", 0.0)
+        head = (f"confidence  : +-{margin * 100:g}% margin at "
+                f"{confidence * 100:g}%")
+        if convergence.get("margin_reached"):
+            lines.append(f"{head} reached after "
+                         f"{convergence.get('margin_reached_at')} "
+                         f"experiments")
+        else:
+            half = convergence.get("max_half_width", 1.0)
+            lines.append(f"{head} not reached "
+                         f"(max half-width +-{half * 100:.1f}%)")
     return "\n".join(lines)
 
 

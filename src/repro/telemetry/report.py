@@ -68,6 +68,9 @@ class CampaignReport:
     walls: list[tuple[float, str]] = field(default_factory=list)
     instructions_total: int = 0
     phase_totals: dict[str, float] = field(default_factory=dict)
+    # Fault-space coverage payload (repro.analysis.coverage
+    # FaultSpaceMap.as_dict()); None when the share carries no results.
+    coverage: dict | None = None
 
     def outcome_columns(self) -> list[str]:
         extra = sorted(set(self.outcomes) - set(OUTCOME_ORDER))
@@ -112,6 +115,13 @@ def load_share(share_dir: str) -> CampaignReport:
         except (OSError, ValueError):
             continue  # mid-write, exactly like read_status
         add_result(report, entry, name=name[:-len(".json")])
+    if report.experiments:
+        # Lazy import keeps telemetry importable without the analysis
+        # package loaded (and the analysis <-> campaign import order
+        # intact).  Coverage payloads are byte-deterministic, so the
+        # report stays diffable.
+        from ..analysis.coverage import coverage_from_share
+        report.coverage = coverage_from_share(share_dir).as_dict()
     return report
 
 
@@ -316,6 +326,13 @@ def render_markdown(report: CampaignReport) -> str:
         if phases:
             parts += ["", "### Wall time by campaign phase", "",
                       _md_table(*phases)]
+    if report.coverage is not None:
+        from ..analysis.coverage import coverage_report_tables
+        prose, tables = coverage_report_tables(report.coverage)
+        parts += ["", "## Fault-space coverage", ""]
+        parts += [line for line in prose]
+        for title, header, rows in tables:
+            parts += ["", f"### {title}", "", _md_table(header, rows)]
     parts.append("")
     return "\n".join(parts)
 
@@ -380,6 +397,14 @@ def render_html(report: CampaignReport) -> str:
         if phases:
             parts += ["<h3>Wall time by campaign phase</h3>",
                       _html_table(*phases)]
+    if report.coverage is not None:
+        from ..analysis.coverage import coverage_report_tables
+        prose, tables = coverage_report_tables(report.coverage)
+        parts.append("<h2>Fault-space coverage</h2>")
+        parts += [f"<p>{_html.escape(line)}</p>" for line in prose]
+        for title, header, rows in tables:
+            parts += [f"<h3>{_html.escape(title)}</h3>",
+                      _html_table(header, rows)]
     parts.append("</body></html>\n")
     return "\n".join(parts)
 

@@ -79,9 +79,16 @@ class WatchdogConfig:
     collapse_factor: float = 4.0
     # outcome-drift: the last drift_window results vs the baseline of
     # everything before them (needs drift_min_baseline of history).
+    # With at least drift_min_samples on each side the rule compares
+    # Wilson score intervals at drift_confidence and fires only when
+    # they do not overlap (early-campaign noise widens the intervals,
+    # so it cannot fire spuriously); below that sample count it falls
+    # back to the raw drift_threshold rate delta.
     drift_window: int = 20
     drift_min_baseline: int = 10
     drift_threshold: float = 0.25
+    drift_confidence: float = 0.95
+    drift_min_samples: int = 10
 
 
 @dataclass
@@ -257,12 +264,42 @@ def rule_outcome_drift(snap: ShareSnapshot,
         return []
     baseline, recent = sequence[:-window], sequence[-window:]
     outcomes = sorted(set(baseline) | set(recent))
+    # Enough samples on both sides: compare Wilson score intervals and
+    # fire only when they are disjoint — statistically significant
+    # drift, immune to early-campaign noise.  Tiny samples fall back
+    # to the raw rate-delta threshold (the intervals would span almost
+    # everything and the rule would go blind).
+    use_wilson = min(len(baseline), len(recent)) >= \
+        config.drift_min_samples
+    if use_wilson:
+        from ..campaign.sampling import proportion_confidence_interval
     alerts = []
     for outcome in outcomes:
         base_rate = baseline.count(outcome) / len(baseline)
         recent_rate = recent.count(outcome) / len(recent)
         drift = recent_rate - base_rate
-        if abs(drift) > config.drift_threshold:
+        if use_wilson:
+            base_low, base_high = proportion_confidence_interval(
+                baseline.count(outcome), len(baseline),
+                confidence=config.drift_confidence)
+            recent_low, recent_high = proportion_confidence_interval(
+                recent.count(outcome), len(recent),
+                confidence=config.drift_confidence)
+            if recent_low <= base_high and base_low <= recent_high:
+                continue  # intervals overlap: not significant
+            direction = "up" if drift > 0 else "down"
+            alerts.append(Alert(
+                rule="outcome-drift", severity="warning",
+                experiment=outcome, time=snap.now,
+                message=f"outcome {outcome} {direction} "
+                        f"{abs(drift):.0%} vs baseline "
+                        f"({base_rate:.0%} -> {recent_rate:.0%} over "
+                        f"last {window}; "
+                        f"{config.drift_confidence:.0%} Wilson "
+                        f"intervals [{base_low:.0%},{base_high:.0%}] "
+                        f"vs [{recent_low:.0%},{recent_high:.0%}] "
+                        f"disjoint)"))
+        elif abs(drift) > config.drift_threshold:
             direction = "up" if drift > 0 else "down"
             alerts.append(Alert(
                 rule="outcome-drift", severity="warning",

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -120,3 +122,55 @@ class TestOtherCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCoverageCommand:
+    """``gemfi coverage``: fault-space coverage over a campaign share."""
+
+    @pytest.fixture(scope="class")
+    def share(self, tmp_path_factory):
+        share = str(tmp_path_factory.mktemp("coverage-cli") / "share")
+        assert main(["campaign", "--workload", "dct", "--scale",
+                     "tiny", "-n", "6", "--seed", "7", "--prune",
+                     "--share-dir", share]) == 0
+        return share
+
+    def test_table_output(self, share, capsys):
+        assert main(["coverage", share]) == 0
+        out = capsys.readouterr().out
+        assert "fault sites visited" in out
+        assert "margin" in out
+        assert "# fault location" in out
+
+    def test_json_is_byte_deterministic(self, share, capsys):
+        assert main(["coverage", share, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["coverage", share, "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["accounted"]["experiments"] == 6
+        assert payload["space"]["covered_sites"] <= \
+            payload["space"]["total"]
+
+    def test_markdown_output(self, share, capsys):
+        assert main(["coverage", share, "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Fault-space coverage: share")
+        assert "Wilson intervals" in out
+
+    def test_single_dimension_and_unknown_rejected(self, share,
+                                                   capsys):
+        assert main(["coverage", share, "--dimension", "bit"]) == 0
+        assert "# bit position" in capsys.readouterr().out
+        assert main(["coverage", share,
+                     "--dimension", "nope"]) == 2
+        assert "unknown dimension" in capsys.readouterr().err
+
+    def test_output_file(self, share, tmp_path, capsys):
+        target = str(tmp_path / "coverage.md")
+        assert main(["coverage", share, "--format", "md",
+                     "--output", target]) == 0
+        assert "-> " in capsys.readouterr().err
+        with open(target, "r", encoding="utf-8") as handle:
+            assert "Fault-space coverage" in handle.read()

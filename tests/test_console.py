@@ -103,6 +103,20 @@ class TestConsolePages:
         assert status == 404
         assert "no such job" in json.loads(body)["error"]
 
+    def test_coverage_page_empty_state(self, ui_service):
+        """No dispatched jobs yet: the coverage page still renders,
+        with an empty island instead of a 404."""
+        status, _, body = _get(ui_service, "/ui/coverage")
+        assert status == 200
+        payload = _island(body)
+        assert payload["job"] is None
+        assert payload["jobs"] == []
+        assert payload["coverage"] is None
+
+    def test_nav_links_the_coverage_page(self, ui_service):
+        _, _, body = _get(ui_service, "/ui")
+        assert 'href="/ui/coverage"' in body.decode("utf-8")
+
     def test_metrics_page_charts_recorded_series(self, ui_service):
         ui_service.recorder.sample_once()
         status, _, body = _get(ui_service, "/ui/metrics")
@@ -350,6 +364,52 @@ class TestConsoleEndToEnd:
         assert f"/ui/jobs/{done_job['id']}/timeline" \
             in body.decode("utf-8")
         assert _island(body)["job"]["state"] == "done"
+
+    def test_coverage_endpoint_returns_full_payload(self, service,
+                                                    done_job):
+        status, _, body = _get(
+            service, f"/v1/jobs/{done_job['id']}/coverage")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["job"] == done_job["id"]
+        coverage = payload["coverage"]
+        assert coverage["accounted"]["experiments"] == 2
+        assert coverage["space"]["covered_sites"] <= \
+            coverage["space"]["total"]
+        assert set(coverage["heatmaps"]) == {
+            "location", "bit", "time_decile", "register", "pc_region"}
+
+    def test_coverage_page_renders_svg_heatmaps(self, service,
+                                                done_job):
+        status, _, body = _get(service, "/ui/coverage")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "<svg " in text
+        assert f"/v1/jobs/{done_job['id']}/coverage" in text
+        payload = _island(body)
+        assert payload["job"] == done_job["id"]
+        assert payload["coverage"]["accounted"]["experiments"] == 2
+
+    def test_coverage_page_unknown_job_is_404(self, service,
+                                              done_job):
+        status, _, _ = _get(service, "/ui/coverage?job=job-missing")
+        assert status == 404
+
+    def test_coverage_gauges_reach_history_and_metrics(self, service,
+                                                       done_job):
+        service.recorder.sample_once()
+        client = ServiceClient(service.url)
+        try:
+            payload = client.history(prefix="coverage.")
+        finally:
+            client.close()
+        key = f'coverage.covered_sites{{job="{done_job["id"]}"}}'
+        assert key in payload["history"]
+        assert payload["history"][key][-1][1] > 0
+        status, _, body = _get(service, "/metrics")
+        text = body.decode("utf-8")
+        assert "coverage_covered_sites" in text
+        assert "# HELP coverage_covered_sites" in text
 
     def test_usage_kips_gauge_reaches_history(self, service,
                                               done_job):

@@ -420,6 +420,25 @@ class TestServiceApi:
             client.fetch("0" * 64)
         assert err.value.status == 404
 
+    def test_coverage_before_share_is_404(self, api_service):
+        """A queued job has no campaign share yet — coverage is 404,
+        exactly like status/timeline on an undispatched job."""
+        client = ServiceClient(api_service.url)
+        job = client.submit({"workload": "pi"})
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", f"/v1/jobs/{job['id']}/coverage")
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 404
+            assert "no campaign share" in json.loads(body)["error"]
+            conn.request("GET", "/v1/jobs/job-missing/coverage")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+        finally:
+            conn.close()
+
     def test_events_stream_ends_on_terminal_job(self, api_service):
         client = ServiceClient(api_service.url)
         job = client.submit({"workload": "pi"})

@@ -686,3 +686,53 @@ class TestZeroOverheadServicePlane:
             "checkpoint.bin", "claimed", "claims", "golden.pkl",
             "heartbeats", "manifests", "results", "todo",
             "workload.json"]
+
+
+class TestOutcomeDriftWilson:
+    """The outcome-drift rule compares Wilson score intervals when both
+    sides carry enough samples, falling back to the raw rate delta for
+    tiny windows."""
+
+    @staticmethod
+    def _snap(outcomes):
+        from repro.telemetry.campaign import CampaignStatus
+        from repro.telemetry.watchdog import ShareSnapshot
+        return ShareSnapshot(now=1000.0, status=CampaignStatus(),
+                             outcome_sequence=list(outcomes))
+
+    def test_overlapping_intervals_suppress_raw_threshold_drift(self):
+        # 12/30 sdc baseline vs 14/20 recent: raw drift 30% exceeds
+        # the 25% threshold, but the 95% intervals overlap
+        # ([25%,58%] vs [48%,85%]) — not statistically significant.
+        from repro.telemetry.watchdog import rule_outcome_drift
+        sequence = (["sdc"] * 12 + ["masked"] * 18 +
+                    ["sdc"] * 14 + ["masked"] * 6)
+        alerts = rule_outcome_drift(self._snap(sequence),
+                                    WatchdogConfig())
+        assert alerts == []
+
+    def test_disjoint_intervals_fire_and_cite_wilson(self):
+        from repro.telemetry.watchdog import rule_outcome_drift
+        sequence = ["masked"] * 30 + ["sdc"] * 20
+        alerts = rule_outcome_drift(self._snap(sequence),
+                                    WatchdogConfig())
+        assert {a.experiment for a in alerts} == {"masked", "sdc"}
+        assert all("Wilson" in a.message and "disjoint" in a.message
+                   for a in alerts)
+
+    def test_tiny_samples_fall_back_to_raw_threshold(self):
+        # Raising drift_min_samples past the window size forces the
+        # legacy branch: same drift fires, message cites no intervals.
+        from repro.telemetry.watchdog import rule_outcome_drift
+        sequence = ["masked"] * 30 + ["sdc"] * 20
+        config = WatchdogConfig(drift_min_samples=50)
+        alerts = rule_outcome_drift(self._snap(sequence), config)
+        assert {a.experiment for a in alerts} == {"masked", "sdc"}
+        assert all("Wilson" not in a.message for a in alerts)
+
+    def test_small_drift_still_quiet_under_fallback(self):
+        from repro.telemetry.watchdog import rule_outcome_drift
+        sequence = (["sdc"] * 6 + ["masked"] * 24 +
+                    ["sdc"] * 5 + ["masked"] * 15)  # 20% -> 25%
+        config = WatchdogConfig(drift_min_samples=50)
+        assert rule_outcome_drift(self._snap(sequence), config) == []

@@ -375,6 +375,45 @@ class TestCampaignObservability:
         assert status.eta_seconds is None
         assert status.elapsed_seconds == 60.0
 
+    def test_zero_completed_first_frame_reports_no_rate_or_eta(
+            self, tmp_path):
+        """The very first status frame of a campaign — work published,
+        nothing completed yet — must report rate 0 and ETA unknown,
+        not divide by zero or extrapolate from an empty span."""
+        now = 1000.0
+        os.makedirs(tmp_path / "todo")
+        for index in range(4):
+            (tmp_path / "todo" / f"exp_{index:04d}.txt").write_text("x")
+        status = read_status(str(tmp_path), clock=lambda: now)
+        assert status.completed == 0
+        assert status.total == 4
+        assert status.rate_per_second == 0.0
+        assert status.eta_seconds is None
+        text = render_status(status)
+        assert "0/4 completed" in text
+        assert "eta" not in text
+
+    def test_status_coverage_frame_is_opt_in(self, tmp_path):
+        """read_status(coverage=True) attaches the heatmap-free
+        coverage summary; the default frame (and its dict) stays
+        byte-identical to the pre-coverage tool."""
+        os.makedirs(tmp_path / "results")
+        (tmp_path / "results" / "exp_0000.json").write_text(
+            json.dumps({"outcome": "sdc", "fault_file": REG_FAULT,
+                        "time_fraction": 0.5, "injected": True}))
+        plain = read_status(str(tmp_path), clock=lambda: 1000.0)
+        assert plain.coverage is None
+        assert "coverage" not in plain.as_dict()
+        status = read_status(str(tmp_path), clock=lambda: 1000.0,
+                             coverage=True)
+        assert status.coverage is not None
+        assert status.coverage["accounted"]["experiments"] == 1
+        assert "heatmaps" not in status.coverage
+        assert "coverage" in status.as_dict()
+        text = render_status(status)
+        assert "coverage" in text
+        assert "margin" in text
+
     def test_drained_queue_eta_zero_even_without_rate(self, tmp_path):
         for sub in ("results", "claims"):
             os.makedirs(tmp_path / sub)
