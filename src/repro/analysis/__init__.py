@@ -55,7 +55,23 @@ from .coverage import (
     render_heatmap_table,
 )
 
+# .diff builds on .coverage (heatmap rollups) and campaign.sampling
+# (Wilson/Kish machinery) — same ordering caveat as above.
+from .diff import (
+    CampaignDiff,
+    CampaignSummary,
+    compare_gauges,
+    newcombe_interval,
+    proportions_differ,
+    render_diff_markdown,
+    render_diff_svg,
+    render_diff_text,
+)
+
 __all__ = [
+    "CampaignDiff", "CampaignSummary", "compare_gauges",
+    "newcombe_interval", "proportions_differ",
+    "render_diff_markdown", "render_diff_svg", "render_diff_text",
     "ConvergenceTracker", "CoverageCell", "FaultSpaceMap",
     "coverage_from_share", "coverage_gauges", "coverage_summary",
     "render_coverage_markdown", "render_coverage_svg",

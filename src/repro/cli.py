@@ -460,11 +460,49 @@ def cmd_pipeview(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_summary(ref: str, url: str | None = None,
+                  tenant: str = "default"):
+    """Resolve a `gemfi compare` operand — a share directory, a
+    summary/diff JSON file, or (with *url*) a job id / baseline name
+    on a running service — into a CampaignSummary."""
+    import json
+    import os
+
+    from .analysis.diff import CampaignSummary
+    if os.path.isdir(ref):
+        return CampaignSummary.from_share(ref)
+    if os.path.isfile(ref):
+        with open(ref, "r", encoding="utf-8") as handle:
+            return CampaignSummary.from_payload(json.load(handle))
+    if url:
+        from .service import ServiceClient
+        client = ServiceClient(url, tenant=tenant)
+        try:
+            return CampaignSummary.from_payload(client.summary(ref))
+        finally:
+            client.close()
+    raise ValueError(
+        f"{ref!r} is neither a share directory nor a summary JSON "
+        f"file (pass --url to resolve job ids / baseline names)")
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Aggregate a campaign share directory into an outcome report."""
     from .telemetry import load_share, render_report
     report = load_share(args.share_dir)
-    text = render_report(report, fmt=args.format)
+    baseline = None
+    if args.baseline:
+        from .analysis.diff import CampaignDiff, CampaignSummary
+        from .service import ServiceError
+        try:
+            base = _load_summary(args.baseline, url=args.url,
+                                 tenant=args.tenant)
+        except (ServiceError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        head = CampaignSummary.from_share(args.share_dir)
+        baseline = CampaignDiff(base, head).payload
+    text = render_report(report, fmt=args.format, baseline=baseline)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -515,6 +553,83 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Differential campaign analytics: significance-tested outcome
+    deltas between two campaigns (share dirs, summary JSON files, or
+    --url + job ids / baseline names), with --gate exiting nonzero on
+    a significant regression — the outcome-distribution analogue of
+    the CI KIPS gate."""
+    import json
+
+    from .analysis.diff import (
+        CampaignDiff,
+        render_diff_markdown,
+        render_diff_text,
+    )
+    from .service import ServiceError
+    try:
+        base = _load_summary(args.base, url=args.url,
+                             tenant=args.tenant)
+        head = _load_summary(args.head, url=args.url,
+                             tenant=args.tenant)
+        diff = CampaignDiff(base, head, confidence=args.confidence,
+                            margin=args.margin)
+    except (ServiceError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = diff.payload
+    if args.format == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    elif args.format == "md":
+        text = render_diff_markdown(payload)
+    else:
+        text = render_diff_text(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# verdict: {diff.verdict} -> {args.output}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    if args.gate and diff.regressed:
+        print(f"# gate: outcome distribution regressed "
+              f"(margin ±{args.margin * 100:g}%, "
+              f"{args.confidence * 100:g}% confidence)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    """Integrity-sweep a service content store: recompute every
+    object's digest and list corrupt/orphaned entries, exiting
+    nonzero when anything is wrong."""
+    import json
+    import os
+
+    from .service.store import ContentStore
+    root = args.data_dir
+    if os.path.isdir(os.path.join(root, "store", "objects")):
+        root = os.path.join(root, "store")  # service data dir
+    elif not os.path.isdir(os.path.join(root, "objects")):
+        print(f"error: {args.data_dir!r} has no content store "
+              f"(expected store/objects/ or objects/)",
+              file=sys.stderr)
+        return 2
+    report = ContentStore(root).verify_all()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"# {report['checked']} objects checked: "
+              f"{len(report['corrupt'])} corrupt, "
+              f"{len(report['orphaned'])} orphaned")
+        for digest in report["corrupt"]:
+            print(f"corrupt  {digest}")
+        for path in report["orphaned"]:
+            print(f"orphaned {path}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -1054,7 +1169,69 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("md", "html"))
     report_p.add_argument("--output", "-o", default=None,
                           help="write here instead of stdout")
+    report_p.add_argument("--baseline", default=None,
+                          help="append a 'vs baseline' diff section: "
+                               "a share dir, summary JSON file, or "
+                               "(with --url) a job id / baseline name")
+    report_p.add_argument("--url", default=None,
+                          help="campaign service URL for resolving "
+                               "--baseline job ids / baseline names")
+    report_p.add_argument("--tenant", default="default")
     report_p.set_defaults(func=cmd_report)
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="differential campaign analytics: significance-tested "
+             "outcome deltas between two campaigns, with an optional "
+             "regression gate")
+    cmp_p.add_argument("base",
+                       help="baseline campaign: share dir, summary "
+                            "JSON file, or (with --url) a job id / "
+                            "baseline name")
+    cmp_p.add_argument("head",
+                       help="head campaign (same forms as base)")
+    cmp_p.add_argument("--url", default=None,
+                       help="campaign service URL for resolving job "
+                            "ids / baseline names")
+    cmp_p.add_argument("--tenant", default="default")
+    cmp_p.add_argument("--format", default="table",
+                       choices=("table", "md", "json"),
+                       help="aligned delta tables (default), "
+                            "Markdown, or the raw JSON payload")
+    cmp_p.add_argument("--json", dest="format", action="store_const",
+                       const="json",
+                       help="shorthand for --format json")
+    cmp_p.add_argument("--md", dest="format", action="store_const",
+                       const="md",
+                       help="shorthand for --format md")
+    cmp_p.add_argument("--confidence", type=float, default=0.95,
+                       help="Newcombe interval confidence level for "
+                            "per-class deltas (default 0.95)")
+    cmp_p.add_argument("--margin", type=float, default=0.02,
+                       help="minimum absolute rate delta to call a "
+                            "class changed (default 0.02 = +-2%%)")
+    cmp_p.add_argument("--output", "-o", default=None,
+                       help="write here instead of stdout")
+    cmp_p.add_argument("--gate", action="store_true",
+                       help="exit 1 when the overall verdict is "
+                            "'regressed' (CI regression gate)")
+    cmp_p.set_defaults(func=cmd_compare)
+
+    store_p = sub.add_parser(
+        "store",
+        help="campaign-service content store maintenance")
+    store_sub = store_p.add_subparsers(dest="store_command",
+                                       required=True)
+    verify_p = store_sub.add_parser(
+        "verify",
+        help="recompute every stored object's digest; exit 1 on "
+             "corrupt or orphaned entries")
+    verify_p.add_argument("--data-dir", required=True,
+                          help="service data dir (or the store root "
+                               "itself)")
+    verify_p.add_argument("--json", action="store_true",
+                          help="emit the raw verification report")
+    verify_p.set_defaults(func=cmd_store_verify)
 
     cov_p = sub.add_parser(
         "coverage",

@@ -15,10 +15,17 @@ content store::
     GET    /v1/jobs/{id}/results     canonical result set (JSON)
     GET    /v1/jobs/{id}/dashboard   one rendered watchdog frame (for
                                      ``gemfi dashboard --url``)
+    GET    /v1/jobs/{id}/summary    archived (or rebuilt) campaign
+                                     summary digest
     GET    /v1/blobs/{digest}        any stored artifact by digest
     GET    /v1/store/stats           content-store object/byte counts
     GET    /v1/usage[?tenant=]       persisted per-tenant metering
     GET    /v1/history               bounded metrics time series
+    GET    /v1/archive[?tenant=]     archived campaign summaries index
+    GET    /v1/baselines             named baselines
+    POST   /v1/baselines             tag an archived job as a baseline
+    GET    /v1/compare?base=&head=   significance-tested campaign diff
+                                     (operands: job ids or baselines)
     GET    /metrics                  OpenMetrics exposition
     GET    /ui/...                   the embedded web console (opt-in)
 
@@ -79,6 +86,36 @@ def _jsonl(obj) -> bytes:
             + "\n").encode("utf-8")
 
 
+def _query_int(request: Request, name: str,
+               default: int | None = None) -> int | None:
+    """An integer query parameter, or a clean 400 (never an unhandled
+    500) on garbage input."""
+    raw = request.query.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise HTTPError(
+            400, f"{name} must be an integer, got {raw!r}") from None
+
+
+def _query_float(request: Request, name: str,
+                 default: float | None = None) -> float | None:
+    """A finite float query parameter, or a clean 400."""
+    raw = request.query.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise HTTPError(
+            400, f"{name} must be a number, got {raw!r}") from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise HTTPError(400, f"{name} must be finite, got {raw!r}")
+    return value
+
+
 class ServiceApp:
     """Endpoint handlers over a queue + store pair."""
 
@@ -99,6 +136,9 @@ class ServiceApp:
         # share-signature cache for the coverage.* gauges: job id ->
         # ((result count, newest mtime), gauges).
         self._coverage_cache: dict[str, tuple[tuple, dict]] = {}
+        # compare.* gauges mirror the most recent /v1/compare (or
+        # console compare) computed on this service: (gauges, labels).
+        self._compare_gauges: tuple[dict, dict] | None = None
         self.router = Router()
         add = self.router.add
         add("GET", "/v1/healthz", self.healthz)
@@ -112,10 +152,15 @@ class ServiceApp:
         add("GET", "/v1/jobs/{id}/results", self.job_results)
         add("GET", "/v1/jobs/{id}/dashboard", self.job_dashboard)
         add("GET", "/v1/jobs/{id}/coverage", self.job_coverage)
+        add("GET", "/v1/jobs/{id}/summary", self.job_summary)
         add("GET", "/v1/blobs/{digest}", self.blob)
         add("GET", "/v1/store/stats", self.store_stats)
         add("GET", "/v1/usage", self.usage)
         add("GET", "/v1/history", self.history_series)
+        add("GET", "/v1/archive", self.archive_index)
+        add("GET", "/v1/baselines", self.baselines_index)
+        add("POST", "/v1/baselines", self.tag_baseline)
+        add("GET", "/v1/compare", self.compare)
         add("GET", "/metrics", self.metrics)
         self.console = None
         if ui:
@@ -206,11 +251,8 @@ class ServiceApp:
 
     async def job_events(self, request: Request) -> Response:
         job = self._job(request)
-        try:
-            poll = max(0.05, float(request.query.get("poll", "0.5")))
-            limit = int(request.query.get("max", "0"))
-        except ValueError:
-            raise HTTPError(400, "poll/max must be numbers") from None
+        poll = max(0.05, _query_float(request, "poll", 0.5))
+        limit = _query_int(request, "max", 0)
         queue = self.queue
         config = self.watchdog_config
         clock = self._clock
@@ -318,6 +360,107 @@ class ServiceApp:
         payload = coverage_from_share(share).as_dict()
         return Response.json({"job": job.id, "coverage": payload})
 
+    # -- campaign archive + differential analytics ----------------------------
+
+    def _summary_payload(self, ref: str) -> dict:
+        """Resolve *ref* (a job id or baseline name) to a campaign
+        summary payload: the archived row when present, else rebuilt
+        from the job's share or its stored canonical results."""
+        job_id = self.queue.resolve_baseline(ref) or ref
+        payload = self.queue.archived_summary(job_id)
+        if payload is not None:
+            return payload
+        try:
+            job = self.queue.get(job_id)
+        except UnknownJobError:
+            raise HTTPError(
+                404, f"no archived campaign, baseline or job: {ref}"
+            ) from None
+        from ..analysis.diff import CampaignSummary
+        share = self._share(job)
+        if share is not None:
+            return CampaignSummary.from_share(share,
+                                              name=job.id).payload
+        if job.result_digest and self.store.has(job.result_digest):
+            results = json.loads(
+                self.store.get(job.result_digest).decode("utf-8"))
+            return CampaignSummary.from_results(
+                results, name=job.id,
+                spec=job.spec.as_dict()).payload
+        raise HTTPError(404,
+                        f"no summary available for job {job_id} yet")
+
+    async def job_summary(self, request: Request) -> Response:
+        # The ref may be a baseline name, so resolve it the same way
+        # /v1/compare does instead of requiring a literal job id.
+        ref = request.params["id"]
+        summary = self._summary_payload(ref)
+        job_id = self.queue.resolve_baseline(ref) or ref
+        return Response.json({"job": job_id, "summary": summary})
+
+    async def archive_index(self, request: Request) -> Response:
+        rows = self.queue.list_archive(
+            tenant=request.query.get("tenant"))
+        limit = _query_int(request, "limit", 0)
+        if limit:
+            rows = rows[-limit:]
+        return Response.json({"archive": rows,
+                              "baselines": self.queue.baselines()})
+
+    async def baselines_index(self, request: Request) -> Response:
+        return Response.json({"baselines": self.queue.baselines()})
+
+    async def tag_baseline(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "baseline tagging must be a JSON "
+                                 "object")
+        name = payload.get("name")
+        job_id = payload.get("job")
+        if not isinstance(name, str) or not name:
+            raise HTTPError(400, "baseline needs a non-empty name")
+        if not isinstance(job_id, str) or not job_id:
+            raise HTTPError(400, "baseline needs a job id")
+        try:
+            self.queue.tag_baseline(name, job_id)
+        except UnknownJobError:
+            raise HTTPError(404, f"no such job: {job_id}") from None
+        except ValueError as exc:
+            raise HTTPError(409, str(exc)) from None
+        return Response.json(
+            {"baseline": {"name": name, "job": job_id}}, status=201)
+
+    def compare_payload(self, base: str, head: str,
+                        confidence: float, margin: float) -> dict:
+        """One code path for `/v1/compare` and the console's compare
+        page, so both always show exactly the same numbers.  Also
+        refreshes the ``compare.*`` gauges with this diff."""
+        from ..analysis.diff import (CampaignDiff, CampaignSummary,
+                                     compare_gauges)
+        try:
+            diff = CampaignDiff(
+                CampaignSummary.from_payload(
+                    self._summary_payload(base)),
+                CampaignSummary.from_payload(
+                    self._summary_payload(head)),
+                confidence=confidence, margin=margin)
+        except ValueError as exc:
+            raise HTTPError(400, str(exc)) from None
+        self._compare_gauges = (compare_gauges(diff.payload),
+                                {"base": base, "head": head})
+        return diff.payload
+
+    async def compare(self, request: Request) -> Response:
+        base = request.query.get("base")
+        head = request.query.get("head")
+        if not base or not head:
+            raise HTTPError(400, "compare needs base= and head= "
+                                 "(job ids or baseline names)")
+        confidence = _query_float(request, "confidence", 0.95)
+        margin = _query_float(request, "margin", 0.02)
+        return Response.json({"compare": self.compare_payload(
+            base, head, confidence, margin)})
+
     async def store_stats(self, request: Request) -> Response:
         return Response.json(self.store.stats())
 
@@ -334,13 +477,8 @@ class ServiceApp:
         if self.history is None:
             raise HTTPError(404, "metrics history is not enabled on "
                                  "this service")
-        try:
-            since = float(request.query["since"]) \
-                if "since" in request.query else None
-            limit = int(request.query.get("limit", "0")) or None
-        except ValueError:
-            raise HTTPError(400, "since/limit must be numbers") \
-                from None
+        since = _query_float(request, "since")
+        limit = _query_int(request, "limit", 0) or None
         series = self.history.series(
             prefix=request.query.get("prefix") or None,
             since=since, limit=limit)
@@ -408,17 +546,25 @@ class ServiceApp:
         observer = self.observer
         registry = observer.registry
         coverage_sets = self._coverage_gauge_sets()
+        compare_state = self._compare_gauges
         with observer._lock:
             for prefix in ("queue.depth", "queue.tenant_active",
                            "queue.tenant_quota", "store.objects",
                            "store.bytes", "usage.jobs",
                            "usage.experiments", "usage.instructions",
                            "usage.wall_seconds", "usage.kips",
-                           "coverage"):
+                           "coverage", "compare"):
                 registry.prune(prefix)
         for job_id, gauges in coverage_sets:
             for name, value in sorted(gauges.items()):
                 observer.set_gauge(name, value, job=job_id)
+        if compare_state is not None:
+            # The most recent diff computed on this service; labelled
+            # with its operands, so /v1/history keeps distinct series
+            # per comparison pair.
+            gauges, labels = compare_state
+            for name, value in sorted(gauges.items()):
+                observer.set_gauge(name, value, **labels)
         observer.set_gauge("queue.depth", self.queue.depth())
         for tenant, states in sorted(self.queue.tenant_counts().items()):
             active = states.get("queued", 0) + states.get("leased", 0)

@@ -198,6 +198,38 @@ class ServiceClient:
             query["limit"] = limit
         return self._json("GET", "/v1/history", query=query or None)
 
+    def summary(self, ref: str) -> dict:
+        """A job's archived (or rebuilt) campaign summary payload."""
+        return self._json("GET",
+                          f"/v1/jobs/{ref}/summary")["summary"]
+
+    def archive(self, tenant: str | None = None) -> dict:
+        """``{"archive": [...], "baselines": {...}}`` — the archived
+        campaign index."""
+        query = {"tenant": tenant} if tenant else None
+        return self._json("GET", "/v1/archive", query=query)
+
+    def baselines(self) -> dict:
+        return self._json("GET", "/v1/baselines")["baselines"]
+
+    def tag_baseline(self, name: str, job_id: str) -> dict:
+        return self._json("POST", "/v1/baselines",
+                          body={"name": name,
+                                "job": job_id})["baseline"]
+
+    def compare(self, base: str, head: str,
+                confidence: float | None = None,
+                margin: float | None = None) -> dict:
+        """Server-side campaign diff: *base*/*head* are job ids or
+        baseline names; returns the ``repro.analysis.diff`` payload."""
+        query: dict = {"base": base, "head": head}
+        if confidence is not None:
+            query["confidence"] = confidence
+        if margin is not None:
+            query["margin"] = margin
+        return self._json("GET", "/v1/compare",
+                          query=query)["compare"]
+
     def metrics_text(self) -> str:
         """The raw OpenMetrics exposition from ``GET /metrics``."""
         status, data = self._request("GET", "/metrics")

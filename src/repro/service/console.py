@@ -22,7 +22,11 @@ it never grows a second data plane:
 * ``/ui/jobs/{id}/timeline`` — the Perfetto trace-event JSON rendered
   server-side as an SVG lane view plus the request-rooted span tree;
 * ``/ui/alerts`` — the merged watchdog journal across every job share;
-* ``/ui/jobs/{id}/report`` — the outcome report, inlined.
+* ``/ui/jobs/{id}/report`` — the outcome report, inlined;
+* ``/ui/compare`` — differential analytics: two job pickers,
+  side-by-side outcome bars and delta heatmaps over the same
+  ``compare_payload`` code path as ``GET /v1/compare``, so the page
+  and the API can never disagree.
 
 Every page embeds its initial payload as a JSON island
 (``<script type="application/json" id="gemfi-data">``), so pages are
@@ -51,7 +55,8 @@ DEFAULT_CHART_PREFIXES = (
     "usage.kips", "queue.depth", "http.requests_in_flight",
     "http.request_duration_seconds", "queue.jobs_finished",
     "jobs.executed", "coverage.max_half_width",
-    "coverage.covered_fraction",
+    "coverage.covered_fraction", "compare.verdict",
+    "compare.max_abs_delta",
 )
 
 _CSS = """
@@ -102,6 +107,7 @@ def _nav() -> str:
             '<a href="/ui">jobs</a>'
             '<a href="/ui/metrics">metrics</a>'
             '<a href="/ui/coverage">coverage</a>'
+            '<a href="/ui/compare">compare</a>'
             '<a href="/ui/alerts">alerts</a>'
             '<span class="muted"><a href="/metrics">/metrics</a> · '
             '<a href="/v1/healthz">healthz</a></span>'
@@ -305,6 +311,7 @@ class Console:
         add("GET", "/ui", self.index)
         add("GET", "/ui/metrics", self.metrics_page)
         add("GET", "/ui/coverage", self.coverage_page)
+        add("GET", "/ui/compare", self.compare_page)
         add("GET", "/ui/alerts", self.alerts_page)
         add("GET", "/ui/jobs/{id}", self.job_page)
         add("GET", "/ui/jobs/{id}/timeline", self.timeline_page)
@@ -482,6 +489,81 @@ class Console:
             f"cells carry Wilson intervals (hover a box)</p>"
             + charts)
         return _page("coverage", body, payload)
+
+    async def compare_page(self, request: Request) -> Response:
+        """Differential analytics: pick a base and head campaign
+        (``?base=&head=`` — job ids or baseline names; default is the
+        two newest comparable jobs), rendered as side-by-side outcome
+        bars and per-dimension delta heatmaps.  The numbers come from
+        :meth:`~repro.service.api.ServiceApp.compare_payload` — the
+        exact code path behind ``GET /v1/compare``."""
+        from ..analysis.diff import (
+            DIMENSIONS,
+            render_diff_bars,
+            render_diff_svg,
+        )
+        candidates = [row["job"] for row
+                      in self.app.queue.list_archive()]
+        for job_id in self._shares():
+            if job_id not in candidates:
+                candidates.append(job_id)
+        baselines = self.app.queue.baselines()
+        base = request.query.get("base")
+        head = request.query.get("head")
+        if not head and candidates:
+            head = candidates[-1]
+        if not base and len(candidates) >= 2:
+            base = candidates[-2]
+        elif not base:
+            base = head
+        payload = {"base": base, "head": head, "jobs": candidates,
+                   "baselines": baselines, "compare": None}
+        if base is None or head is None:
+            body = ("<h1>Campaign compare</h1>"
+                    '<p class="muted">nothing to compare yet — '
+                    "finish two jobs (or one, for a self-compare) "
+                    "and pick them here.</p>")
+            return _page("compare", body, payload)
+        diff = self.app.compare_payload(base, head, 0.95, 0.02)
+        payload["compare"] = diff
+        verdicts = [row["verdict"]
+                    for row in diff["outcomes"].values()]
+
+        def _picker(param: str, chosen: str) -> str:
+            other = {"base": head, "head": base}[param]
+            names = candidates + sorted(set(baselines)
+                                        - set(candidates))
+            links = []
+            for name in names:
+                if name == chosen:
+                    links.append(f"<b>{_esc(name)}</b>")
+                    continue
+                query = {"base": f"base={_esc(name)}&head={_esc(other)}",
+                         "head": f"base={_esc(other)}&head={_esc(name)}"}
+                links.append(f'<a href="/ui/compare?{query[param]}">'
+                             f"{_esc(name)}</a>")
+            return " ".join(links)
+
+        charts = "".join(
+            f'<div class="chart">{render_diff_svg(diff, dimension)}'
+            f"</div>"
+            for dimension in DIMENSIONS
+            if diff["heatmaps"][dimension]["cells"])
+        body = (
+            f"<h1>Campaign compare {_badge(diff['verdict'])}</h1>"
+            f'<p class="muted">base: {_picker("base", base)}</p>'
+            f'<p class="muted">head: {_picker("head", head)}</p>'
+            f"<p>{verdicts.count('regressed')} regressed, "
+            f"{verdicts.count('improved')} improved, "
+            f"{verdicts.count('unchanged')} unchanged at "
+            f"{diff['config']['confidence'] * 100:g}% confidence, "
+            f"margin ±{diff['config']['margin'] * 100:g}% · "
+            f'<a href="/v1/compare?base={_esc(base)}&amp;'
+            f'head={_esc(head)}">JSON</a> · boxes carry Newcombe '
+            f"intervals (hover)</p>"
+            f'<div class="chart">{render_diff_bars(diff)}</div>'
+            + charts)
+        return _page("compare", body, payload)
 
     async def alerts_page(self, request: Request) -> Response:
         live = request.query.get("live", "1") != "0"

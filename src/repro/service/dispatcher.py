@@ -180,6 +180,7 @@ class Dispatcher:
         result_digest = self.store.put_bytes(
             canonical_json_bytes(canonical_results(results)))
         report_digest = self._store_report(share_dir)
+        self._archive_summary(job, share_dir)
         self._phase_done("report", phase_started)
         return {"result_digest": result_digest,
                 "report_digest": report_digest,
@@ -264,6 +265,20 @@ class Dispatcher:
                        "queue_db": os.path.abspath(self.queue.path)},
                       handle)
         os.replace(tmp, path)
+
+    def _archive_summary(self, job: Job, share_dir: str) -> None:
+        """Digest the finished campaign into the queue's archive (and
+        the content store), keyed by job id — `gemfi compare` and
+        `/v1/compare` then work long after the share is gone."""
+        try:
+            from ..analysis.diff import CampaignSummary
+            summary = CampaignSummary.from_share(share_dir,
+                                                 name=job.id)
+            digest = self.store.put_bytes(summary.canonical_bytes())
+            self.queue.archive_summary(job.id, summary.payload,
+                                       digest)
+        except Exception:
+            pass  # archival must never fail the job
 
     def _store_report(self, share_dir: str) -> str | None:
         from ..telemetry.report import load_share, render_report

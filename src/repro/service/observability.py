@@ -101,6 +101,21 @@ HELP_TEXTS = {
                                "is inside the campaign margin.",
     "coverage_margin_reached_at": "Experiment count at which the "
                                   "margin was first reached, by job.",
+    "queue_archived": "Campaign summaries archived on job "
+                      "completion, by tenant.",
+    "queue_baselines_tagged": "Baseline tags created or moved.",
+    "compare_verdict": "Latest campaign-diff verdict on this service "
+                       "(0 unchanged, 1 improved, 2 regressed), by "
+                       "base/head.",
+    "compare_classes_regressed": "Outcome classes judged regressed "
+                                 "in the latest diff.",
+    "compare_classes_improved": "Outcome classes judged improved in "
+                                "the latest diff.",
+    "compare_classes_unchanged": "Outcome classes with no "
+                                 "significant shift in the latest "
+                                 "diff.",
+    "compare_max_abs_delta": "Largest absolute outcome-rate delta in "
+                             "the latest diff.",
 }
 
 

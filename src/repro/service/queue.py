@@ -66,6 +66,20 @@ CREATE TABLE IF NOT EXISTS usage (
     instructions INTEGER NOT NULL DEFAULT 0,
     wall_seconds REAL NOT NULL DEFAULT 0.0
 );
+CREATE TABLE IF NOT EXISTS archive (
+    job_id          TEXT PRIMARY KEY,
+    tenant          TEXT NOT NULL,
+    spec_digest     TEXT NOT NULL,
+    summary_digest  TEXT NOT NULL,
+    summary         TEXT NOT NULL,
+    archived        REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS archive_tenant ON archive (tenant);
+CREATE TABLE IF NOT EXISTS baselines (
+    name    TEXT PRIMARY KEY,
+    job_id  TEXT NOT NULL,
+    tagged  REAL NOT NULL
+);
 """
 
 USAGE_FIELDS = ("jobs", "experiments", "instructions", "wall_seconds")
@@ -400,6 +414,94 @@ class JobQueue:
             "instructions": row["instructions"],
             "wall_seconds": round(row["wall_seconds"], 6),
         } for row in rows}
+
+    # -- campaign archive -----------------------------------------------------
+
+    def archive_summary(self, job_id: str, summary: dict,
+                        summary_digest: str) -> None:
+        """Persist a job's campaign summary (``repro.analysis.diff``
+        payload) next to the jobs it digests, keyed by job id —
+        differential analytics then need neither the share directory
+        nor the stored results.  Idempotent: re-archiving replaces."""
+        job = self.get(job_id)  # raises UnknownJobError
+        with closing(self._connect()) as conn:
+            conn.execute(
+                "INSERT INTO archive (job_id, tenant, spec_digest, "
+                "summary_digest, summary, archived) "
+                "VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(job_id) DO UPDATE SET "
+                "summary_digest = excluded.summary_digest, "
+                "summary = excluded.summary, "
+                "archived = excluded.archived",
+                (job_id, job.tenant, job.spec.digest(),
+                 summary_digest,
+                 json.dumps(summary, sort_keys=True),
+                 self._clock()))
+            conn.commit()
+        if self.observer is not None:
+            self.observer.inc("queue.archived", tenant=job.tenant)
+
+    def archived_summary(self, job_id: str) -> dict | None:
+        """The archived summary payload for *job_id*, or None."""
+        with closing(self._connect()) as conn:
+            row = conn.execute(
+                "SELECT summary FROM archive WHERE job_id = ?",
+                (job_id,)).fetchone()
+        return json.loads(row["summary"]) if row is not None else None
+
+    def list_archive(self, tenant: str | None = None) -> list[dict]:
+        """Archived campaigns, oldest first, without the summary
+        bodies (fetch those per job via :meth:`archived_summary`)."""
+        query = ("SELECT job_id, tenant, spec_digest, summary_digest "
+                 "FROM archive")
+        params: tuple = ()
+        if tenant is not None:
+            query += " WHERE tenant = ?"
+            params = (tenant,)
+        query += " ORDER BY archived ASC, job_id ASC"
+        baselines = {job_id: name for name, job_id
+                     in self.baselines().items()}
+        with closing(self._connect()) as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [{"job": row["job_id"], "tenant": row["tenant"],
+                 "spec_digest": row["spec_digest"],
+                 "summary_digest": row["summary_digest"],
+                 "baseline": baselines.get(row["job_id"])}
+                for row in rows]
+
+    def tag_baseline(self, name: str, job_id: str) -> None:
+        """Name an archived campaign as a comparison baseline.
+        Raises :class:`UnknownJobError` for an unknown job and
+        :class:`ValueError` for a job with no archived summary yet."""
+        self.get(job_id)  # raises UnknownJobError
+        if self.archived_summary(job_id) is None:
+            raise ValueError(
+                f"job {job_id} has no archived summary yet")
+        with closing(self._connect()) as conn:
+            conn.execute(
+                "INSERT INTO baselines (name, job_id, tagged) "
+                "VALUES (?, ?, ?) ON CONFLICT(name) DO UPDATE SET "
+                "job_id = excluded.job_id, tagged = excluded.tagged",
+                (name, job_id, self._clock()))
+            conn.commit()
+        if self.observer is not None:
+            self.observer.inc("queue.baselines_tagged")
+
+    def baselines(self) -> dict[str, str]:
+        """``{baseline name: job id}`` for every tagged baseline."""
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT name, job_id FROM baselines ORDER BY name"
+            ).fetchall()
+        return {row["name"]: row["job_id"] for row in rows}
+
+    def resolve_baseline(self, name: str) -> str | None:
+        """The job id a baseline name points at, or None."""
+        with closing(self._connect()) as conn:
+            row = conn.execute(
+                "SELECT job_id FROM baselines WHERE name = ?",
+                (name,)).fetchone()
+        return row["job_id"] if row is not None else None
 
     def record_share(self, job_id: str, share_dir: str) -> None:
         with closing(self._connect()) as conn:

@@ -103,6 +103,50 @@ class ContentStore:
         """Recompute the digest of a stored object (bit-rot check)."""
         return digest_bytes(self.get(digest)) == digest
 
+    def verify_all(self) -> dict:
+        """Full integrity sweep (``gemfi store verify``): recompute
+        every object's digest and flag what shouldn't be there.
+
+        Returns ``{"checked", "corrupt", "orphaned", "ok"}`` —
+        *corrupt* lists digests whose bytes no longer hash to their
+        name (bit rot, truncation), *orphaned* lists paths under
+        ``objects/`` that are not valid objects (crashed-writer temp
+        files, stray names).  Reads bypass the observer counters so a
+        sweep doesn't masquerade as traffic."""
+        checked = 0
+        corrupt: list[str] = []
+        orphaned: list[str] = []
+        for fan in sorted(os.listdir(self.objects_dir)):
+            fan_dir = os.path.join(self.objects_dir, fan)
+            if not os.path.isdir(fan_dir):
+                orphaned.append(fan)
+                continue
+            if len(fan) != 2 or not set(fan) <= _HEX:
+                orphaned.extend(f"{fan}/{name}" for name
+                                in sorted(os.listdir(fan_dir)))
+                continue
+            for name in sorted(os.listdir(fan_dir)):
+                if name.endswith(".tmp") or ".tmp." in name:
+                    orphaned.append(f"{fan}/{name}")
+                    continue
+                digest = fan + name
+                if len(digest) != 64 or not set(digest) <= _HEX:
+                    orphaned.append(f"{fan}/{name}")
+                    continue
+                checked += 1
+                try:
+                    with open(os.path.join(fan_dir, name),
+                              "rb") as handle:
+                        data = handle.read()
+                except OSError:
+                    corrupt.append(digest)
+                    continue
+                if digest_bytes(data) != digest:
+                    corrupt.append(digest)
+        return {"checked": checked, "corrupt": corrupt,
+                "orphaned": orphaned,
+                "ok": not corrupt and not orphaned}
+
     # -- bookkeeping ----------------------------------------------------------
 
     def stats(self) -> dict:

@@ -287,7 +287,8 @@ def _md_table(header: list[str], rows: list[list]) -> str:
     return "\n".join(lines)
 
 
-def render_markdown(report: CampaignReport) -> str:
+def render_markdown(report: CampaignReport,
+                    baseline: dict | None = None) -> str:
     parts = [f"# Campaign report: {report.name}", "",
              f"{report.experiments} completed experiments.", "",
              "## Outcome totals", "",
@@ -333,6 +334,13 @@ def render_markdown(report: CampaignReport) -> str:
         parts += [line for line in prose]
         for title, header, rows in tables:
             parts += ["", f"### {title}", "", _md_table(header, rows)]
+    if baseline is not None:
+        from ..analysis.diff import diff_report_tables
+        prose, tables = diff_report_tables(baseline)
+        parts += ["", "## Vs baseline", ""]
+        parts += [line for line in prose]
+        for title, header, rows in tables:
+            parts += ["", f"### {title}", "", _md_table(header, rows)]
     parts.append("")
     return "\n".join(parts)
 
@@ -364,7 +372,8 @@ def _html_table(header: list[str], rows: list[list]) -> str:
     return "\n".join(lines)
 
 
-def render_html(report: CampaignReport) -> str:
+def render_html(report: CampaignReport,
+                baseline: dict | None = None) -> str:
     name = _html.escape(report.name)
     parts = [_HTML_HEAD.format(name=name),
              f"<h1>Campaign report: {name}</h1>",
@@ -405,13 +414,25 @@ def render_html(report: CampaignReport) -> str:
         for title, header, rows in tables:
             parts += [f"<h3>{_html.escape(title)}</h3>",
                       _html_table(header, rows)]
+    if baseline is not None:
+        from ..analysis.diff import diff_report_tables
+        prose, tables = diff_report_tables(baseline)
+        parts.append("<h2>Vs baseline</h2>")
+        parts += [f"<p>{_html.escape(line)}</p>" for line in prose]
+        for title, header, rows in tables:
+            parts += [f"<h3>{_html.escape(title)}</h3>",
+                      _html_table(header, rows)]
     parts.append("</body></html>\n")
     return "\n".join(parts)
 
 
-def render_report(report: CampaignReport, fmt: str = "md") -> str:
+def render_report(report: CampaignReport, fmt: str = "md",
+                  baseline: dict | None = None) -> str:
+    """Render *report*; *baseline* is an optional
+    ``repro.analysis.diff`` CampaignDiff payload (this campaign as
+    head) appended as a "Vs baseline" section."""
     if fmt == "md":
-        return render_markdown(report)
+        return render_markdown(report, baseline=baseline)
     if fmt == "html":
-        return render_html(report)
+        return render_html(report, baseline=baseline)
     raise ValueError(f"unknown report format '{fmt}'")

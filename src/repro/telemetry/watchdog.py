@@ -272,20 +272,22 @@ def rule_outcome_drift(snap: ShareSnapshot,
     use_wilson = min(len(baseline), len(recent)) >= \
         config.drift_min_samples
     if use_wilson:
-        from ..campaign.sampling import proportion_confidence_interval
+        # The shared two-proportion test (repro.analysis.diff) —
+        # also behind `gemfi compare` — so significance means the
+        # same thing everywhere.
+        from ..analysis.diff import proportions_differ
     alerts = []
     for outcome in outcomes:
         base_rate = baseline.count(outcome) / len(baseline)
         recent_rate = recent.count(outcome) / len(recent)
         drift = recent_rate - base_rate
         if use_wilson:
-            base_low, base_high = proportion_confidence_interval(
-                baseline.count(outcome), len(baseline),
-                confidence=config.drift_confidence)
-            recent_low, recent_high = proportion_confidence_interval(
-                recent.count(outcome), len(recent),
-                confidence=config.drift_confidence)
-            if recent_low <= base_high and base_low <= recent_high:
+            significant, (base_low, base_high), \
+                (recent_low, recent_high) = proportions_differ(
+                    baseline.count(outcome), len(baseline),
+                    recent.count(outcome), len(recent),
+                    confidence=config.drift_confidence)
+            if not significant:
                 continue  # intervals overlap: not significant
             direction = "up" if drift > 0 else "down"
             alerts.append(Alert(

@@ -174,3 +174,144 @@ class TestCoverageCommand:
         assert "-> " in capsys.readouterr().err
         with open(target, "r", encoding="utf-8") as handle:
             assert "Fault-space coverage" in handle.read()
+
+
+class TestCompareCommand:
+    """``gemfi compare``: differential campaign analytics with an
+    outcome-regression gate."""
+
+    @pytest.fixture(scope="class")
+    def shares(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("compare-cli")
+        base = str(root / "base")
+        head = str(root / "head")
+        for share in (base, head):
+            assert main(["campaign", "--workload", "dct", "--scale",
+                         "tiny", "-n", "8", "--seed", "7", "--prune",
+                         "--share-dir", share]) == 0
+        return base, head
+
+    def test_self_compare_unchanged_gate_passes(self, shares, capsys):
+        base, head = shares
+        assert main(["compare", base, head, "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: unchanged" in out
+        assert "Outcome deltas" in out
+
+    def test_json_byte_deterministic(self, shares, capsys):
+        base, head = shares
+        assert main(["compare", base, head, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["compare", base, head, "--json"]) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["verdict"] == "unchanged"
+        assert all(row["verdict"] == "unchanged"
+                   for row in payload["outcomes"].values())
+
+    def test_gate_trips_on_mutated_outcomes(self, shares, tmp_path,
+                                            capsys):
+        import os
+        import shutil
+        base, _ = shares
+        mutated = str(tmp_path / "mutated")
+        shutil.copytree(base, mutated)
+        results_dir = os.path.join(mutated, "results")
+        for name in os.listdir(results_dir):
+            path = os.path.join(results_dir, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            entry["outcome"] = "sdc"
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+        assert main(["compare", base, mutated, "--gate"]) == 1
+        captured = capsys.readouterr()
+        assert "verdict: regressed" in captured.out
+        assert "gate" in captured.err
+
+    def test_markdown_output_file(self, shares, tmp_path, capsys):
+        base, head = shares
+        target = str(tmp_path / "diff.md")
+        assert main(["compare", base, head, "--md",
+                     "--output", target]) == 0
+        assert "verdict" in capsys.readouterr().err
+        with open(target, "r", encoding="utf-8") as handle:
+            assert handle.read().startswith("# Campaign diff")
+
+    def test_summary_json_operand(self, shares, tmp_path, capsys):
+        from repro.analysis.diff import CampaignSummary
+        base, head = shares
+        dump = str(tmp_path / "base-summary.json")
+        payload = CampaignSummary.from_share(base).payload
+        with open(dump, "w", encoding="utf-8") as handle:
+            json.dump({"summary": payload}, handle)
+        assert main(["compare", dump, head]) == 0
+        assert "verdict:" in capsys.readouterr().out
+
+    def test_unresolvable_operand(self, shares, capsys):
+        _, head = shares
+        assert main(["compare", "no-such-ref", head]) == 2
+        assert "neither a share directory" in capsys.readouterr().err
+
+    def test_report_baseline_section(self, shares, capsys):
+        base, head = shares
+        assert main(["report", head, "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "## Vs baseline" in out
+        assert "Outcome deltas" in out
+
+    def test_report_baseline_unresolvable(self, shares, capsys):
+        _, head = shares
+        assert main(["report", head, "--baseline", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreVerifyCommand:
+    """``gemfi store verify``: content-store integrity sweep."""
+
+    def test_clean_store(self, tmp_path, capsys):
+        from repro.service.store import ContentStore
+        store = ContentStore(str(tmp_path / "store"))
+        store.put_bytes(b"object one")
+        store.put_bytes(b"object two")
+        assert main(["store", "verify",
+                     "--data-dir", str(tmp_path / "store")]) == 0
+        assert "2 objects checked: 0 corrupt, 0 orphaned" in \
+            capsys.readouterr().out
+
+    def test_data_dir_resolution(self, tmp_path, capsys):
+        from repro.service.store import ContentStore
+        # A service data dir holds the store under store/.
+        ContentStore(str(tmp_path / "store")).put_bytes(b"payload")
+        assert main(["store", "verify",
+                     "--data-dir", str(tmp_path)]) == 0
+        assert "1 objects checked" in capsys.readouterr().out
+
+    def test_corruption_and_orphans_exit_nonzero(self, tmp_path,
+                                                 capsys):
+        import os
+        from repro.service.store import ContentStore
+        store = ContentStore(str(tmp_path / "store"))
+        digest = store.put_bytes(b"soon corrupt")
+        path = os.path.join(str(tmp_path / "store"), "objects",
+                            digest[:2], digest[2:])
+        with open(path, "ab") as handle:
+            handle.write(b"XX")
+        orphan_dir = os.path.join(str(tmp_path / "store"), "objects",
+                                  "ab")
+        os.makedirs(orphan_dir, exist_ok=True)
+        with open(os.path.join(orphan_dir, "stray.tmp"), "wb"):
+            pass
+        assert main(["store", "verify",
+                     "--data-dir", str(tmp_path / "store"),
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert digest in payload["corrupt"]
+        assert any("stray.tmp" in entry
+                   for entry in payload["orphaned"])
+
+    def test_missing_store_usage_error(self, tmp_path, capsys):
+        assert main(["store", "verify",
+                     "--data-dir", str(tmp_path / "nope")]) == 2
+        assert "no content store" in capsys.readouterr().err

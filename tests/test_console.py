@@ -115,7 +115,19 @@ class TestConsolePages:
 
     def test_nav_links_the_coverage_page(self, ui_service):
         _, _, body = _get(ui_service, "/ui")
-        assert 'href="/ui/coverage"' in body.decode("utf-8")
+        text = body.decode("utf-8")
+        assert 'href="/ui/coverage"' in text
+        assert 'href="/ui/compare"' in text
+
+    def test_compare_page_empty_state(self, ui_service):
+        """No archived or dispatched campaigns yet: the compare page
+        renders an empty island instead of erroring."""
+        status, _, body = _get(ui_service, "/ui/compare")
+        assert status == 200
+        payload = _island(body)
+        assert payload["jobs"] == []
+        assert payload["compare"] is None
+        assert "nothing to compare yet" in body.decode("utf-8")
 
     def test_metrics_page_charts_recorded_series(self, ui_service):
         ui_service.recorder.sample_once()
@@ -199,7 +211,11 @@ class TestHistoryEndpoint:
     def test_bad_parameters_are_400(self, ui_service):
         status, _, body = _get(ui_service, "/v1/history?since=soon")
         assert status == 400
-        assert "since/limit" in json.loads(body)["error"]
+        assert "since must be a number" in json.loads(body)["error"]
+        status, _, body = _get(ui_service, "/v1/history?limit=ten")
+        assert status == 400
+        assert "limit must be an integer" in \
+            json.loads(body)["error"]
 
     def test_disabled_history_is_404(self, ui_service):
         # An app wired without a history store refuses the endpoint.
@@ -422,3 +438,53 @@ class TestConsoleEndToEnd:
         assert 'usage.kips{tenant="console"}' in payload["history"]
         points = payload["history"]['usage.kips{tenant="console"}']
         assert points[-1][1] > 0
+
+    def test_dispatcher_archives_finished_campaign(self, service,
+                                                   done_job):
+        """Completion feeds the campaign archive: the summary row is
+        queryable and its digest names a stored object holding the
+        canonical summary bytes."""
+        rows = {row["job"]: row
+                for row in service.queue.list_archive()}
+        assert done_job["id"] in rows
+        digest = rows[done_job["id"]]["summary_digest"]
+        assert service.store.has(digest)
+        summary = service.queue.archived_summary(done_job["id"])
+        assert summary["experiments"] == 2
+
+    def test_compare_page_matches_v1_compare(self, service,
+                                             done_job):
+        """The console page and /v1/compare render the same diff —
+        a self-compare of the only finished job, verdict unchanged."""
+        job_id = done_job["id"]
+        status, _, body = _get(
+            service, f"/ui/compare?base={job_id}&head={job_id}")
+        assert status == 200
+        island = _island(body)
+        assert island["base"] == job_id
+        assert island["head"] == job_id
+        status, _, raw = _get(
+            service, f"/v1/compare?base={job_id}&head={job_id}")
+        assert status == 200
+        assert island["compare"] == json.loads(raw)["compare"]
+        assert island["compare"]["verdict"] == "unchanged"
+        assert all(row["verdict"] == "unchanged" for row in
+                   island["compare"]["outcomes"].values())
+        text = body.decode("utf-8")
+        assert "<svg " in text  # outcome bars render
+
+    def test_compare_page_defaults_to_newest_jobs(self, service,
+                                                  done_job):
+        status, _, body = _get(service, "/ui/compare")
+        assert status == 200
+        island = _island(body)
+        assert island["head"] in island["jobs"]
+        assert island["compare"] is not None
+
+    def test_compare_gauges_reach_metrics(self, service, done_job):
+        job_id = done_job["id"]
+        _get(service, f"/v1/compare?base={job_id}&head={job_id}")
+        status, _, body = _get(service, "/metrics")
+        text = body.decode("utf-8")
+        assert "# HELP compare_verdict" in text
+        assert f'base="{job_id}"' in text

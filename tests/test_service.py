@@ -282,6 +282,122 @@ class TestJobQueue:
         assert counts["bob"] == {"queued": 1}
 
 
+class CountingObserver:
+    """Just enough of ServiceObserver for queue metric assertions."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def inc(self, name, amount=1, **labels):
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def set_gauge(self, name, value, **labels):
+        pass
+
+
+class TestConcurrentLeaseExpiry:
+    def test_expired_lease_requeued_exactly_once(self, tmp_path):
+        """Racing dispatchers sweeping the same expired lease must
+        hand the job back exactly once — SQLite's BEGIN IMMEDIATE
+        serialises the sweep, and the requeue metric reflects one
+        recovery, not one per sweeper."""
+        clock = FakeClock()
+        observer = CountingObserver()
+        queue = JobQueue(str(tmp_path / "q.db"), clock=clock,
+                         observer=observer)
+        job = queue.submit(_spec())
+        assert queue.lease("dead-worker", lease_seconds=60).id == job.id
+        clock.advance(61)
+
+        sweepers = 6
+        barrier = threading.Barrier(sweepers)
+        outcomes = []
+        lock = threading.Lock()
+
+        def sweep():
+            barrier.wait()
+            ids = queue.requeue_expired()
+            with lock:
+                outcomes.append(ids)
+
+        threads = [threading.Thread(target=sweep)
+                   for _ in range(sweepers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        claimed = [ids for ids in outcomes if ids]
+        assert claimed == [[job.id]]  # exactly one sweeper won
+        assert observer.counts["queue.requeued"] == 1
+        # The job is claimable again, with both leases on record.
+        recovered = queue.lease("live-worker", lease_seconds=60)
+        assert recovered.id == job.id
+        assert recovered.attempts == 2
+        assert observer.counts["queue.leases"] == 2
+
+
+class TestCampaignArchive:
+    def _summary(self, experiments=8):
+        return {"schema": "gemfi.campaign_summary.v1",
+                "experiments": experiments,
+                "outcomes": {"sdc": {"count": experiments,
+                                     "weight": float(experiments),
+                                     "rate": 1.0}}}
+
+    def test_archive_and_fetch(self, tmp_path):
+        observer = CountingObserver()
+        queue = JobQueue(str(tmp_path / "q.db"), observer=observer)
+        job = queue.submit(_spec(), tenant="alice")
+        assert queue.archived_summary(job.id) is None
+        queue.archive_summary(job.id, self._summary(), "a" * 64)
+        row = queue.archived_summary(job.id)
+        assert row["experiments"] == 8
+        assert observer.counts["queue.archived"] == 1
+        with pytest.raises(UnknownJobError):
+            queue.archive_summary("job-nope", self._summary(),
+                                  "b" * 64)
+
+    def test_archive_upsert_keeps_latest(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec())
+        queue.archive_summary(job.id, self._summary(8), "a" * 64)
+        queue.archive_summary(job.id, self._summary(12), "b" * 64)
+        assert queue.archived_summary(job.id)["experiments"] == 12
+        listing = queue.list_archive()
+        assert len(listing) == 1
+        assert listing[0]["summary_digest"] == "b" * 64
+
+    def test_baseline_tagging(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q.db"))
+        job = queue.submit(_spec())
+        with pytest.raises(ValueError):
+            queue.tag_baseline("release", job.id)  # nothing archived
+        queue.archive_summary(job.id, self._summary(), "a" * 64)
+        queue.tag_baseline("release", job.id)
+        assert queue.baselines() == {"release": job.id}
+        assert queue.resolve_baseline("release") == job.id
+        assert queue.resolve_baseline("nope") is None
+        # Retagging moves the name to the newer job.
+        other = queue.submit(_spec(seed=5))
+        queue.archive_summary(other.id, self._summary(), "c" * 64)
+        queue.tag_baseline("release", other.id)
+        assert queue.baselines() == {"release": other.id}
+        listing = {row["job"]: row for row in queue.list_archive()}
+        assert listing[other.id]["baseline"] == "release"
+        assert listing[job.id]["baseline"] is None
+
+    def test_archive_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "q.db")
+        queue = JobQueue(path)
+        job = queue.submit(_spec())
+        queue.archive_summary(job.id, self._summary(), "a" * 64)
+        queue.tag_baseline("golden", job.id)
+        reopened = JobQueue(path)
+        assert reopened.archived_summary(job.id)["experiments"] == 8
+        assert reopened.baselines() == {"golden": job.id}
+
+
 # -- periodic beat ------------------------------------------------------------
 
 
@@ -447,6 +563,163 @@ class TestServiceApi:
         assert [f["type"] for f in frames] == ["status", "end"]
         assert frames[-1]["state"] == "cancelled"
 
+    @pytest.mark.parametrize("path", [
+        "/v1/history?limit=abc",
+        "/v1/history?since=nan",
+        "/v1/history?since=inf",
+        "/v1/archive?limit=2.5",
+    ])
+    def test_bad_query_params_are_400(self, api_service, path):
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert "must be" in body["error"]
+        finally:
+            conn.close()
+
+    def test_bad_events_params_are_400(self, api_service):
+        client = ServiceClient(api_service.url)
+        job = client.submit({"workload": "pi"})
+        client.close()
+        conn = _http_conn(api_service)
+        try:
+            conn.request("GET",
+                         f"/v1/jobs/{job['id']}/events?max=lots")
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+
+# -- campaign archive + compare over the API ----------------------------------
+
+
+class TestArchiveAndCompareApi:
+    @pytest.fixture
+    def archived_pair(self, api_service):
+        """Two jobs with archived summaries: base mixed outcomes,
+        head all-SDC (a clear regression)."""
+        from repro.analysis.diff import CampaignSummary
+        from test_coverage import synthetic_results
+        client = ServiceClient(api_service.url, tenant="cmp")
+        try:
+            base = client.submit({"workload": "pi", "seed": 1})
+            head = client.submit({"workload": "pi", "seed": 2})
+        finally:
+            client.close()
+        results = synthetic_results(30)
+        shifted = [dict(entry) for entry in results]
+        for entry in shifted:
+            entry["outcome"] = "sdc"
+        base_summary = CampaignSummary.from_results(
+            results, name=base["id"])
+        head_summary = CampaignSummary.from_results(
+            shifted, name=head["id"])
+        api_service.queue.archive_summary(
+            base["id"], base_summary.payload, base_summary.digest())
+        api_service.queue.archive_summary(
+            head["id"], head_summary.payload, head_summary.digest())
+        return base["id"], head["id"], base_summary, head_summary
+
+    def test_summary_endpoint_serves_archive(self, api_service,
+                                             archived_pair):
+        base_id, _, base_summary, _ = archived_pair
+        client = ServiceClient(api_service.url)
+        try:
+            assert client.summary(base_id) == base_summary.payload
+            api_service.queue.tag_baseline("golden", base_id)
+            assert client.summary("golden") == base_summary.payload
+            with pytest.raises(ServiceError) as err:
+                client.summary("job-nope")
+        finally:
+            client.close()
+        assert err.value.status == 404
+
+    def test_archive_index_and_baselines(self, api_service,
+                                         archived_pair):
+        base_id, head_id, _, _ = archived_pair
+        client = ServiceClient(api_service.url)
+        try:
+            listing = client.archive()
+            assert [row["job"] for row in listing["archive"]] == \
+                [base_id, head_id]
+            assert listing["baselines"] == {}
+            tagged = client.tag_baseline("release", base_id)
+            assert tagged == {"name": "release", "job": base_id}
+            assert client.baselines() == {"release": base_id}
+        finally:
+            client.close()
+
+    def test_tag_baseline_error_codes(self, api_service,
+                                      archived_pair):
+        client = ServiceClient(api_service.url)
+        try:
+            job = client.submit({"workload": "pi", "seed": 9})
+            with pytest.raises(ServiceError) as err:
+                client.tag_baseline("rel", job["id"])  # not archived
+            assert err.value.status == 409
+            with pytest.raises(ServiceError) as err:
+                client.tag_baseline("rel", "job-nope")
+            assert err.value.status == 404
+        finally:
+            client.close()
+
+    def test_compare_matches_local_diff(self, api_service,
+                                        archived_pair):
+        """The server's /v1/compare numbers are exactly what a local
+        CampaignDiff of the same summaries computes — one shared
+        implementation, no drift between CLI and service."""
+        from repro.analysis.diff import CampaignDiff
+        base_id, head_id, base_summary, head_summary = archived_pair
+        client = ServiceClient(api_service.url)
+        try:
+            client.tag_baseline("golden", base_id)
+            served = client.compare("golden", head_id)
+        finally:
+            client.close()
+        local = CampaignDiff(base_summary, head_summary).payload
+        assert served == local
+        assert served["verdict"] == "regressed"
+        assert served["outcomes"]["sdc"]["significant"]
+
+    def test_compare_refreshes_gauges(self, api_service,
+                                      archived_pair):
+        base_id, head_id, _, _ = archived_pair
+        client = ServiceClient(api_service.url)
+        try:
+            client.compare(base_id, head_id)
+            text = client.metrics_text()
+        finally:
+            client.close()
+        assert "compare_verdict" in text
+        assert 'base="%s"' % base_id in text
+
+    def test_compare_param_validation(self, api_service,
+                                      archived_pair):
+        base_id, head_id, _, _ = archived_pair
+        client = ServiceClient(api_service.url)
+        try:
+            with pytest.raises(ServiceError) as err:
+                client.compare(base_id, "job-nope")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                client.compare(base_id, head_id, confidence=2.0)
+            assert err.value.status == 400
+            conn = _http_conn(api_service)
+            try:
+                conn.request("GET", "/v1/compare?base=only")
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 400
+                assert "base= and head=" in body["error"]
+            finally:
+                conn.close()
+        finally:
+            client.close()
+
 
 # -- dispatch + end-to-end ----------------------------------------------------
 
@@ -525,8 +798,9 @@ class TestDispatcherAndE2E:
         assert final["state"] == "done"
         assert final["result_digest"] == done_job["result_digest"]
         # results + checkpoint dedupe; only the report (which names
-        # its per-job share directory) is a new object
-        assert client.store_stats()["objects"] <= before + 1
+        # its per-job share directory) and the archived summary
+        # (whose name is the job id) are new objects
+        assert client.store_stats()["objects"] <= before + 2
         assert final["checkpoint_digest"] \
             == done_job["checkpoint_digest"]
 
